@@ -1,0 +1,134 @@
+/// Ablation A9: content-aware prefetching and its sensitivity analysis
+/// (Scout, §3.1.1: "they report results of sensitivity analysis of
+/// different parameters on the cache hit rate"). We replay the §8
+/// composite sessions' tile requests and sweep the prefetcher's fan-out
+/// and content weight, comparing direction-only, content-only, and
+/// combined rankings.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "prefetch/content_prefetcher.h"
+
+namespace ideval {
+namespace {
+
+struct RequestLog {
+  std::vector<std::vector<TileId>> tiles;
+  std::vector<GeoBounds> bounds;
+  std::vector<int> zooms;
+};
+
+RequestLog CollectRequests() {
+  RequestLog log;
+  for (const auto& trace : bench::ExploreTraces(10)) {
+    for (const auto& phase : trace.phases) {
+      MapWidget map(phase.request.bounds.CenterLat(),
+                    phase.request.bounds.CenterLng(),
+                    phase.request.zoom_level);
+      log.tiles.push_back(map.VisibleTiles());
+      log.bounds.push_back(phase.request.bounds);
+      log.zooms.push_back(phase.request.zoom_level);
+    }
+  }
+  return log;
+}
+
+struct ReplayResult {
+  double hit_rate = 0.0;
+  /// Of the distinct tiles the prefetcher fetched speculatively, the
+  /// fraction the user ever actually requested — Scout's bandwidth-waste
+  /// angle: fetching empty ocean tiles costs I/O for nothing.
+  double prefetch_precision = 0.0;
+};
+
+ReplayResult Replay(const RequestLog& log, const TablePtr& listings,
+                    double direction_weight, double content_weight,
+                    int fan_out) {
+  ContentAwarePrefetcher::Options opts;
+  opts.fan_out = fan_out;
+  opts.direction_weight = direction_weight;
+  opts.content_weight = content_weight;
+  auto prefetcher =
+      ContentAwarePrefetcher::Make(listings, "lat", "lng", opts);
+  if (!prefetcher.ok()) std::abort();
+  TileCache cache(64, EvictionPolicy::kLru);
+  std::unordered_set<TileId, TileIdHash> prefetched, requested;
+  for (size_t i = 0; i < log.tiles.size(); ++i) {
+    for (const auto& tile : log.tiles[i]) {
+      cache.Request(tile);
+      requested.insert(tile);
+    }
+    if (i > 0) {
+      auto move = ClassifyMove(log.bounds[i - 1], log.zooms[i - 1],
+                               log.bounds[i], log.zooms[i]);
+      if (move.ok()) prefetcher->Observe(*move);
+    }
+    for (const auto& tile :
+         prefetcher->PrefetchCandidates(log.bounds[i], log.zooms[i])) {
+      cache.Prefetch(tile);
+      prefetched.insert(tile);
+    }
+  }
+  ReplayResult out;
+  out.hit_rate = cache.HitRate();
+  if (!prefetched.empty()) {
+    int64_t useful = 0;
+    for (const auto& tile : prefetched) useful += requested.count(tile);
+    out.prefetch_precision =
+        static_cast<double>(useful) / static_cast<double>(prefetched.size());
+  }
+  return out;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "A9", "Ablation — content-aware prefetching sensitivity (Scout-style)",
+      "users navigate toward content, so weighting candidate tiles by the "
+      "data beneath them wastes fewer speculative fetches than direction "
+      "alone; the sweep shows how fan-out and the content weight trade "
+      "off");
+
+  TablePtr listings = bench::Listings();
+  const RequestLog log = CollectRequests();
+  std::printf("replaying %zu viewport requests (cache: 64 tiles, LRU)\n\n",
+              log.tiles.size());
+
+  TextTable table({"ranking", "fan-out 2", "fan-out 4", "fan-out 6",
+                   "fan-out 10"});
+  const struct {
+    const char* label;
+    double dir_w, content_w;
+  } kRankings[] = {{"direction only", 1.0, 0.0},
+                   {"content only", 0.0, 1.0},
+                   {"combined (1:1)", 1.0, 1.0},
+                   {"combined (1:2)", 1.0, 2.0}};
+  for (const auto& ranking : kRankings) {
+    std::vector<std::string> row = {ranking.label};
+    for (int fan_out : {2, 4, 6, 10}) {
+      const ReplayResult r =
+          Replay(log, listings, ranking.dir_w, ranking.content_w, fan_out);
+      row.push_back(StrFormat("%.3f / %.2f", r.hit_rate,
+                              r.prefetch_precision));
+    }
+    table.AddRow(row);
+  }
+  std::printf("cell format: cache hit rate / prefetch precision\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "check: hit rates converge as fan-out exhausts the candidate "
+      "geometry, but the *precision* column separates the rankings — "
+      "content-aware prefetching wastes fewer fetches on tiles the user "
+      "never visits (Scout's bandwidth argument), and the sweep shows the "
+      "sensitivity of both to fan-out\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Ablation A10: frame-locked result delivery (§3.1.2). The iPad's panel
+/// went from 30 Hz to 120 Hz; this sweep shows what the display's frame
+/// rate does to a fast backend's result stream — how many results coalesce
+/// into shared repaints, the added display delay, and the render work a
+/// frame-locked frontend saves over naive per-result repainting.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "metrics/frame_model.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "A10", "Ablation — display frame rate vs result delivery",
+      "a frame-locked frontend coalesces bursty results into shared "
+      "repaints: higher fps shows results sooner but repaints more; the "
+      "backend's useful output rate is bounded by the panel either way");
+
+  TablePtr road = bench::RoadScaled(100000);
+  const auto groups = bench::CrossfilterGroups(
+      road, DeviceType::kLeapMotion, bench::kCrossfilterSeed + 2, 10);
+  auto run = bench::RunCrossfilterCondition(
+      road, groups, EngineProfile::kInMemoryColumnStore,
+      bench::CrossfilterOpt::kRaw);
+  if (!run.ok()) std::abort();
+
+  TextTable table({"panel", "results", "repaints", "coalesced",
+                   "render savings", "mean display delay",
+                   "effective update rate"});
+  for (double fps : {30.0, 60.0, 120.0}) {
+    FrameModelOptions opts;
+    opts.fps = fps;
+    auto report = AnalyzeFrames(run->timelines, opts);
+    if (!report.ok()) std::abort();
+    table.AddRow(
+        {StrFormat("%.0f Hz", fps),
+         StrFormat("%lld", static_cast<long long>(report->results_arrived)),
+         StrFormat("%lld",
+                   static_cast<long long>(report->frames_with_updates)),
+         StrFormat("%lld",
+                   static_cast<long long>(report->coalesced_results)),
+         FormatDouble(report->RenderSavings() * 100.0, 1) + "%",
+         report->mean_display_delay.ToString(),
+         StrFormat("%.1f Hz", report->effective_update_hz)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "check: at 30 Hz a large share of results coalesce (render savings "
+      "high, display delay ~17 ms); at 120 Hz almost every result gets its "
+      "own frame — the §3.1.2 trade-off between smoothness and backend-"
+      "matched delivery\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// Ablation A8: backend saturation under concurrent users — the
+/// throughput metric of §3.1.1 exercised properly. Several simulated
+/// users share one backend; as users are added, aggregate throughput
+/// climbs until the backend saturates, after which per-user latency (and
+/// LCV) degrades instead. A capacity planner reads the knee off this
+/// curve.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/text_table.h"
+#include "metrics/frontend_metrics.h"
+
+namespace ideval {
+namespace {
+
+void RunProfile(const TablePtr& road, EngineProfile profile,
+                const char* label) {
+  std::printf("%s\n", label);
+  TextTable table({"users", "queries", "throughput (q/s)",
+                   "median latency (ms)", "p90 (ms)", "LCV %"});
+  for (int users : {1, 2, 4, 8}) {
+    std::vector<std::vector<QueryGroup>> sessions;
+    for (int u = 0; u < users; ++u) {
+      sessions.push_back(bench::CrossfilterGroups(
+          road, DeviceType::kMouse,
+          bench::kCrossfilterSeed + 100 + static_cast<uint64_t>(u), 8));
+    }
+    const auto merged = MergeSessions(sessions);
+
+    EngineOptions eopts;
+    eopts.profile = profile;
+    Engine engine(eopts);
+    if (!engine.RegisterTable(road).ok()) std::abort();
+    SchedulerOptions sopts;
+    sopts.num_connections = 2;
+    QueryScheduler scheduler(&engine, sopts);
+    auto run = scheduler.Run(merged);
+    if (!run.ok()) std::abort();
+
+    const Summary latency = PerceivedLatencySummary(run->timelines);
+    const LcvStats lcv = ComputeCrossfilterLcv(run->timelines);
+    table.AddRow({StrFormat("%d", users), StrFormat("%zu", latency.count()),
+                  FormatDouble(ComputeThroughput(run->timelines), 1),
+                  FormatDouble(latency.median(), 1),
+                  FormatDouble(latency.Quantile(0.9), 1),
+                  FormatDouble(lcv.ViolationFraction() * 100.0, 1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "A8", "Ablation — shared-backend saturation under concurrent users",
+      "throughput climbs with users until the backend saturates; past the "
+      "knee, added users only inflate everyone's perceived latency — the "
+      "regime where Fig. 3 demands throttling or a faster substrate");
+
+  TablePtr road = bench::RoadScaled(100000);
+  RunProfile(road, EngineProfile::kInMemoryColumnStore,
+             "in-memory backend:");
+  RunProfile(road, EngineProfile::kDiskRowStore, "disk backend:");
+  std::printf(
+      "check: the in-memory backend's throughput scales with users while "
+      "latency stays flat; the disk backend saturates almost immediately "
+      "and its latency column explodes with each added user\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

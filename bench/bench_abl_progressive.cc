@@ -1,0 +1,74 @@
+/// Ablation A5: progressive (online-aggregation style) execution, §3.1.1 /
+/// §3.2.2. Interactive systems invert the old database contract: strict
+/// latency, approximate answers that refine over time. This bench runs the
+/// crossfilter histogram progressively on both cost profiles and reports
+/// the accuracy-latency trade-off per refinement step, including the
+/// Incvisage-style time-weighted scored accuracy.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "engine/progressive.h"
+
+namespace ideval {
+namespace {
+
+void RunProfile(const TablePtr& road, const char* label,
+                const CostModel& cost_model) {
+  HistogramQuery query;
+  query.table = "dataroad";
+  query.bin_column = "y";
+  query.bin_lo = 56.582;
+  query.bin_hi = 57.774;
+  query.bins = 20;
+  query.predicates = {RangePredicate{"x", 8.146, 10.2},
+                      RangePredicate{"z", -8.608, 110.0}};
+
+  ProgressiveOptions opts;
+  opts.cost_model = cost_model;
+  auto steps = RunProgressiveHistogram(road, query, opts);
+  if (!steps.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", steps.status().ToString().c_str());
+    std::abort();
+  }
+
+  std::printf("%s\n", label);
+  TextTable table({"sample fraction", "available at", "MSE vs exact",
+                   "scored accuracy"});
+  const Duration half_life = Duration::Seconds(1.0);
+  for (const auto& step : *steps) {
+    table.AddRow({FormatDouble(step.fraction, 2),
+                  step.available_at.ToString(),
+                  StrFormat("%.2e", step.mse_vs_exact),
+                  FormatDouble(ScoredAccuracy(step.mse_vs_exact,
+                                              step.available_at, half_life),
+                               3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "A5", "Ablation — progressive execution: accuracy vs latency",
+      "a 1-2% sample answers in a fraction of the exact query's time with "
+      "tiny error; on the disk profile the early estimates are the only "
+      "way to stay under the 500 ms perceptibility threshold");
+
+  TablePtr road = bench::Road();
+  RunProfile(road, "disk row store profile:", CostModel::DiskRowStore());
+  RunProfile(road, "in-memory column store profile:",
+             CostModel::InMemoryColumnStore());
+  std::printf(
+      "check: MSE decreases monotonically to 0 while available-at grows; "
+      "the scored-accuracy column peaks at an intermediate fraction — the "
+      "sweet spot progressive systems aim for\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// Ablation A4: session-aware result reuse (§2.4). Consecutive queries in
+/// interactive sessions are related — crossfilter users wiggle sliders
+/// back and forth — so a Sesame-style session cache answers a share of the
+/// workload without touching the backend. We replay real crossfilter
+/// sessions through a session cache on both backends and report hit rate
+/// and the backend time saved.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "opt/session_cache.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "A4", "Ablation — session-aware result reuse (Sesame-style, §2.4)",
+      "consecutive interactive queries are related; reusing previous "
+      "results yields large gains (the paper cites up to 25x) that no "
+      "session-oblivious backend can see");
+
+  TablePtr road = bench::Road();
+  TextTable table({"device", "engine", "queries", "session-cache hits",
+                   "hit rate", "backend time saved"});
+  for (DeviceType device : {DeviceType::kMouse, DeviceType::kTouchTablet,
+                            DeviceType::kLeapMotion}) {
+    const auto groups = bench::CrossfilterGroups(
+        road, device,
+        bench::kCrossfilterSeed + static_cast<uint64_t>(device), 12);
+    for (EngineProfile profile : {EngineProfile::kDiskRowStore,
+                                  EngineProfile::kInMemoryColumnStore}) {
+      EngineOptions eopts;
+      eopts.profile = profile;
+      Engine engine(eopts);
+      if (!engine.RegisterTable(road).ok()) std::abort();
+      SessionCache cache(&engine);
+      int64_t queries = 0;
+      for (const auto& g : groups) {
+        for (const auto& q : g.queries) {
+          auto r = cache.Execute(q);
+          if (!r.ok()) std::abort();
+          ++queries;
+        }
+      }
+      table.AddRow(
+          {DeviceTypeToString(device),
+           profile == EngineProfile::kDiskRowStore ? "postgre-like"
+                                                   : "mem-like",
+           StrFormat("%lld", static_cast<long long>(queries)),
+           StrFormat("%lld", static_cast<long long>(cache.hits())),
+           FormatDouble(cache.HitRate(), 3),
+           cache.TimeSaved().ToString()});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "check: reuse grows with device jitter — the unintended repeated "
+      "queries of §2.3 (leap motion) are exactly what exact-match session "
+      "reuse absorbs for free — and each disk-backend hit saves ~300 ms "
+      "vs ~13 ms on the in-memory backend\n\n");
+
+  // Second scenario: the user revisits their earlier analysis (replays
+  // the same brushes). This is where session reuse shines even on smooth
+  // devices.
+  const auto groups = bench::CrossfilterGroups(
+      road, DeviceType::kMouse, bench::kCrossfilterSeed, 12);
+  EngineOptions eopts;
+  eopts.profile = EngineProfile::kDiskRowStore;
+  Engine engine(eopts);
+  if (!engine.RegisterTable(road).ok()) std::abort();
+  SessionCache::Options copts;
+  copts.capacity = 8192;  // Hold the whole session's result set.
+  SessionCache cache(&engine, copts);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& g : groups) {
+      for (const auto& q : g.queries) {
+        if (!cache.Execute(q).ok()) std::abort();
+      }
+    }
+  }
+  std::printf("revisit scenario (same mouse session replayed twice on "
+              "disk): hit rate %.3f, backend time saved %s\n",
+              cache.HitRate(), cache.TimeSaved().ToString().c_str());
+  std::printf("check: the second pass is answered almost entirely from "
+              "the session cache (hit rate ~0.5 overall)\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// Reproduces Fig. 7: wheel delta over time for scrolling with and without
+/// inertia. The inertial trace's deltas are two orders of magnitude larger
+/// (paper y-axis scales: 400 px vs 4 px), which is what defeats lazy
+/// loading.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "widget/inertial_scroller.h"
+
+namespace ideval {
+namespace {
+
+void PrintTrace(const char* label, const std::vector<ScrollEvent>& events,
+                double bar_max) {
+  std::printf("%s (first %zu events)\n", label,
+              std::min<size_t>(events.size(), 24));
+  TextTable table({"t (ms)", "wheel delta (px)", ""});
+  for (size_t i = 0; i < events.size() && i < 24; ++i) {
+    table.AddRow({FormatDouble(events[i].time.millis(), 0),
+                  FormatDouble(events[i].wheel_delta_px, 2),
+                  AsciiBar(events[i].wheel_delta_px, bar_max, 32)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "F7", "Fig. 7 — scrolling with / without inertia",
+      "inertial wheel deltas dwarf plain scrolling (y-axis ~400 vs ~4), so "
+      "the user reaches the end of the page before lazy loading keeps up");
+
+  ScrollerOptions inertial_opts;
+  InertialScroller inertial(inertial_opts);
+  const auto with_inertia = inertial.Flick(SimTime::Origin(), 25000.0);
+
+  ScrollerOptions plain_opts;
+  plain_opts.inertial = false;
+  InertialScroller plain(plain_opts);
+  const auto without = plain.Flick(SimTime::Origin(), 25000.0);
+
+  double max_inertial = 0.0, max_plain = 0.0;
+  for (const auto& e : with_inertia) {
+    max_inertial = std::max(max_inertial, e.wheel_delta_px);
+  }
+  for (const auto& e : without) {
+    max_plain = std::max(max_plain, e.wheel_delta_px);
+  }
+
+  PrintTrace("(a) with inertia", with_inertia, max_inertial);
+  PrintTrace("(b) without inertia", without, max_inertial);
+
+  TextTable summary({"condition", "events", "max delta (px)",
+                     "total distance (px)"});
+  double total_i = 0.0, total_p = 0.0;
+  for (const auto& e : with_inertia) total_i += e.wheel_delta_px;
+  for (const auto& e : without) total_p += e.wheel_delta_px;
+  summary.AddRow({"with inertia", StrFormat("%zu", with_inertia.size()),
+                  FormatDouble(max_inertial, 1), FormatDouble(total_i, 0)});
+  summary.AddRow({"without inertia", StrFormat("%zu", without.size()),
+                  FormatDouble(max_plain, 1), FormatDouble(total_p, 0)});
+  std::printf("%s\n", summary.ToString().c_str());
+  std::printf("check: max delta ratio (inertial/plain) = %.0fx "
+              "(paper: ~100x from axis scales 400 vs 4)\n",
+              max_inertial / max_plain);
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// Reproduces Fig. 13: perceived latency over the session for each device
+/// (mouse, touch, Leap Motion) under each backend (disk row store ~
+/// PostgreSQL, in-memory column store ~ MemSQL) and each optimization
+/// (raw, KL>0, KL>0.2, skip), over the full 434,874-tuple road network.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/text_table.h"
+#include "metrics/frontend_metrics.h"
+
+namespace ideval {
+namespace {
+
+using bench::CrossfilterOpt;
+
+void Run() {
+  bench::PrintHeader(
+      "F13", "Fig. 13 — crossfilter latency under different factors",
+      "the in-memory engine holds 10–50 ms even raw; the disk engine "
+      "cascades beyond 10 s raw/KL>0 and recovers to 0.1–1 s with skip or "
+      "KL>0.2; the Leap Motion workload is densest");
+
+  TablePtr road = bench::Road();
+  const struct {
+    DeviceType device;
+    uint64_t seed;
+  } kDevices[] = {{DeviceType::kMouse, bench::kCrossfilterSeed},
+                  {DeviceType::kTouchTablet, bench::kCrossfilterSeed + 1},
+                  {DeviceType::kLeapMotion, bench::kCrossfilterSeed + 2}};
+  const CrossfilterOpt kOpts[] = {CrossfilterOpt::kRaw, CrossfilterOpt::kKl0,
+                                  CrossfilterOpt::kKl02,
+                                  CrossfilterOpt::kSkip};
+
+  TextTable table({"device", "engine", "condition", "queries run",
+                   "median (ms)", "p90 (ms)", "max (ms)"});
+  for (const auto& dev : kDevices) {
+    const auto groups =
+        bench::CrossfilterGroups(road, dev.device, dev.seed);
+    for (EngineProfile profile : {EngineProfile::kDiskRowStore,
+                                  EngineProfile::kInMemoryColumnStore}) {
+      for (CrossfilterOpt opt : kOpts) {
+        auto run = bench::RunCrossfilterCondition(road, groups, profile, opt);
+        if (!run.ok()) {
+          std::fprintf(stderr, "FATAL: %s\n",
+                       run.status().ToString().c_str());
+          std::abort();
+        }
+        Summary lat = PerceivedLatencySummary(run->timelines);
+        table.AddRow(
+            {DeviceTypeToString(dev.device),
+             profile == EngineProfile::kDiskRowStore ? "postgre-like"
+                                                     : "mem-like",
+             bench::CrossfilterOptToString(opt),
+             StrFormat("%zu", lat.count()), FormatDouble(lat.median(), 1),
+             FormatDouble(lat.Quantile(0.9), 1), FormatDouble(lat.max(), 1)});
+      }
+      table.AddSeparator();
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "check: mem rows stay ~10-60 ms in all conditions; postgre-like "
+      "raw/KL>0 max columns blow past 10,000 ms while skip and KL>0.2 hold "
+      "them near or below ~1,000 ms\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

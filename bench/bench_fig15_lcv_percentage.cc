@@ -1,0 +1,69 @@
+/// Reproduces Fig. 15: the percentage of queries violating the latency
+/// constraint for each device and KL condition, on both backends.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "metrics/frontend_metrics.h"
+
+namespace ideval {
+namespace {
+
+using bench::CrossfilterOpt;
+
+void Run() {
+  bench::PrintHeader(
+      "F15", "Fig. 15 — percentage of queries violating latency constraint",
+      "the in-memory engine violates far less than the disk engine; KL>0 "
+      "roughly halves the in-memory violations, while the disk engine "
+      "needs KL>0.2 for an observable drop");
+
+  TablePtr road = bench::Road();
+  const struct {
+    DeviceType device;
+    uint64_t seed;
+  } kDevices[] = {{DeviceType::kMouse, bench::kCrossfilterSeed},
+                  {DeviceType::kTouchTablet, bench::kCrossfilterSeed + 1},
+                  {DeviceType::kLeapMotion, bench::kCrossfilterSeed + 2}};
+  const CrossfilterOpt kOpts[] = {CrossfilterOpt::kRaw, CrossfilterOpt::kKl0,
+                                  CrossfilterOpt::kKl02};
+
+  TextTable table({"condition", "postgre-like (%)", "mem-like (%)"});
+  for (CrossfilterOpt opt : kOpts) {
+    for (const auto& dev : kDevices) {
+      const auto groups =
+          bench::CrossfilterGroups(road, dev.device, dev.seed);
+      std::vector<std::string> row = {
+          StrFormat("%s:%s", bench::CrossfilterOptToString(opt),
+                    DeviceTypeToString(dev.device))};
+      for (EngineProfile profile : {EngineProfile::kDiskRowStore,
+                                    EngineProfile::kInMemoryColumnStore}) {
+        auto run =
+            bench::RunCrossfilterCondition(road, groups, profile, opt);
+        if (!run.ok()) {
+          std::fprintf(stderr, "FATAL: %s\n",
+                       run.status().ToString().c_str());
+          std::abort();
+        }
+        const LcvStats lcv = ComputeCrossfilterLcv(run->timelines);
+        row.push_back(FormatDouble(lcv.ViolationFraction() * 100.0, 1));
+      }
+      table.AddRow(row);
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "check: mem column far below postgre column everywhere; the postgre "
+      "column only drops materially in the KL>0.2 block (paper: ~30%% "
+      "decrease for mouse/touch, ~17%% for leap motion)\n");
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

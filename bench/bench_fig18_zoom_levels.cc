@@ -1,0 +1,70 @@
+/// Reproduces Fig. 18: map zoom levels over time for each user. Zooms
+/// concentrate on levels 11–14 and users rarely navigate more than three
+/// levels from their starting point — which bounds useful prefetch depth.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "F18", "Fig. 18 — change of zoom levels over time",
+      "zoom levels concentrate between 11 and 14; all but one user stay "
+      "within three levels of their starting point, so prefetching deeper "
+      "than three levels is wasted");
+
+  const auto traces = bench::ExploreTraces();
+  std::map<int, int64_t> occupancy;
+  int64_t total = 0;
+  int users_beyond_three = 0;
+  TextTable per_user({"user", "start zoom", "min", "max", "max depth",
+                      "map actions"});
+  for (const auto& trace : traces) {
+    int start = -1, lo = 99, hi = 0;
+    int64_t map_actions = 0;
+    for (const auto& phase : trace.phases) {
+      const int z = phase.request.zoom_level;
+      if (start < 0) start = z;
+      lo = std::min(lo, z);
+      hi = std::max(hi, z);
+      ++occupancy[z];
+      ++total;
+      map_actions += (phase.request.widget == WidgetKind::kMap);
+    }
+    const int depth = hi - start;
+    if (depth > 3) ++users_beyond_three;
+    per_user.AddRow({StrFormat("%d", trace.user_id), StrFormat("%d", start),
+                     StrFormat("%d", lo), StrFormat("%d", hi),
+                     StrFormat("%d", depth),
+                     StrFormat("%lld", static_cast<long long>(map_actions))});
+  }
+  std::printf("%s\n", per_user.ToString().c_str());
+
+  TextTable occ({"zoom level", "share of requests", ""});
+  double band_share = 0.0;
+  for (const auto& [zoom, count] : occupancy) {
+    const double share =
+        100.0 * static_cast<double>(count) / static_cast<double>(total);
+    if (zoom >= 11 && zoom <= 14) band_share += share;
+    occ.AddRow({StrFormat("%d", zoom), FormatDouble(share, 1) + "%",
+                AsciiBar(share, 50.0, 30)});
+  }
+  std::printf("%s\n", occ.ToString().c_str());
+  std::printf("check: %.1f%% of requests in the 11-14 band (paper: 'the "
+              "majority'); %d/15 users exceed 3 levels from start (paper: "
+              "'except for one')\n",
+              band_share, users_beyond_three);
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// Reproduces Fig. 21: CDFs of request time (T0) and exploration time (T2)
+/// across all users, plus the derived prefetch-capacity estimate: the
+/// average exploration window fits ~18 adjacent speculative queries.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/text_table.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "F21", "Fig. 21 — CDFs of request and exploration time",
+      "~80% of requests complete under 1 s while ~80% of exploration "
+      "pauses exceed 1 s (means ~1.1 s vs ~18.3 s) -> about 18 adjacent "
+      "queries can be prefetched per pause");
+
+  std::vector<double> request_s, explore_s, render_s;
+  for (const auto& trace : bench::ExploreTraces()) {
+    for (const auto& phase : trace.phases) {
+      request_s.push_back(phase.request_time.seconds());
+      explore_s.push_back(phase.exploration_time.seconds());
+      render_s.push_back(phase.rendering_time.seconds());
+    }
+  }
+  Summary request(request_s), explore(explore_s), render(render_s);
+
+  TextTable table({"time (ms)", "request CDF", "exploration CDF"});
+  for (double ms : {100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0,
+                    16000.0, 32000.0, 64000.0}) {
+    table.AddRow({FormatDouble(ms, 0),
+                  FormatDouble(request.CdfAt(ms / 1000.0), 3),
+                  FormatDouble(explore.CdfAt(ms / 1000.0), 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const double prefetchable = explore.mean() / request.mean();
+  std::printf("request  : mean %.2f s (paper ~1.1 s), CDF(1s) = %.2f "
+              "(paper ~0.80)\n",
+              request.mean(), request.CdfAt(1.0));
+  std::printf("explore  : mean %.1f s (paper 18.3 s), CDF(1s) = %.2f "
+              "(paper ~0.20)\n",
+              explore.mean(), explore.CdfAt(1.0));
+  std::printf("rendering: mean %.0f ms\n", render.mean() * 1000.0);
+  std::printf("check: ~%.0f adjacent queries prefetchable per exploration "
+              "pause (paper: ~18)\n", prefetchable);
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Reproduces Table 3 (the when-to-use guidelines) and demonstrates the
+/// metric advisor on the paper's own three case studies plus two surveyed
+/// systems.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "guidelines/advisor.h"
+
+namespace ideval {
+namespace {
+
+void PrintRecommendations(const SystemProfile& profile) {
+  std::printf("system: %s\n", profile.name.c_str());
+  TextTable table({"recommended metric", "why"});
+  for (const auto& rec : RecommendMetrics(profile)) {
+    table.AddRow({MetricToString(rec.metric), rec.reason});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void Run() {
+  bench::PrintHeader(
+      "T3", "Table 3 — guidelines for selecting metrics",
+      "metric selection is application-dependent; user feedback and "
+      "latency always apply; the novel frontend metrics apply to bursty, "
+      "high-frame-rate interfaces");
+
+  std::printf("Table 3 (full when-to-use catalog):\n");
+  TextTable catalog({"type", "metric", "when to use"});
+  for (const auto& info : AllMetricInfo()) {
+    catalog.AddRow({MetricCategoryToString(info.category),
+                    MetricToString(info.metric), info.when_to_use});
+  }
+  std::printf("%s\n", catalog.ToString().c_str());
+
+  SystemProfile scrolling;
+  scrolling.name = "case study 1: inertial scrolling browser";
+  scrolling.task_based = true;
+  scrolling.speculative_prefetching = true;
+  scrolling.consecutive_query_bursts = true;
+  scrolling.high_frame_rate_device = true;
+  PrintRecommendations(scrolling);
+
+  SystemProfile crossfilter;
+  crossfilter.name = "case study 2: crossfilter over 434k tuples";
+  crossfilter.exploratory = true;
+  crossfilter.large_data = true;
+  crossfilter.high_frame_rate_device = true;
+  crossfilter.consecutive_query_bursts = true;
+  PrintRecommendations(crossfilter);
+
+  SystemProfile dice;
+  dice.name = "DICE-like distributed cube explorer";
+  dice.distributed = true;
+  dice.large_data = true;
+  dice.approximate = true;
+  dice.speculative_prefetching = true;
+  PrintRecommendations(dice);
+
+  SystemProfile icarus;
+  icarus.name = "Icarus-like expert data-completion tool";
+  icarus.domain_specific = true;
+  icarus.task_based = true;
+  icarus.reduces_user_effort = true;
+  icarus.targets_experts = true;
+  PrintRecommendations(icarus);
+
+  std::printf("best practices (§3.3):\n");
+  for (const auto& p : MetricSelectionBestPractices()) {
+    std::printf("  %s\n", p.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

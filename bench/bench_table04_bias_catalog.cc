@@ -1,0 +1,91 @@
+/// Reproduces Table 4: cognitive biases during user studies with their
+/// mitigation measures, plus the Figs. 4–5 study-design decision trees
+/// exercised over representative study goals.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+#include "guidelines/advisor.h"
+#include "guidelines/bias_catalog.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "T4", "Table 4 — cognitive biases during user studies",
+      "participant-side: social desirability, anchoring, halo, attraction; "
+      "experimenter-side: framing, selection, confirmation — each with a "
+      "concrete mitigation");
+
+  TextTable table({"side", "bias", "mitigation"});
+  for (const auto& b : AllBiases()) {
+    table.AddRow({BiasSideToString(b.side), CognitiveBiasToString(b.bias),
+                  b.mitigation});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("threats to external validity (§4.2.2):\n");
+  TextTable threats({"threat", "mitigation"});
+  for (const auto& t : ExternalValidityThreats()) {
+    threats.AddRow({t.name, t.mitigation});
+  }
+  std::printf("%s\n", threats.ToString().c_str());
+
+  std::printf("study-design decisions (Figs. 4-5) for this paper's case "
+              "studies:\n");
+  TextTable design({"study", "setting (Fig. 4)", "structure (Fig. 5)"});
+  {
+    // Case study 2 compares devices -> device-dependent, in-person; the
+    // backend results depend only on interaction sequences -> simulation
+    // is valid for the replay experiments.
+    StudySettingInputs setting;
+    setting.device_dependent = true;
+    StudyStructureInputs structure;
+    structure.interactions_definitive = true;
+    structure.all_navigation_patterns_testable = true;
+    design.AddRow({"crossfilter device study",
+                   StudySettingToString(RecommendStudySetting(setting)
+                                            .setting),
+                   StudyStructureToString(
+                       RecommendStudyStructure(structure).structure)});
+  }
+  {
+    // An exploratory-insight comparison depends on user ability ->
+    // within-subject with counterbalancing.
+    StudySettingInputs setting;
+    setting.comparison_against_control = true;
+    StudyStructureInputs structure;
+    structure.task_depends_on_inherent_ability = true;
+    design.AddRow({"insight-based system comparison",
+                   StudySettingToString(RecommendStudySetting(setting)
+                                            .setting),
+                   StudyStructureToString(
+                       RecommendStudyStructure(structure).structure)});
+  }
+  {
+    // A population-phenomenon graphical-perception study -> remote.
+    StudySettingInputs setting;
+    StudyStructureInputs structure;
+    design.AddRow({"graphical-perception crowd study",
+                   StudySettingToString(RecommendStudySetting(setting)
+                                            .setting),
+                   StudyStructureToString(
+                       RecommendStudyStructure(structure).structure)});
+  }
+  std::printf("%s\n", design.ToString().c_str());
+
+  std::printf("pre-study checklist:\n");
+  for (const auto& line : StudyProcedureChecklist()) {
+    std::printf("  - %s\n", line.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

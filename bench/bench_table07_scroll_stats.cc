@@ -1,0 +1,54 @@
+/// Reproduces Table 7: range, mean and median of the per-user maximum and
+/// average scrolling speed, in pixels/s and tuples/s.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/text_table.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "T7", "Table 7 — statistics for scrolling behaviour",
+      "px/s: max in [1824, 31517] (mean 12556, median 8741), avg in "
+      "[369, 4717]; tuples/s: max in [12, 200] (median 58), avg in [2, 30]");
+
+  std::vector<double> max_px, avg_px, max_tuples, avg_tuples;
+  for (const auto& trace : bench::ScrollTraces()) {
+    const ScrollSpeeds speeds = ComputeScrollSpeeds(trace, 157.0);
+    Summary px(speeds.px_per_s);
+    Summary tuples(speeds.tuples_per_s);
+    max_px.push_back(px.max());
+    avg_px.push_back(px.mean());
+    max_tuples.push_back(tuples.max());
+    avg_tuples.push_back(tuples.mean());
+  }
+  Summary mpx(max_px), apx(avg_px), mt(max_tuples), at(avg_tuples);
+
+  TextTable table({"", "range, mean, median of max scroll speed",
+                   "range, mean, median of avg scroll speed"});
+  table.AddRow({"# pixels / sec", mpx.RangeMeanMedianString(0),
+                apx.RangeMeanMedianString(0)});
+  table.AddRow({"# tuples / sec", mt.RangeMeanMedianString(0),
+                at.RangeMeanMedianString(0)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("paper Table 7 for reference:\n");
+  std::printf("  # pixels / sec : [1824, 31517], 12556, 8741 | [369, 4717], "
+              "1580, 848\n");
+  std::printf("  # tuples / sec : [12, 200], 80, 58 | [2, 30], 10, 5\n\n");
+  std::printf("check: median of max tuples/s = %.0f (paper 58) -> the value "
+              "used as the zero-latency timer-fetch size in Fig. 10\n",
+              mt.median());
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

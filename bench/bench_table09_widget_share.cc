@@ -1,0 +1,53 @@
+/// Reproduces Table 9: the percentage of queries issued through each
+/// interface widget across the 15 composite-interface sessions.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/text_table.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "T9", "Table 9 — percentage of queries per interface widget",
+      "map 62.8%, slider+checkbox 29.9%, button 3.6%, text box 3.6%: the "
+      "map dominates, so prefetching should favour map tiles");
+
+  std::map<WidgetKind, int64_t> counts;
+  int64_t total = 0;
+  for (const auto& trace : bench::ExploreTraces()) {
+    for (const auto& phase : trace.phases) {
+      ++counts[phase.request.widget];
+      ++total;
+    }
+  }
+
+  auto pct = [&](WidgetKind k) {
+    return 100.0 * static_cast<double>(counts[k]) /
+           static_cast<double>(total);
+  };
+  TextTable table({"interface", "map", "slider, checkbox", "button",
+                   "text box"});
+  table.AddRow({"percent", FormatDouble(pct(WidgetKind::kMap), 1) + "%",
+                FormatDouble(pct(WidgetKind::kSlider) +
+                                 pct(WidgetKind::kCheckbox),
+                             1) +
+                    "%",
+                FormatDouble(pct(WidgetKind::kButton), 1) + "%",
+                FormatDouble(pct(WidgetKind::kTextBox), 1) + "%"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("paper Table 9: map 62.8%% | slider,checkbox 29.9%% | "
+              "button 3.6%% | text box 3.6%%  (n=%lld queries here)\n",
+              static_cast<long long>(total));
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// Reproduces Fig. 19 / Table 10: the ranges of latitude and longitude
+/// change of the viewport's bound center between consecutive map requests,
+/// faceted by zoom level 11–14. Deeper zooms move smaller distances,
+/// which sizes the tiles worth prefetching.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/text_table.h"
+
+namespace ideval {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "T10", "Table 10 / Fig. 19 — drag ranges of the bound center per zoom",
+      "lat/lng deltas shrink with depth: zoom 11 ~[-0.10, 0.07] lat and "
+      "[-0.2, 0.2] lng down to zoom 14 ~[-0.015, 0.013] lat");
+
+  std::map<int, std::vector<double>> dlat, dlng;
+  for (const auto& trace : bench::ExploreTraces()) {
+    for (size_t i = 1; i < trace.phases.size(); ++i) {
+      const auto& prev = trace.phases[i - 1].request;
+      const auto& cur = trace.phases[i].request;
+      // Only same-zoom map-to-map transitions are drags.
+      if (cur.widget != WidgetKind::kMap) continue;
+      if (prev.zoom_level != cur.zoom_level) continue;
+      const int zoom = cur.zoom_level;
+      if (zoom < 11 || zoom > 14) continue;
+      const double lat_change =
+          cur.bounds.CenterLat() - prev.bounds.CenterLat();
+      const double lng_change =
+          cur.bounds.CenterLng() - prev.bounds.CenterLng();
+      if (lat_change == 0.0 && lng_change == 0.0) continue;
+      dlat[zoom].push_back(lat_change);
+      dlng[zoom].push_back(lng_change);
+    }
+  }
+
+  TextTable table({"zoom", "latitude range", "longitude range", "# drags"});
+  for (int zoom = 11; zoom <= 14; ++zoom) {
+    Summary lat(dlat[zoom]);
+    Summary lng(dlng[zoom]);
+    table.AddRow({StrFormat("%d", zoom),
+                  StrFormat("[%.3f, %.3f]", lat.min(), lat.max()),
+                  StrFormat("[%.3f, %.3f]", lng.min(), lng.max()),
+                  StrFormat("%zu", lat.count())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("paper Table 10 for reference:\n");
+  std::printf("  11: [-0.10, 0.07]   [-0.2, 0.2]\n");
+  std::printf("  12: [-0.15, 0.07]   [-0.2, 0.2]\n");
+  std::printf("  13: [-0.05, 0.03]   [-0.08, 0.05]\n");
+  std::printf("  14: [-0.015, 0.013] [-0.02, 0.02]\n\n");
+  const double z11 = Summary(dlat[11]).max();
+  const double z14 = Summary(dlat[14]).max();
+  std::printf("check: zoom-14 drags are ~%.0fx smaller than zoom-11 drags "
+              "(paper: ~6x) -> prefetch fewer, finer tiles at depth\n",
+              z11 / std::max(z14, 1e-9));
+}
+
+}  // namespace
+}  // namespace ideval
+
+int main() {
+  ideval::Run();
+  return 0;
+}

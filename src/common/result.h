@@ -1,0 +1,84 @@
+#ifndef IDEVAL_COMMON_RESULT_H_
+#define IDEVAL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ideval {
+
+/// Value-or-error, in the style of `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either a `T` (status OK) or an error `Status`.
+/// Accessing the value of an errored result is a programming error and
+/// asserts in debug builds.
+///
+///     Result<Table> r = MakeMoviesTable(opts);
+///     if (!r.ok()) return r.status();
+///     Table t = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return my_table;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status:
+  /// `return Status::InvalidArgument(...);`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the stored value. Requires `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Shorthand accessors mirroring std::optional.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result`-returning expression to `lhs`, or
+/// propagates its error status.
+#define IDEVAL_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto IDEVAL_CONCAT_(result_, __LINE__) = (expr);  \
+  if (!IDEVAL_CONCAT_(result_, __LINE__).ok())      \
+    return IDEVAL_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(IDEVAL_CONCAT_(result_, __LINE__)).ValueOrDie()
+
+#define IDEVAL_CONCAT_INNER_(a, b) a##b
+#define IDEVAL_CONCAT_(a, b) IDEVAL_CONCAT_INNER_(a, b)
+
+}  // namespace ideval
+
+#endif  // IDEVAL_COMMON_RESULT_H_

@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ideval {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro
+  // authors; guards against poor seeds such as 0.
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % range);
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  while (u <= 1e-300) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian(mu, sigma));
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 1;
+  // Rejection-inversion sampler (Hörmann & Derflinger) is overkill here;
+  // trace sizes are small, so inverse CDF over the harmonic weights is fine
+  // for n up to a few thousand and a rejection loop beyond that.
+  if (n <= 4096) {
+    double total = 0.0;
+    for (int64_t k = 1; k <= n; ++k) total += 1.0 / std::pow(k, s);
+    double u = NextDouble() * total;
+    double acc = 0.0;
+    for (int64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(k, s);
+      if (u <= acc) return k;
+    }
+    return n;
+  }
+  // Simple rejection against the continuous envelope x^-s.
+  while (true) {
+    const double u = NextDouble();
+    const double x =
+        std::pow((std::pow(static_cast<double>(n), 1.0 - s) - 1.0) * u + 1.0,
+                 1.0 / (1.0 - s));
+    const int64_t k = static_cast<int64_t>(x);
+    if (k >= 1 && k <= n) return k;
+  }
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace ideval

@@ -1,0 +1,27 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace ideval {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  const double abs_us = micros_ < 0 ? -static_cast<double>(micros_)
+                                    : static_cast<double>(micros_);
+  if (abs_us < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  } else if (abs_us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  }
+  return buf;
+}
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", seconds());
+  return buf;
+}
+
+}  // namespace ideval

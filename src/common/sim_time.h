@@ -1,0 +1,111 @@
+#ifndef IDEVAL_COMMON_SIM_TIME_H_
+#define IDEVAL_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ideval {
+
+/// A span of simulated time with microsecond resolution.
+///
+/// All latencies, sensing intervals and session durations in ideval are
+/// expressed in simulated time so that experiments are deterministic and
+/// hardware-independent. `Duration` is a thin strong typedef over int64
+/// microseconds with arithmetic and named constructors.
+class Duration {
+ public:
+  constexpr Duration() : micros_(0) {}
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration MillisF(double ms) {
+    return Duration(static_cast<int64_t>(ms * 1000.0));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(micros_ + o.micros_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(micros_ - o.micros_);
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(micros_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const {
+    return Duration(micros_ / k);
+  }
+  Duration& operator+=(Duration o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// "12.3ms" / "4.56s" style rendering for logs and bench tables.
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+/// A point on the simulated timeline (microseconds since session start).
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+
+  static constexpr SimTime FromMicros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime FromMillis(double ms) {
+    return SimTime(static_cast<int64_t>(ms * 1000.0));
+  }
+  static constexpr SimTime FromSeconds(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr SimTime Origin() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(micros_ + d.micros());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(micros_ - d.micros());
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::Micros(micros_ - o.micros_);
+  }
+  SimTime& operator+=(Duration d) {
+    micros_ += d.micros();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_COMMON_SIM_TIME_H_

@@ -1,0 +1,140 @@
+#include "common/streaming_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+void StreamingMeanVar::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double StreamingMeanVar::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double StreamingMeanVar::stddev() const { return std::sqrt(variance()); }
+
+void StreamingMeanVar::Merge(const StreamingMeanVar& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 1e-6, 1.0 - 1e-6)) {
+  warmup_.reserve(5);
+}
+
+void P2Quantile::Add(double value) {
+  ++count_;
+  if (warmup_.size() < 5) {
+    warmup_.push_back(value);
+    if (warmup_.size() == 5) {
+      std::sort(warmup_.begin(), warmup_.end());
+      for (int i = 0; i < 5; ++i) {
+        heights_[static_cast<size_t>(i)] = warmup_[static_cast<size_t>(i)];
+        positions_[static_cast<size_t>(i)] = i + 1;
+      }
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Find the cell k containing the observation and update extremes.
+  size_t k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+  for (size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers toward their desired positions.
+  for (size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double np = positions_[i] + sign;
+      const double q_parab =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) *
+                   (heights_[i + 1] - heights_[i]) /
+                   (positions_[i + 1] - positions_[i]) +
+               (positions_[i + 1] - positions_[i] - sign) *
+                   (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < q_parab && q_parab < heights_[i + 1]) {
+        heights_[i] = q_parab;
+      } else {
+        // Linear fallback.
+        const size_t j = sign > 0.0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (warmup_.size() < 5) {
+    if (warmup_.empty()) return 0.0;
+    std::vector<double> sorted = warmup_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q_ * static_cast<double>(sorted.size() - 1);
+    const size_t i = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    if (i + 1 >= sorted.size()) return sorted.back();
+    return sorted[i] * (1.0 - frac) + sorted[i + 1] * frac;
+  }
+  return heights_[2];
+}
+
+ReservoirSampler::ReservoirSampler(size_t capacity, Rng rng)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_(std::move(rng)) {
+  sample_.reserve(capacity_);
+}
+
+void ReservoirSampler::Add(double value) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  const int64_t j = rng_.UniformInt(0, seen_ - 1);
+  if (j < static_cast<int64_t>(capacity_)) {
+    sample_[static_cast<size_t>(j)] = value;
+  }
+}
+
+}  // namespace ideval

@@ -1,0 +1,87 @@
+#ifndef IDEVAL_COMMON_STREAMING_STATS_H_
+#define IDEVAL_COMMON_STREAMING_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ideval {
+
+/// Online mean/variance (Welford's algorithm). Long interactive sessions
+/// produce unbounded metric streams (per-event latencies, intervals);
+/// these accumulators keep O(1) state where `Summary` would buffer
+/// everything.
+class StreamingMeanVar {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than one sample.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel collection).
+  void Merge(const StreamingMeanVar& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// P² (piecewise-parabolic) single-quantile estimator — O(1) space
+/// estimation of a fixed quantile over a stream (Jain & Chlamtac 1985).
+/// Used to report p50/p90 latency in never-ending sessions without
+/// retaining every observation.
+class P2Quantile {
+ public:
+  /// Estimates the `q`-quantile, q in (0, 1).
+  explicit P2Quantile(double q);
+
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+
+  /// Current estimate. Exact until five samples have arrived; approximate
+  /// thereafter.
+  double Estimate() const;
+
+ private:
+  double q_;
+  int64_t count_ = 0;
+  std::array<double, 5> heights_{};   // Marker heights.
+  std::array<double, 5> positions_{}; // Actual marker positions.
+  std::array<double, 5> desired_{};   // Desired marker positions.
+  std::array<double, 5> increments_{};
+  std::vector<double> warmup_;        // First five samples.
+};
+
+/// Fixed-size uniform reservoir sample of a stream (Vitter's Algorithm R).
+/// Backs sampling-based approximations over data that arrives as a stream
+/// (e.g. trace events) rather than a table.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, Rng rng);
+
+  void Add(double value);
+
+  int64_t seen() const { return seen_; }
+  const std::vector<double>& sample() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  int64_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_COMMON_STREAMING_STATS_H_

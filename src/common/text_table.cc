@@ -1,0 +1,92 @@
+#include "common/text_table.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ideval {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  // Compute column widths over header + rows.
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto render_row = [&widths](const std::vector<std::string>& row,
+                              std::string* out) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out->append(cell);
+      if (i + 1 < widths.size()) {
+        out->append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    out->push_back('\n');
+  };
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  std::string out;
+  render_row(header_, &out);
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      out.append(total, '-');
+      out.push_back('\n');
+    } else {
+      render_row(r, &out);
+    }
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiBar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || width <= 0) return std::string();
+  double frac = value / max_value;
+  if (frac < 0.0) frac = 0.0;
+  if (frac > 1.0) frac = 1.0;
+  const int n = static_cast<int>(frac * width + 0.5);
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+}  // namespace ideval

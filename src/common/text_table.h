@@ -1,0 +1,51 @@
+#ifndef IDEVAL_COMMON_TEXT_TABLE_H_
+#define IDEVAL_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ideval {
+
+/// Column-aligned plain-text table used by every bench binary to print the
+/// paper's tables and figure series in a stable, diff-able format.
+///
+///     TextTable t({"# tuples fetched", "12", "30", "58", "80"});
+///     t.AddRow({"# users (event)", "15", "15", "15", "14"});
+///     std::cout << t.ToString();
+class TextTable {
+ public:
+  /// Creates a table with the given header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // Empty vector = separator.
+};
+
+/// printf-style formatting into a std::string (vsnprintf under the hood).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Renders a sparkline-ish horizontal bar of `value` relative to `max_value`
+/// using '#' characters, `width` wide — used for ASCII renderings of the
+/// paper's figures.
+std::string AsciiBar(double value, double max_value, int width = 40);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,307 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/text_table.h"
+
+namespace ideval {
+
+namespace {
+
+const char* const kFirstNames[] = {
+    "Ava",    "Noah",  "Mia",   "Liam",  "Zoe",    "Ethan", "Ivy",
+    "Mason",  "Luna",  "Caleb", "Nora",  "Felix",  "Iris",  "Hugo",
+    "Clara",  "Oscar", "Ruth",  "Jonas", "Elena",  "Marco", "Dara",
+    "Kenji",  "Sofia", "Ravi",  "Anya",  "Tomas",  "Lena",  "Omar",
+    "Priya",  "Viktor"};
+
+const char* const kLastNames[] = {
+    "Archer",   "Brooks",  "Castell", "Dawson",  "Ellison", "Fontaine",
+    "Grayson",  "Holt",    "Ibarra",  "Jensen",  "Kovacs",  "Larsen",
+    "Mercer",   "Novak",   "Okafor",  "Petrov",  "Quinn",   "Rhodes",
+    "Sorensen", "Takeda",  "Ueda",    "Vance",   "Whitaker", "Xu",
+    "Yamada",   "Zielinski"};
+
+const char* const kGenres[] = {"Drama",    "Comedy", "Thriller", "Sci-Fi",
+                               "Romance",  "Action", "Horror",   "Documentary",
+                               "Animation", "Crime"};
+
+const char* const kTitleAdjectives[] = {
+    "Silent", "Crimson", "Forgotten", "Endless", "Broken",  "Golden",
+    "Hidden", "Last",    "Burning",   "Distant", "Hollow",  "Electric",
+    "Frozen", "Wandering", "Midnight", "Paper",  "Glass",   "Iron"};
+
+const char* const kTitleNouns[] = {
+    "Horizon", "Garden",  "Empire", "River",   "Machine", "Symphony",
+    "Harbor",  "Letter",  "Winter", "Promise", "Shadow",  "Voyage",
+    "Orchard", "Signal",  "Mirror", "Kingdom", "Arcade",  "Meridian"};
+
+const char* const kPlotVerbs[] = {"discovers", "loses",   "inherits",
+                                  "chases",    "betrays", "rescues",
+                                  "forgets",   "rebuilds"};
+
+const char* const kPlotObjects[] = {
+    "a forgotten city",  "an impossible machine", "her estranged family",
+    "the last archive",  "a rival's secret",      "an island that moves",
+    "the final broadcast", "a door between worlds"};
+
+const char* const kRoomTypes[] = {"Entire home/apt", "Private room",
+                                  "Shared room", "Hotel room"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&arr)[N]) {
+  return arr[rng->UniformInt(0, static_cast<int64_t>(N) - 1)];
+}
+
+}  // namespace
+
+Result<TablePtr> MakeMoviesTable(const MoviesOptions& options) {
+  if (options.num_rows <= 0) {
+    return Status::InvalidArgument("MakeMoviesTable: num_rows must be > 0");
+  }
+  Rng rng(options.seed);
+  Schema schema({{"id", DataType::kInt64},
+                 {"title", DataType::kString},
+                 {"year", DataType::kInt64},
+                 {"director", DataType::kString},
+                 {"genre", DataType::kString},
+                 {"plot", DataType::kString},
+                 {"rating", DataType::kDouble},
+                 {"poster", DataType::kString}});
+  TableBuilder builder("imdb", schema);
+
+  // "Top rated" list: ratings descend from ~9.3 with light noise, like the
+  // IMDB top chart the paper scrolled through.
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(options.num_rows);
+    const double rating =
+        9.3 - 2.5 * frac + rng.Uniform(-0.04, 0.04);
+    const std::string title =
+        StrFormat("The %s %s", Pick(&rng, kTitleAdjectives),
+                  Pick(&rng, kTitleNouns));
+    const std::string director = StrFormat(
+        "%s %s", Pick(&rng, kFirstNames), Pick(&rng, kLastNames));
+    // Genre popularity is Zipfian: a few genres dominate the top list.
+    const char* genre =
+        kGenres[rng.Zipf(static_cast<int64_t>(std::size(kGenres)), 1.1) - 1];
+    const std::string plot =
+        StrFormat("A %s %s %s.", Pick(&rng, kTitleAdjectives),
+                  Pick(&rng, kTitleNouns), Pick(&rng, kPlotVerbs)) +
+        std::string(" It ends with ") + Pick(&rng, kPlotObjects) + ".";
+    const int64_t year = rng.UniformInt(1941, 2018);
+    const std::string poster =
+        StrFormat("https://img.example/poster/%06lld.jpg",
+                  static_cast<long long>(i + 1));
+    builder.MustAppendRow({Value(i + 1), Value(title), Value(year),
+                           Value(director), Value(genre), Value(plot),
+                           Value(rating), Value(poster)});
+  }
+  return std::move(builder).Finish();
+}
+
+Result<MovieJoinTables> SplitMoviesForJoin(const TablePtr& movies) {
+  if (movies == nullptr) {
+    return Status::InvalidArgument("SplitMoviesForJoin: null table");
+  }
+  IDEVAL_ASSIGN_OR_RETURN(const Column* id_col, movies->ColumnByName("id"));
+  IDEVAL_ASSIGN_OR_RETURN(const Column* rating_col,
+                          movies->ColumnByName("rating"));
+
+  Schema ratings_schema(
+      {{"id", DataType::kInt64}, {"rating", DataType::kDouble}});
+  TableBuilder ratings_builder("imdbrating", ratings_schema);
+  for (size_t r = 0; r < movies->num_rows(); ++r) {
+    ratings_builder.MustAppendRow(
+        {id_col->Get(r), rating_col->Get(r)});
+  }
+
+  std::vector<Field> movie_fields;
+  std::vector<size_t> movie_cols;
+  for (size_t c = 0; c < movies->schema().num_fields(); ++c) {
+    const Field& f = movies->schema().field(c);
+    if (f.name == "rating") continue;
+    movie_fields.push_back(f);
+    movie_cols.push_back(c);
+  }
+  TableBuilder movie_builder("movie", Schema(movie_fields));
+  for (size_t r = 0; r < movies->num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(movie_cols.size());
+    for (size_t c : movie_cols) row.push_back(movies->At(r, c));
+    movie_builder.MustAppendRow(row);
+  }
+
+  MovieJoinTables out;
+  IDEVAL_ASSIGN_OR_RETURN(out.ratings, std::move(ratings_builder).Finish());
+  IDEVAL_ASSIGN_OR_RETURN(out.movies, std::move(movie_builder).Finish());
+  return out;
+}
+
+Result<TablePtr> MakeRoadNetworkTable(const RoadNetworkOptions& options) {
+  if (options.num_rows <= 0) {
+    return Status::InvalidArgument(
+        "MakeRoadNetworkTable: num_rows must be > 0");
+  }
+  if (!(options.x_min < options.x_max) || !(options.y_min < options.y_max) ||
+      !(options.z_min < options.z_max)) {
+    return Status::InvalidArgument(
+        "MakeRoadNetworkTable: degenerate value ranges");
+  }
+  Rng rng(options.seed);
+  Schema schema({{"x", DataType::kDouble},
+                 {"y", DataType::kDouble},
+                 {"z", DataType::kDouble}});
+  TableBuilder builder("dataroad", schema);
+  Column* xs = builder.mutable_column(0);
+  Column* ys = builder.mutable_column(1);
+  Column* zs = builder.mutable_column(2);
+
+  const double x_span = options.x_max - options.x_min;
+  const double y_span = options.y_max - options.y_min;
+  const double z_span = options.z_max - options.z_min;
+
+  int64_t emitted = 0;
+  while (emitted < options.num_rows) {
+    // Start a new "road": pick an anchor, then random-walk along a heading
+    // with small altitude drift. This yields the clumped marginal
+    // distributions (towns, coastal flats) that make the 20-bin histograms
+    // non-uniform, as in the UCI original.
+    double x = options.x_min + x_span * rng.NextDouble();
+    double y = options.y_min + y_span * rng.NextDouble();
+    // Altitude anchored low near the "coast" (western x) and higher inland.
+    double z = options.z_min +
+               z_span * std::pow(rng.NextDouble(), 2.0) *
+                   (0.4 + 0.6 * (x - options.x_min) / x_span);
+    double heading = rng.Uniform(0.0, 2.0 * M_PI);
+    const int64_t segment_len = std::max<int64_t>(
+        8, static_cast<int64_t>(rng.Exponential(
+               static_cast<double>(options.points_per_road))));
+    for (int64_t i = 0; i < segment_len && emitted < options.num_rows; ++i) {
+      xs->AppendDouble(std::clamp(x, options.x_min, options.x_max));
+      ys->AppendDouble(std::clamp(y, options.y_min, options.y_max));
+      zs->AppendDouble(std::clamp(z, options.z_min, options.z_max));
+      ++emitted;
+      heading += rng.Gaussian(0.0, 0.18);
+      const double step = 2.2e-4 * (0.5 + rng.NextDouble());
+      x += step * std::cos(heading) * (x_span / y_span);
+      y += step * std::sin(heading);
+      z += rng.Gaussian(0.0, 0.35);
+      if (x < options.x_min || x > options.x_max || y < options.y_min ||
+          y > options.y_max) {
+        break;  // Road left the bounding box; start a new one.
+      }
+    }
+  }
+  return std::move(builder).Finish();
+}
+
+Result<std::vector<GeoCluster>> FindListingClusters(
+    const TablePtr& listings, int k, double cell_degrees) {
+  if (listings == nullptr) {
+    return Status::InvalidArgument("FindListingClusters: null table");
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("FindListingClusters: k must be > 0");
+  }
+  if (cell_degrees <= 0.0) {
+    return Status::InvalidArgument(
+        "FindListingClusters: cell_degrees must be > 0");
+  }
+  IDEVAL_ASSIGN_OR_RETURN(const Column* lat, listings->ColumnByName("lat"));
+  IDEVAL_ASSIGN_OR_RETURN(const Column* lng, listings->ColumnByName("lng"));
+
+  struct Cell {
+    double lat_sum = 0.0;
+    double lng_sum = 0.0;
+    int64_t count = 0;
+  };
+  std::map<std::pair<int64_t, int64_t>, Cell> grid;
+  const size_t n = listings->num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    const double la = lat->GetDouble(row);
+    const double lo = lng->GetDouble(row);
+    Cell& cell = grid[{static_cast<int64_t>(std::floor(la / cell_degrees)),
+                       static_cast<int64_t>(std::floor(lo / cell_degrees))}];
+    cell.lat_sum += la;
+    cell.lng_sum += lo;
+    ++cell.count;
+  }
+  std::vector<GeoCluster> clusters;
+  clusters.reserve(grid.size());
+  for (const auto& [_, cell] : grid) {
+    clusters.push_back(GeoCluster{
+        cell.lat_sum / static_cast<double>(cell.count),
+        cell.lng_sum / static_cast<double>(cell.count), cell.count});
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const GeoCluster& a, const GeoCluster& b) {
+              return a.count > b.count;
+            });
+  if (static_cast<int>(clusters.size()) > k) {
+    clusters.resize(static_cast<size_t>(k));
+  }
+  return clusters;
+}
+
+Result<TablePtr> MakeListingsTable(const ListingsOptions& options) {
+  if (options.num_rows <= 0) {
+    return Status::InvalidArgument("MakeListingsTable: num_rows must be > 0");
+  }
+  if (options.num_cities <= 0) {
+    return Status::InvalidArgument(
+        "MakeListingsTable: num_cities must be > 0");
+  }
+  Rng rng(options.seed);
+  Schema schema({{"id", DataType::kInt64},
+                 {"lat", DataType::kDouble},
+                 {"lng", DataType::kDouble},
+                 {"price", DataType::kDouble},
+                 {"guests", DataType::kInt64},
+                 {"room_type", DataType::kString},
+                 {"rating", DataType::kDouble},
+                 {"min_nights", DataType::kInt64}});
+  TableBuilder builder("listings", schema);
+
+  // City centers with Zipfian popularity: most listings cluster in the top
+  // few metros, which is what makes map zooming informative.
+  struct City {
+    double lat, lng, spread;
+  };
+  std::vector<City> cities;
+  cities.reserve(static_cast<size_t>(options.num_cities));
+  for (int i = 0; i < options.num_cities; ++i) {
+    cities.push_back(City{rng.Uniform(options.lat_min, options.lat_max),
+                          rng.Uniform(options.lng_min, options.lng_max),
+                          rng.Uniform(0.05, 0.35)});
+  }
+
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    const size_t c = static_cast<size_t>(
+        rng.Zipf(options.num_cities, 1.0) - 1);
+    const City& city = cities[c];
+    const double lat =
+        std::clamp(city.lat + rng.Gaussian(0.0, city.spread),
+                   options.lat_min, options.lat_max);
+    const double lng =
+        std::clamp(city.lng + rng.Gaussian(0.0, city.spread * 1.3),
+                   options.lng_min, options.lng_max);
+    const double price = std::clamp(rng.LogNormal(4.3, 0.6), 10.0, 2000.0);
+    const int64_t guests = rng.UniformInt(1, 8);
+    const char* room = Pick(&rng, kRoomTypes);
+    const double rating = std::clamp(rng.Gaussian(4.6, 0.35), 1.0, 5.0);
+    const int64_t min_nights = 1 + rng.Zipf(14, 1.4) - 1;
+    builder.MustAppendRow({Value(i + 1), Value(lat), Value(lng), Value(price),
+                           Value(guests), Value(std::string(room)),
+                           Value(rating), Value(min_nights)});
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace ideval

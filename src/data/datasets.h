@@ -1,0 +1,100 @@
+#ifndef IDEVAL_DATA_DATASETS_H_
+#define IDEVAL_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace ideval {
+
+/// Options for the §6 movie dataset (stand-in for the IMDB top-4000 dump).
+///
+/// The inertial-scrolling case study only exercises cardinality, tuple
+/// width and LIMIT/OFFSET access, so a synthetic table with the same shape
+/// (6 display attributes + id + poster URL, Zipfian genre skew, ratings
+/// descending like a "top rated" list) preserves the workload.
+struct MoviesOptions {
+  int64_t num_rows = 4000;
+  uint64_t seed = 61;  // §6.
+};
+
+/// Builds the "imdb" table: id:int64, title:string, year:int64,
+/// director:string, genre:string, plot:string, rating:double,
+/// poster:string.
+Result<TablePtr> MakeMoviesTable(const MoviesOptions& options);
+
+/// Splits a movies table into the two stream sources of §6's join query Q2:
+/// "imdbrating"(id, rating) and "movie"(id, title, year, director, genre,
+/// plot, poster).
+struct MovieJoinTables {
+  TablePtr ratings;
+  TablePtr movies;
+};
+Result<MovieJoinTables> SplitMoviesForJoin(const TablePtr& movies);
+
+/// Options for the §7 road-network dataset (stand-in for the UCI 3-D road
+/// network of North Jutland).
+///
+/// Matches the original's cardinality (434,874 tuples) and value ranges
+/// (x/longitude in [8.146, 11.26], y/latitude in [56.582, 57.774],
+/// z/altitude in [-8.608, 137.361]); points are generated as random-walk
+/// "roads" so that the spatial correlation — and therefore range-filter
+/// selectivities and histogram shapes — resembles real road data rather
+/// than uniform noise.
+struct RoadNetworkOptions {
+  int64_t num_rows = 434874;
+  uint64_t seed = 71;  // §7.
+  double x_min = 8.146;
+  double x_max = 11.2616367163;
+  double y_min = 56.582;
+  double y_max = 57.774;
+  double z_min = -8.608;
+  double z_max = 137.361;
+  /// Average number of points per generated road segment walk.
+  int64_t points_per_road = 120;
+};
+
+/// Builds the "dataroad" table: x:double, y:double, z:double.
+Result<TablePtr> MakeRoadNetworkTable(const RoadNetworkOptions& options);
+
+/// Options for the §8 accommodation-listings dataset (stand-in for the
+/// Airbnb search backend).
+///
+/// The composite-interface case study issues map-viewport + attribute
+/// filters; listings are clustered around a handful of "cities" so that
+/// zooming and dragging change result cardinalities the way a real booking
+/// site does.
+struct ListingsOptions {
+  int64_t num_rows = 50000;
+  uint64_t seed = 81;  // §8.
+  int num_cities = 12;
+  double lat_min = 27.7;
+  double lat_max = 36.8;
+  double lng_min = -91.1;
+  double lng_max = -82.1;
+};
+
+/// Builds the "listings" table: id:int64, lat:double, lng:double,
+/// price:double, guests:int64, room_type:string, rating:double,
+/// min_nights:int64.
+Result<TablePtr> MakeListingsTable(const ListingsOptions& options);
+
+/// A geographic density cluster of listings ("city").
+struct GeoCluster {
+  double lat = 0.0;
+  double lng = 0.0;
+  int64_t count = 0;
+};
+
+/// Finds the `k` densest clusters in a listings-style table by counting
+/// rows on a coarse grid (`cell_degrees` per cell) and returning the cell
+/// centroids, densest first. Useful for deriving realistic destination
+/// presets: vacation searches start where the inventory is.
+Result<std::vector<GeoCluster>> FindListingClusters(
+    const TablePtr& listings, int k, double cell_degrees = 0.5);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_DATA_DATASETS_H_

@@ -1,0 +1,150 @@
+#include "device/device_model.h"
+
+#include <cmath>
+
+namespace ideval {
+
+const char* DeviceTypeToString(DeviceType type) {
+  switch (type) {
+    case DeviceType::kMouse:
+      return "mouse";
+    case DeviceType::kTouchTrackpad:
+      return "trackpad";
+    case DeviceType::kTouchTablet:
+      return "touch";
+    case DeviceType::kLeapMotion:
+      return "leap motion";
+  }
+  return "unknown";
+}
+
+DeviceSpec DeviceModel::Spec(DeviceType type) {
+  DeviceSpec s;
+  s.type = type;
+  switch (type) {
+    case DeviceType::kMouse:
+      // 60 Hz toolkit events, broad interval bell (Fig. 14), sub-pixel
+      // noise: friction and the desk surface make the mouse accurate.
+      s.sensing_rate_hz = 60.0;
+      s.interval_spread = 0.30;
+      s.jitter_std = 0.7;
+      s.wander_std = 0.0;
+      s.emits_when_still = false;
+      s.fitts_a = 0.10;
+      s.fitts_b = 0.15;
+      s.motion_threshold = 1.0;
+      break;
+    case DeviceType::kTouchTrackpad:
+      // §6's scrolling device; similar regime to touch.
+      s.sensing_rate_hz = 60.0;
+      s.interval_spread = 0.28;
+      s.jitter_std = 1.5;
+      s.wander_std = 0.0;
+      s.emits_when_still = false;
+      s.fitts_a = 0.08;
+      s.fitts_b = 0.18;
+      s.motion_threshold = 1.0;
+      break;
+    case DeviceType::kTouchTablet:
+      // iPad: 60 Hz (§3.1.2 notes newer panels reach 120 Hz), fat-finger
+      // noise larger than mouse but still friction-anchored.
+      s.sensing_rate_hz = 60.0;
+      s.interval_spread = 0.28;
+      s.jitter_std = 2.0;
+      s.wander_std = 0.0;
+      s.emits_when_still = false;
+      s.fitts_a = 0.05;
+      s.fitts_b = 0.20;
+      s.motion_threshold = 1.0;
+      break;
+    case DeviceType::kLeapMotion:
+      // Mid-air: tight 20–25 ms interval peak (Fig. 14), strong tremor
+      // and drift (Fig. 11c), and no friction — it keeps emitting while
+      // the user tries to dwell, which is what floods the backend.
+      s.sensing_rate_hz = 45.0;
+      s.interval_spread = 0.06;
+      s.jitter_std = 4.0;
+      s.wander_std = 14.0;
+      s.wander_reversion = 2.5;
+      s.emits_when_still = true;
+      s.fitts_a = 0.30;
+      s.fitts_b = 0.35;
+      s.motion_threshold = 1.0;
+      break;
+  }
+  return s;
+}
+
+DeviceModel::DeviceModel(DeviceType type, Rng rng)
+    : DeviceModel(Spec(type), std::move(rng)) {}
+
+DeviceModel::DeviceModel(DeviceSpec spec, Rng rng)
+    : spec_(spec), rng_(std::move(rng)) {}
+
+Duration DeviceModel::NextSampleInterval() {
+  const double nominal_s = 1.0 / spec_.sensing_rate_hz;
+  double s = nominal_s * (1.0 + spec_.interval_spread * rng_.Gaussian());
+  const double floor_s = nominal_s * 0.4;
+  if (s < floor_s) s = floor_s;
+  return Duration::Seconds(s);
+}
+
+PointerTrace DeviceModel::SamplePath(
+    const IntendedPath& path, SimTime t0, SimTime t1,
+    const std::function<bool(SimTime)>& intended_moving) {
+  PointerTrace trace;
+  const double nominal_s = 1.0 / spec_.sensing_rate_hz;
+  for (SimTime t = t0; t <= t1; t += NextSampleInterval()) {
+    const auto [ix, iy] = path(t);
+    const bool moving = intended_moving(t);
+    // Slow Ornstein–Uhlenbeck drift (frictionless wander).
+    if (spec_.wander_std > 0.0) {
+      const double dt = nominal_s;
+      const double k = std::exp(-spec_.wander_reversion * dt);
+      const double eq_std =
+          spec_.wander_std * std::sqrt(1.0 - k * k);
+      wander_x_ = wander_x_ * k + rng_.Gaussian(0.0, eq_std);
+      wander_y_ = wander_y_ * k + rng_.Gaussian(0.0, eq_std);
+    }
+    PointerSample s;
+    s.time = t;
+    s.intended_motion = moving;
+    const bool noisy = moving || spec_.emits_when_still;
+    const double jitter = noisy ? spec_.jitter_std : spec_.jitter_std * 0.1;
+    s.x = ix + wander_x_ + rng_.Gaussian(0.0, jitter);
+    s.y = iy + wander_y_ + rng_.Gaussian(0.0, jitter);
+    trace.push_back(s);
+  }
+  return trace;
+}
+
+PointerTrace DeviceModel::SamplePath(const IntendedPath& path, SimTime t0,
+                                     SimTime t1) {
+  return SamplePath(path, t0, t1, [](SimTime) { return true; });
+}
+
+Duration DeviceModel::FittsMovementTime(double distance, double width) const {
+  const double d = distance < 0.0 ? -distance : distance;
+  const double w = width <= 0.0 ? 1.0 : width;
+  const double index_of_difficulty = std::log2(d / w + 1.0);
+  return Duration::Seconds(spec_.fitts_a + spec_.fitts_b * index_of_difficulty);
+}
+
+int64_t CountMotionEvents(const PointerTrace& trace, double threshold) {
+  if (trace.empty()) return 0;
+  int64_t events = 0;
+  double last_x = trace[0].x;
+  double last_y = trace[0].y;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    const double dx = trace[i].x - last_x;
+    const double dy = trace[i].y - last_y;
+    if (std::sqrt(dx * dx + dy * dy) >= threshold) {
+      ++events;
+      last_x = trace[i].x;
+      last_y = trace[i].y;
+    }
+  }
+  return events;
+}
+
+}  // namespace ideval

@@ -1,0 +1,113 @@
+#ifndef IDEVAL_DEVICE_DEVICE_MODEL_H_
+#define IDEVAL_DEVICE_DEVICE_MODEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// Input devices studied by the paper's case studies (§2.1, §7).
+enum class DeviceType {
+  kMouse,          ///< Desktop mouse (§7).
+  kTouchTrackpad,  ///< MacBook trackpad with inertial scrolling (§6).
+  kTouchTablet,    ///< iPad touch (§7).
+  kLeapMotion,     ///< Mid-air gesture sensor (§7).
+};
+
+const char* DeviceTypeToString(DeviceType type);
+
+/// Physical characteristics of a device. Different sensing rates directly
+/// set the query-issuing frequency (§2.1), and the absence of friction on
+/// gestural devices makes the interaction "highly variable and sensitive"
+/// (§2.3) — captured here as jitter magnitude plus whether the device keeps
+/// emitting motion while the user tries to hold still.
+struct DeviceSpec {
+  DeviceType type = DeviceType::kMouse;
+  /// Nominal event sensing rate.
+  double sensing_rate_hz = 60.0;
+  /// Relative spread of the inter-sample interval (gives Fig. 14's broad
+  /// bell for mouse/touch vs the tight 20–25 ms peak for Leap Motion).
+  double interval_spread = 0.25;
+  /// White positional noise per sample (pixels or millimetres).
+  double jitter_std = 1.0;
+  /// Ornstein–Uhlenbeck wander: magnitude and mean-reversion rate of the
+  /// slow drift component visible in Fig. 11(c).
+  double wander_std = 0.0;
+  double wander_reversion = 8.0;
+  /// True for frictionless devices that cannot hold a point steady: motion
+  /// events keep firing during dwell (unintended queries, §2.3).
+  bool emits_when_still = false;
+  /// Fitts'-law coefficients MT = a + b * log2(D/W + 1), seconds.
+  double fitts_a = 0.1;
+  double fitts_b = 0.15;
+  /// Pointer-movement threshold (same units as jitter) below which the
+  /// toolkit suppresses a move event.
+  double motion_threshold = 0.5;
+};
+
+/// One sampled pointer position.
+struct PointerSample {
+  SimTime time;
+  double x = 0.0;
+  double y = 0.0;
+  /// True if the user was intentionally moving (vs dwelling) — ground
+  /// truth the noisy trace analyses can be compared against.
+  bool intended_motion = false;
+};
+
+/// A full pointer trace.
+using PointerTrace = std::vector<PointerSample>;
+
+/// The user's intended pointer position at time `t`.
+using IntendedPath = std::function<std::pair<double, double>(SimTime)>;
+
+/// Simulates a pointing device: samples an intended path at the device's
+/// (jittered) sensing rate and perturbs it with device noise.
+class DeviceModel {
+ public:
+  /// Calibrated spec for each device, matching the traces of Fig. 11 and
+  /// the interval histograms of Fig. 14.
+  static DeviceSpec Spec(DeviceType type);
+
+  DeviceModel(DeviceType type, Rng rng);
+  DeviceModel(DeviceSpec spec, Rng rng);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Samples `path` over [t0, t1]. `intended_moving(t)` tells the model
+  /// whether the user is deliberately moving at `t`; during dwell, devices
+  /// with friction hold position (no samples beyond threshold), while
+  /// frictionless ones keep wandering.
+  PointerTrace SamplePath(const IntendedPath& path, SimTime t0, SimTime t1,
+                          const std::function<bool(SimTime)>& intended_moving);
+
+  /// Convenience overload: the whole span counts as intended motion.
+  PointerTrace SamplePath(const IntendedPath& path, SimTime t0, SimTime t1);
+
+  /// Fitts'-law movement time for amplitude `distance` and target width
+  /// `width` (§4.1.3 simulation guidance).
+  Duration FittsMovementTime(double distance, double width) const;
+
+  /// Draws the next inter-sample interval (jittered around the nominal
+  /// sensing period).
+  Duration NextSampleInterval();
+
+ private:
+  DeviceSpec spec_;
+  Rng rng_;
+  double wander_x_ = 0.0;
+  double wander_y_ = 0.0;
+};
+
+/// Counts motion events a toolkit would emit for `trace`: one event per
+/// sample whose displacement from the previously emitted position exceeds
+/// `threshold`. This is what turns device jitter into unintended queries.
+int64_t CountMotionEvents(const PointerTrace& trace, double threshold);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_DEVICE_DEVICE_MODEL_H_

@@ -1,0 +1,112 @@
+#include "device/klm.h"
+
+namespace ideval {
+
+Result<std::vector<KlmOp>> ParseKlm(const std::string& ops) {
+  std::vector<KlmOp> out;
+  out.reserve(ops.size());
+  for (char c : ops) {
+    switch (c) {
+      case 'K':
+        out.push_back(KlmOp::kKeystroke);
+        break;
+      case 'P':
+        out.push_back(KlmOp::kPoint);
+        break;
+      case 'H':
+        out.push_back(KlmOp::kHome);
+        break;
+      case 'M':
+        out.push_back(KlmOp::kMental);
+        break;
+      case 'B':
+        out.push_back(KlmOp::kButtonPress);
+        break;
+      case 'D':
+        out.push_back(KlmOp::kDraw);
+        break;
+      case ' ':
+      case '\t':
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unknown KLM operator '") + c + "'");
+    }
+  }
+  return out;
+}
+
+KlmParams KlmParams::ForDevice(DeviceType device) {
+  KlmParams p;
+  p.device = device;
+  switch (device) {
+    case DeviceType::kMouse:
+      break;  // Classic KLM constants.
+    case DeviceType::kTouchTrackpad:
+      p.home = Duration::MillisF(200);  // Hands stay near the keyboard.
+      break;
+    case DeviceType::kTouchTablet:
+      // Touch KLM variants (El Batran & Dunlop): no homing, faster taps.
+      p.home = Duration::MillisF(100);
+      p.keystroke = Duration::MillisF(280);  // On-screen keyboard.
+      p.button_press = Duration::MillisF(80);
+      break;
+    case DeviceType::kLeapMotion:
+      // Mid-air: no surfaces to home to, but selection dwell is slow and
+      // drawing is imprecise.
+      p.home = Duration::MillisF(150);
+      p.button_press = Duration::MillisF(350);  // Pinch/dwell select.
+      p.draw_per_segment = Duration::MillisF(1400);
+      break;
+  }
+  return p;
+}
+
+Result<Duration> KlmEstimate(const std::string& ops,
+                             const KlmParams& params) {
+  IDEVAL_ASSIGN_OR_RETURN(std::vector<KlmOp> sequence, ParseKlm(ops));
+  DeviceModel device(params.device, Rng(1));
+  const Duration point_time = device.FittsMovementTime(
+      params.point_distance, params.point_width);
+  Duration total;
+  for (KlmOp op : sequence) {
+    switch (op) {
+      case KlmOp::kKeystroke:
+        total += params.keystroke;
+        break;
+      case KlmOp::kPoint:
+        total += point_time;
+        break;
+      case KlmOp::kHome:
+        total += params.home;
+        break;
+      case KlmOp::kMental:
+        total += params.mental;
+        break;
+      case KlmOp::kButtonPress:
+        total += params.button_press;
+        break;
+      case KlmOp::kDraw:
+        total += params.draw_per_segment;
+        break;
+    }
+  }
+  return total;
+}
+
+Result<Duration> KlmEstimate(const std::string& ops, DeviceType device) {
+  return KlmEstimate(ops, KlmParams::ForDevice(device));
+}
+
+std::string KlmSequenceForSliderAdjust() { return "MPBDB"; }
+
+std::string KlmSequenceForTextSearch(int characters) {
+  std::string seq = "MH";
+  for (int i = 0; i < characters; ++i) seq += 'K';
+  seq += 'K';  // Enter.
+  return seq;
+}
+
+std::string KlmSequenceForButton() { return "PB"; }
+
+}  // namespace ideval

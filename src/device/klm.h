@@ -1,0 +1,64 @@
+#ifndef IDEVAL_DEVICE_KLM_H_
+#define IDEVAL_DEVICE_KLM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "device/device_model.h"
+
+namespace ideval {
+
+/// Keystroke-Level Model operators (Card, Moran & Newell; §4.1.3 lists
+/// KLM/GOMS among the HCI models used to time simulated interactions).
+enum class KlmOp {
+  kKeystroke,      ///< K — press a key or button.
+  kPoint,          ///< P — point at a target (device-specific, Fitts-based).
+  kHome,           ///< H — move hands between keyboard and device.
+  kMental,         ///< M — mental preparation.
+  kButtonPress,    ///< B — press/release a pointing-device button.
+  kDraw,           ///< D — draw a straight segment.
+};
+
+/// Parses a classic KLM operator string ("MPBK" etc.). Unknown characters
+/// error; whitespace is ignored.
+Result<std::vector<KlmOp>> ParseKlm(const std::string& ops);
+
+/// Per-device KLM parameters. The pointing time uses the device's Fitts
+/// coefficients for a canonical target (`point_distance`/`point_width`),
+/// matching the "different versions of the models for different input
+/// modes" the paper cites.
+struct KlmParams {
+  Duration keystroke = Duration::MillisF(200);
+  Duration home = Duration::MillisF(400);
+  Duration mental = Duration::MillisF(1350);
+  Duration button_press = Duration::MillisF(100);
+  Duration draw_per_segment = Duration::MillisF(900);
+  double point_distance = 300.0;
+  double point_width = 20.0;
+  DeviceType device = DeviceType::kMouse;
+
+  static KlmParams ForDevice(DeviceType device);
+};
+
+/// Total time estimate for an operator sequence on a device.
+Result<Duration> KlmEstimate(const std::string& ops, const KlmParams& params);
+
+/// Convenience: estimate with the device's default parameters.
+Result<Duration> KlmEstimate(const std::string& ops, DeviceType device);
+
+/// Standard operator sequences for the interface actions the case studies
+/// simulate; used to sanity-check the behaviour models' pacing.
+///
+///   slider adjustment:   M P B D B   (think, acquire handle, drag)
+///   text search:         M H K*n K   (think, home to keyboard, type)
+///   zoom button:         P B
+///   checkbox:            P B
+std::string KlmSequenceForSliderAdjust();
+std::string KlmSequenceForTextSearch(int characters);
+std::string KlmSequenceForButton();
+
+}  // namespace ideval
+
+#endif  // IDEVAL_DEVICE_KLM_H_

@@ -1,0 +1,41 @@
+#include "engine/buffer_pool.h"
+
+namespace ideval {
+
+BufferPool::BufferPool(int64_t capacity_pages)
+    : capacity_(capacity_pages < 1 ? 1 : capacity_pages) {}
+
+bool BufferPool::Access(const PageId& id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (static_cast<int64_t>(map_.size()) >= capacity_) {
+    const PageId& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  return false;
+}
+
+bool BufferPool::Contains(const PageId& id) const {
+  return map_.find(id) != map_.end();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+double BufferPool::HitRate() const {
+  const int64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace ideval

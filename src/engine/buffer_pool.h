@@ -1,0 +1,66 @@
+#ifndef IDEVAL_ENGINE_BUFFER_POOL_H_
+#define IDEVAL_ENGINE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace ideval {
+
+/// Page identifier: (table, page number).
+struct PageId {
+  std::string table;
+  int64_t page = 0;
+
+  bool operator==(const PageId&) const = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return std::hash<std::string>()(id.table) * 1315423911u ^
+           std::hash<int64_t>()(id.page);
+  }
+};
+
+/// LRU buffer pool used by the disk engine profile.
+///
+/// The pool tracks *which* pages are resident; it does not hold data —
+/// tables live in memory and the pool only determines whether a page access
+/// is charged as a physical read (miss) or a cache hit by the cost model.
+/// This mirrors how PostgreSQL's shared_buffers affects latency without
+/// simulating bytes.
+class BufferPool {
+ public:
+  /// Creates a pool holding up to `capacity_pages` pages (>= 1).
+  explicit BufferPool(int64_t capacity_pages);
+
+  /// Touches a page: returns true on hit, false on miss. A miss admits the
+  /// page, evicting the least-recently-used page when full.
+  bool Access(const PageId& id);
+
+  /// True if the page is currently resident (no LRU update).
+  bool Contains(const PageId& id) const;
+
+  /// Drops all pages (e.g. to model a cold start).
+  void Clear();
+
+  int64_t capacity_pages() const { return capacity_; }
+  int64_t resident_pages() const { return static_cast<int64_t>(map_.size()); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+  /// hits / (hits + misses); 0 when no accesses were made.
+  double HitRate() const;
+
+ private:
+  int64_t capacity_;
+  std::list<PageId> lru_;  // Front = most recently used.
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,83 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+CostModel CostModel::DiskRowStore() {
+  CostModel m;
+  m.query_startup = Duration::Micros(1500);
+  m.scan_per_tuple_us = 0.45;
+  m.eval_per_predicate_us = 0.08;
+  m.group_per_tuple_us = 0.15;
+  m.group_finalize_us = 5.0;
+  m.join_build_per_row_us = 0.5;
+  m.join_probe_per_row_us = 0.4;
+  m.output_per_row_us = 2.0;
+  m.page_miss_cost = Duration::Micros(150);
+  m.page_hit_cost = Duration::Micros(1);
+  return m;
+}
+
+CostModel CostModel::InMemoryColumnStore() {
+  CostModel m;
+  m.query_startup = Duration::Micros(200);
+  m.scan_per_tuple_us = 0.01;
+  m.eval_per_predicate_us = 0.006;
+  m.group_per_tuple_us = 0.008;
+  m.group_finalize_us = 1.0;
+  m.join_build_per_row_us = 0.1;
+  m.join_probe_per_row_us = 0.08;
+  m.output_per_row_us = 0.5;
+  // In-memory engine never touches the buffer pool; page costs unused.
+  return m;
+}
+
+Duration CostModel::ExecutionTime(const QueryWorkStats& stats) const {
+  double us = 0.0;
+  us += scan_per_tuple_us * static_cast<double>(stats.tuples_scanned);
+  us += eval_per_predicate_us *
+        static_cast<double>(stats.predicates_evaluated);
+  us += group_per_tuple_us * static_cast<double>(stats.tuples_matched) *
+        (stats.groups_built > 0 ? 1.0 : 0.0);
+  us += join_build_per_row_us * static_cast<double>(stats.hash_build_rows);
+  us += join_probe_per_row_us * static_cast<double>(stats.hash_probe_rows);
+  Duration t = query_startup + Duration::Micros(static_cast<int64_t>(us));
+  const int64_t hits = stats.pages_requested - stats.pages_missed;
+  t += page_miss_cost * static_cast<double>(stats.pages_missed);
+  t += page_hit_cost * static_cast<double>(hits > 0 ? hits : 0);
+  return t;
+}
+
+Duration CostModel::PostAggregationTime(const QueryWorkStats& stats) const {
+  double us = group_finalize_us * static_cast<double>(stats.groups_built);
+  us += output_per_row_us * static_cast<double>(stats.rows_output);
+  return Duration::Micros(static_cast<int64_t>(us));
+}
+
+Duration CostModel::NetworkTime(const QueryWorkStats& stats) const {
+  const double transfer_us =
+      network_bytes_per_us > 0.0 ? stats.bytes_output / network_bytes_per_us
+                                 : 0.0;
+  return network_request +
+         Duration::Micros(static_cast<int64_t>(transfer_us));
+}
+
+Duration CostModel::RenderTime(const QueryWorkStats& stats) const {
+  double us = 0.0;
+  if (stats.groups_built > 0) {
+    us += render_per_bin_us * static_cast<double>(stats.groups_built);
+  } else {
+    us += render_per_row_us * static_cast<double>(stats.rows_output);
+  }
+  return Duration::Micros(static_cast<int64_t>(us));
+}
+
+int64_t CostModel::TuplesPerPage(double avg_row_bytes) const {
+  const double usable = page_size_bytes * page_fill_factor;
+  const double per_row = std::max(avg_row_bytes, 1.0);
+  return std::max<int64_t>(1, static_cast<int64_t>(usable / per_row));
+}
+
+}  // namespace ideval

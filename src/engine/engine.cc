@@ -1,0 +1,270 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ideval {
+
+const char* EngineProfileToString(EngineProfile profile) {
+  switch (profile) {
+    case EngineProfile::kDiskRowStore:
+      return "disk-row-store";
+    case EngineProfile::kInMemoryColumnStore:
+      return "in-memory-column-store";
+  }
+  return "unknown";
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  if (options_.cost_model.has_value()) {
+    cost_model_ = *options_.cost_model;
+  } else if (options_.profile == EngineProfile::kDiskRowStore) {
+    cost_model_ = CostModel::DiskRowStore();
+  } else {
+    cost_model_ = CostModel::InMemoryColumnStore();
+  }
+  if (options_.profile == EngineProfile::kDiskRowStore) {
+    buffer_pool_ = std::make_unique<BufferPool>(options_.buffer_pool_pages);
+  }
+}
+
+Status Engine::RegisterTable(TablePtr table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("RegisterTable: null table");
+  }
+  const std::string& name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<TablePtr> Engine::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+void Engine::ClearCaches() {
+  if (buffer_pool_ != nullptr) buffer_pool_->Clear();
+}
+
+void Engine::ChargePages(const Table& table, int64_t first_row,
+                         int64_t tuples, QueryWorkStats* stats) {
+  if (buffer_pool_ == nullptr || tuples <= 0) return;
+  const int64_t per_page = cost_model_.TuplesPerPage(table.AvgRowBytes());
+  const int64_t first_page = first_row / per_page;
+  const int64_t last_page = (first_row + tuples - 1) / per_page;
+  for (int64_t p = first_page; p <= last_page; ++p) {
+    ++stats->pages_requested;
+    if (!buffer_pool_->Access(PageId{table.name(), p})) {
+      ++stats->pages_missed;
+    }
+  }
+}
+
+void Engine::FinalizeTimes(QueryResponse* response) const {
+  response->execution_time = cost_model_.ExecutionTime(response->stats);
+  response->post_aggregation_time =
+      cost_model_.PostAggregationTime(response->stats);
+}
+
+Result<QueryResponse> Engine::Execute(const Query& query) {
+  if (const auto* s = std::get_if<SelectQuery>(&query)) {
+    return ExecuteSelect(*s);
+  }
+  if (const auto* h = std::get_if<HistogramQuery>(&query)) {
+    return ExecuteHistogram(*h);
+  }
+  return ExecuteJoinPage(std::get<JoinPageQuery>(query));
+}
+
+Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) {
+  IDEVAL_ASSIGN_OR_RETURN(TablePtr table, GetTable(query.table));
+  IDEVAL_ASSIGN_OR_RETURN(
+      CompiledPredicates preds,
+      CompiledPredicates::Compile(*table, query.predicates));
+
+  // Resolve projection.
+  std::vector<size_t> proj;
+  RowSet rows;
+  if (query.columns.empty()) {
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      proj.push_back(c);
+      rows.column_names.push_back(table->schema().field(c).name);
+    }
+  } else {
+    for (const auto& name : query.columns) {
+      IDEVAL_ASSIGN_OR_RETURN(size_t idx, table->schema().FieldIndex(name));
+      proj.push_back(idx);
+      rows.column_names.push_back(name);
+    }
+  }
+
+  QueryResponse response;
+  QueryWorkStats& stats = response.stats;
+  const int64_t n = static_cast<int64_t>(table->num_rows());
+  const int64_t offset = std::max<int64_t>(0, query.offset);
+  const int64_t limit = query.limit < 0 ? n : query.limit;
+
+  // A LIMIT/OFFSET scan with no predicates visits offset+limit tuples
+  // (how a row store without a positional index pages through results);
+  // with predicates it must scan until `offset+limit` matches are found.
+  int64_t matched = 0;
+  int64_t row = 0;
+  const double out_bytes_per_row =
+      static_cast<double>(proj.size()) * 24.0;  // Rough wire width.
+  for (; row < n; ++row) {
+    ++stats.tuples_scanned;
+    stats.predicates_evaluated +=
+        static_cast<int64_t>(preds.num_predicates());
+    if (!preds.Matches(*table, static_cast<size_t>(row))) continue;
+    ++matched;
+    if (matched <= offset) continue;
+    std::vector<Value> out;
+    out.reserve(proj.size());
+    for (size_t c : proj) out.push_back(table->At(static_cast<size_t>(row), c));
+    rows.rows.push_back(std::move(out));
+    if (static_cast<int64_t>(rows.rows.size()) >= limit) {
+      ++row;
+      break;
+    }
+  }
+  stats.tuples_matched = matched;
+  stats.rows_output = static_cast<int64_t>(rows.rows.size());
+  stats.bytes_output = out_bytes_per_row * static_cast<double>(
+                                               stats.rows_output);
+  ChargePages(*table, 0, stats.tuples_scanned, &stats);
+  response.data = std::move(rows);
+  FinalizeTimes(&response);
+  return response;
+}
+
+Result<QueryResponse> Engine::ExecuteHistogram(const HistogramQuery& query) {
+  IDEVAL_ASSIGN_OR_RETURN(TablePtr table, GetTable(query.table));
+  IDEVAL_ASSIGN_OR_RETURN(
+      CompiledPredicates preds,
+      CompiledPredicates::Compile(*table, query.predicates));
+  IDEVAL_ASSIGN_OR_RETURN(const Column* bin_col,
+                          table->ColumnByName(query.bin_column));
+  if (bin_col->type() == DataType::kString) {
+    return Status::InvalidArgument("histogram over string column '" +
+                                   query.bin_column + "'");
+  }
+  if (query.bins <= 0) {
+    return Status::InvalidArgument("histogram bins must be > 0");
+  }
+  IDEVAL_ASSIGN_OR_RETURN(
+      FixedHistogram hist,
+      FixedHistogram::Make(query.bin_lo, query.bin_hi,
+                           static_cast<size_t>(query.bins)));
+
+  QueryResponse response;
+  QueryWorkStats& stats = response.stats;
+  const size_t n = table->num_rows();
+  const bool is_int = bin_col->type() == DataType::kInt64;
+  // Hot loop: borrow raw column storage once (immutable table).
+  const int64_t* int_vals = is_int ? bin_col->int64_data().data() : nullptr;
+  const double* dbl_vals = is_int ? nullptr : bin_col->double_data().data();
+  int64_t matched = 0;
+  for (size_t row = 0; row < n; ++row) {
+    if (!preds.Matches(row)) continue;
+    ++matched;
+    const double v = is_int ? static_cast<double>(int_vals[row])
+                            : dbl_vals[row];
+    hist.Add(v);
+  }
+  stats.tuples_matched = matched;
+  stats.tuples_scanned = static_cast<int64_t>(n);
+  stats.predicates_evaluated =
+      static_cast<int64_t>(n) * static_cast<int64_t>(preds.num_predicates());
+  stats.groups_built = static_cast<int64_t>(hist.num_bins());
+  stats.rows_output = static_cast<int64_t>(hist.num_bins());
+  stats.bytes_output = static_cast<double>(hist.num_bins()) * 16.0;
+  ChargePages(*table, 0, static_cast<int64_t>(n), &stats);
+  response.data = std::move(hist);
+  FinalizeTimes(&response);
+  return response;
+}
+
+Result<QueryResponse> Engine::ExecuteJoinPage(const JoinPageQuery& query) {
+  IDEVAL_ASSIGN_OR_RETURN(TablePtr left, GetTable(query.left_table));
+  IDEVAL_ASSIGN_OR_RETURN(TablePtr right, GetTable(query.right_table));
+  IDEVAL_ASSIGN_OR_RETURN(size_t left_key,
+                          left->schema().FieldIndex(query.join_column));
+  IDEVAL_ASSIGN_OR_RETURN(size_t right_key,
+                          right->schema().FieldIndex(query.join_column));
+  if (left->schema().field(left_key).type != DataType::kInt64 ||
+      right->schema().field(right_key).type != DataType::kInt64) {
+    return Status::InvalidArgument("join key must be int64 in both tables");
+  }
+  if (query.limit < 0 || query.offset < 0) {
+    return Status::InvalidArgument("join page limit/offset must be >= 0");
+  }
+
+  QueryResponse response;
+  QueryWorkStats& stats = response.stats;
+
+  // Page of the left side.
+  const int64_t n_left = static_cast<int64_t>(left->num_rows());
+  const int64_t begin = std::min(query.offset, n_left);
+  const int64_t end = std::min(query.offset + query.limit, n_left);
+  stats.tuples_scanned += end > 0 ? end : 0;  // Scan-to-offset cost.
+  ChargePages(*left, 0, end, &stats);
+
+  // Build a hash table over the page keys (small side), then probe the
+  // right table sequentially — the streaming-join shape of §6's Q2.
+  std::unordered_map<int64_t, size_t> page_keys;
+  page_keys.reserve(static_cast<size_t>(end - begin));
+  const auto& left_keys = left->column(left_key).int64_data();
+  for (int64_t r = begin; r < end; ++r) {
+    page_keys.emplace(left_keys[static_cast<size_t>(r)],
+                      static_cast<size_t>(r));
+  }
+  stats.hash_build_rows = end - begin;
+
+  RowSet rows;
+  for (size_t c = 0; c < left->num_columns(); ++c) {
+    rows.column_names.push_back(left->schema().field(c).name);
+  }
+  for (size_t c = 0; c < right->num_columns(); ++c) {
+    if (c == right_key) continue;  // Key appears once.
+    rows.column_names.push_back(right->schema().field(c).name);
+  }
+
+  const auto& right_keys = right->column(right_key).int64_data();
+  const size_t n_right = right->num_rows();
+  std::vector<std::pair<size_t, size_t>> matches;  // (left row, right row).
+  for (size_t r = 0; r < n_right; ++r) {
+    ++stats.hash_probe_rows;
+    auto it = page_keys.find(right_keys[r]);
+    if (it != page_keys.end()) matches.emplace_back(it->second, r);
+  }
+  stats.tuples_scanned += static_cast<int64_t>(n_right);
+  ChargePages(*right, 0, static_cast<int64_t>(n_right), &stats);
+
+  // Keep left (display) order.
+  std::sort(matches.begin(), matches.end());
+  for (const auto& [lr, rr] : matches) {
+    std::vector<Value> out;
+    out.reserve(rows.column_names.size());
+    for (size_t c = 0; c < left->num_columns(); ++c) out.push_back(left->At(lr, c));
+    for (size_t c = 0; c < right->num_columns(); ++c) {
+      if (c == right_key) continue;
+      out.push_back(right->At(rr, c));
+    }
+    rows.rows.push_back(std::move(out));
+  }
+  stats.tuples_matched = static_cast<int64_t>(rows.rows.size());
+  stats.rows_output = static_cast<int64_t>(rows.rows.size());
+  stats.bytes_output =
+      static_cast<double>(rows.rows.size() * rows.column_names.size()) * 24.0;
+  response.data = std::move(rows);
+  FinalizeTimes(&response);
+  return response;
+}
+
+}  // namespace ideval

@@ -1,0 +1,102 @@
+#ifndef IDEVAL_ENGINE_ENGINE_H_
+#define IDEVAL_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/buffer_pool.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "storage/table.h"
+
+namespace ideval {
+
+/// Which backend regime the engine models (§7: PostgreSQL vs MemSQL).
+enum class EngineProfile {
+  /// Disk-based interpreted row store with a buffer pool.
+  kDiskRowStore,
+  /// In-memory compiled column store.
+  kInMemoryColumnStore,
+};
+
+const char* EngineProfileToString(EngineProfile profile);
+
+/// Construction options.
+struct EngineOptions {
+  EngineProfile profile = EngineProfile::kInMemoryColumnStore;
+  /// Buffer pool capacity for the disk profile, in pages. The default
+  /// (16384 pages = 128 MB at 8 KB pages) mirrors PostgreSQL's stock
+  /// shared_buffers.
+  int64_t buffer_pool_pages = 16384;
+  /// Overrides the profile's calibrated cost model when set.
+  std::optional<CostModel> cost_model;
+};
+
+/// Everything the backend returns for one query: the data, the work
+/// counters, and the modelled server-side time components.
+struct QueryResponse {
+  QueryResultData data;
+  QueryWorkStats stats;
+  Duration execution_time;        ///< Scan/eval/join/paging.
+  Duration post_aggregation_time; ///< Group finalize + materialization.
+
+  /// execution + post-aggregation (server total, excluding queueing and
+  /// network which the scheduler adds).
+  Duration ServerTime() const {
+    return execution_time + post_aggregation_time;
+  }
+};
+
+/// A single-node query engine over registered in-memory tables.
+///
+/// The engine *actually executes* relational operators (range filters,
+/// histogram group-by, paged hash joins) so that results are real and
+/// data-dependent; simulated time comes from the `CostModel` applied to
+/// the work the operators performed. `Execute` is deterministic.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+
+  /// Registers a table under its own name. Errors on duplicates.
+  Status RegisterTable(TablePtr table);
+
+  /// Executes any supported query.
+  Result<QueryResponse> Execute(const Query& query);
+
+  EngineProfile profile() const { return options_.profile; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Buffer pool (disk profile only; null for the memory profile).
+  const BufferPool* buffer_pool() const { return buffer_pool_.get(); }
+
+  /// Drops buffer-pool state to model a cold start.
+  void ClearCaches();
+
+  /// Borrows a registered table.
+  Result<TablePtr> GetTable(const std::string& name) const;
+
+ private:
+  Result<QueryResponse> ExecuteSelect(const SelectQuery& query);
+  Result<QueryResponse> ExecuteHistogram(const HistogramQuery& query);
+  Result<QueryResponse> ExecuteJoinPage(const JoinPageQuery& query);
+
+  /// Charges buffer-pool page accesses for visiting `tuples` consecutive
+  /// tuples of `table` starting at row `first_row`.
+  void ChargePages(const Table& table, int64_t first_row, int64_t tuples,
+                   QueryWorkStats* stats);
+
+  void FinalizeTimes(QueryResponse* response) const;
+
+  EngineOptions options_;
+  CostModel cost_model_;
+  std::map<std::string, TablePtr> tables_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_ENGINE_ENGINE_H_

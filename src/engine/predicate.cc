@@ -1,0 +1,86 @@
+#include "engine/predicate.h"
+
+#include "common/text_table.h"
+
+namespace ideval {
+
+const std::string& PredicateColumn(const Predicate& predicate) {
+  if (const auto* r = std::get_if<RangePredicate>(&predicate)) {
+    return r->column;
+  }
+  if (const auto* eq = std::get_if<StringEqPredicate>(&predicate)) {
+    return eq->column;
+  }
+  return std::get<StringInPredicate>(predicate).column;
+}
+
+std::string PredicateToString(const Predicate& predicate) {
+  if (const auto* r = std::get_if<RangePredicate>(&predicate)) {
+    return StrFormat("%s >= %g AND %s <= %g", r->column.c_str(), r->lo,
+                     r->column.c_str(), r->hi);
+  }
+  if (const auto* eq = std::get_if<StringEqPredicate>(&predicate)) {
+    return StrFormat("%s = '%s'", eq->column.c_str(), eq->value.c_str());
+  }
+  const auto& in = std::get<StringInPredicate>(predicate);
+  std::string out = in.column + " IN (";
+  for (size_t i = 0; i < in.values.size(); ++i) {
+    if (i) out += ", ";
+    out += "'" + in.values[i] + "'";
+  }
+  out += ")";
+  return out;
+}
+
+Result<CompiledPredicates> CompiledPredicates::Compile(
+    const Table& table, const std::vector<Predicate>& predicates) {
+  CompiledPredicates out;
+  for (const auto& p : predicates) {
+    if (const auto* r = std::get_if<RangePredicate>(&p)) {
+      IDEVAL_ASSIGN_OR_RETURN(size_t idx,
+                              table.schema().FieldIndex(r->column));
+      const DataType type = table.schema().field(idx).type;
+      if (type == DataType::kString) {
+        return Status::InvalidArgument("range predicate on string column '" +
+                                       r->column + "'");
+      }
+      CompiledRange compiled;
+      if (type == DataType::kInt64) {
+        compiled.int64_data = table.column(idx).int64_data().data();
+      } else {
+        compiled.double_data = table.column(idx).double_data().data();
+      }
+      compiled.lo = r->lo;
+      compiled.hi = r->hi;
+      out.ranges_.push_back(compiled);
+    } else if (const auto* eq = std::get_if<StringEqPredicate>(&p)) {
+      IDEVAL_ASSIGN_OR_RETURN(size_t idx,
+                              table.schema().FieldIndex(eq->column));
+      if (table.schema().field(idx).type != DataType::kString) {
+        return Status::InvalidArgument(
+            "string-equality predicate on non-string column '" + eq->column +
+            "'");
+      }
+      out.string_eqs_.push_back(
+          CompiledStringEq{&table.column(idx).string_data(), eq->value});
+    } else {
+      const auto& in = std::get<StringInPredicate>(p);
+      IDEVAL_ASSIGN_OR_RETURN(size_t idx,
+                              table.schema().FieldIndex(in.column));
+      if (table.schema().field(idx).type != DataType::kString) {
+        return Status::InvalidArgument(
+            "string-membership predicate on non-string column '" +
+            in.column + "'");
+      }
+      if (in.values.empty()) {
+        return Status::InvalidArgument(
+            "string-membership predicate needs at least one value");
+      }
+      out.string_ins_.push_back(
+          CompiledStringIn{&table.column(idx).string_data(), in.values});
+    }
+  }
+  return out;
+}
+
+}  // namespace ideval

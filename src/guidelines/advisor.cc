@@ -1,0 +1,219 @@
+#include "guidelines/advisor.h"
+
+namespace ideval {
+
+std::vector<MetricRecommendation> RecommendMetrics(
+    const SystemProfile& profile) {
+  std::vector<MetricRecommendation> recs;
+  auto add = [&recs](Metric m, std::string reason) {
+    for (const auto& r : recs) {
+      if (r.metric == m) return;  // Keep the first (strongest) reason.
+    }
+    recs.push_back(MetricRecommendation{m, std::move(reason)});
+  };
+
+  // Qualitative human factors.
+  if (profile.domain_specific) {
+    add(Metric::kDesignStudy,
+        "domain-specific tasks: formalize needs with practitioners "
+        "(best practice 2)");
+    add(Metric::kFocusGroup,
+        "domain-specific tasks: collect consensus feedback from end-users "
+        "(best practice 2)");
+  }
+  add(Metric::kUserFeedback,
+      "always: end-users should give open-ended feedback at every stage "
+      "(Table 3, best practice 3)");
+
+  // Quantitative human factors.
+  if (profile.exploratory) {
+    add(Metric::kNumInsights,
+        "exploratory system that provides user guidance (Table 3)");
+    add(Metric::kUniquenessOfInsights,
+        "exploratory system: unique discoveries have high value (Table 3)");
+  }
+  if (profile.task_based) {
+    add(Metric::kTaskCompletionTime, "task-based system (Table 3)");
+  }
+  if (profile.approximate || profile.speculative_prefetching) {
+    add(Metric::kAccuracy,
+        "approximate/speculative system: evaluate accuracy trade-offs with "
+        "effort and latency (Table 3, best practice 4)");
+  }
+  if (profile.reduces_user_effort) {
+    add(Metric::kNumInteractions,
+        "aims to reduce user effort for a specific task, against a "
+        "baseline (Table 3)");
+  }
+  if (profile.targets_experts) {
+    add(Metric::kLearnability,
+        "complex system used frequently by experts (Table 3, best "
+        "practice 5)");
+  }
+  if (profile.targets_novices) {
+    add(Metric::kDiscoverability,
+        "designed for everyday use by naive/untrained users (Table 3, "
+        "best practice 5)");
+  }
+
+  // Backend system factors.
+  add(Metric::kLatency,
+      "always: latency is directly perceived by the user (Table 3)");
+  if (profile.large_data) {
+    add(Metric::kScalability,
+        "deals with large amounts of data (Table 3, best practice 7)");
+  }
+  if (profile.distributed) {
+    add(Metric::kThroughput, "distributed system (Table 3, best practice 7)");
+  }
+  if (profile.speculative_prefetching) {
+    add(Metric::kCacheHitRate,
+        "performs prefetching: measure cache hit rate (Table 3, best "
+        "practice 4)");
+  }
+
+  // Frontend system factors (the paper's novel metrics).
+  if (profile.consecutive_query_bursts || profile.high_frame_rate_device) {
+    add(Metric::kLatencyConstraintViolation,
+        "multiple queries issued consecutively in a short time frame "
+        "(Table 3, best practice 8)");
+  }
+  if (profile.high_frame_rate_device) {
+    add(Metric::kQueryIssuingFrequency,
+        "high-frame-rate device: QIF must be matched to backend capacity "
+        "(Table 3, best practice 8)");
+  }
+  return recs;
+}
+
+const std::vector<std::string>& MetricSelectionBestPractices() {
+  static const auto* kList = new std::vector<std::string>{
+      "1. Cover at least one metric from system and human factors.",
+      "2. Domain-specific systems should perform design studies and focus "
+      "groups with end-users to formalize needs and requirements.",
+      "3. End-users should be able to provide qualitative open-ended "
+      "feedback at different stages of development.",
+      "4. Approximate systems should evaluate accuracy trade-offs with "
+      "user effort and/or latency; accuracy or cache hit rate is also "
+      "recommended for speculative prefetching systems.",
+      "5. Measure discoverability for novice-facing systems and "
+      "learnability for expert-facing systems.",
+      "6. Task-oriented systems should measure user effort: task "
+      "completion time, number of interactions, or quality of insights.",
+      "7. Distributed systems over many datapoints should measure "
+      "throughput and scalability, plus summarization latency and "
+      "cognitive load.",
+      "8. Gesture/touch devices with high frame rates, where queries are "
+      "issued back-to-back, should measure query issuing frequency and "
+      "latency constraint violations.",
+  };
+  return *kList;
+}
+
+const std::vector<std::string>& EvaluationPrinciples() {
+  static const auto* kList = new std::vector<std::string>{
+      "1. Take behavior-driven optimizations into consideration, "
+      "leveraging the user's session characteristics in design and "
+      "evaluation.",
+      "2. Metrics should maximize coverage of query types (select, join, "
+      "aggregation) and interaction techniques (filtering, linking & "
+      "brushing), since each generates a unique workload.",
+      "3. Evaluate from a human as well as a system perspective.",
+      "4. User-study tasks should simulate real-world use cases on real "
+      "datasets for high ecological validity.",
+      "5. Randomize participant order between tasks to minimize learning "
+      "and interference, for high external validity.",
+      "6. Granularize tasks and externally review their language to "
+      "mitigate experimenter and participant biases.",
+      "7. Recruit at least ~10 users for behaviour studies; the number "
+      "depends on task nature and interaction variability.",
+      "8. Cover a variety of workloads: scenarios, data distributions, "
+      "data sizes.",
+  };
+  return *kList;
+}
+
+const char* StudySettingToString(StudySetting setting) {
+  switch (setting) {
+    case StudySetting::kInPerson:
+      return "in-person";
+    case StudySetting::kRemote:
+      return "remote";
+  }
+  return "unknown";
+}
+
+StudySettingDecision RecommendStudySetting(const StudySettingInputs& inputs) {
+  if (inputs.think_aloud_protocol) {
+    return {StudySetting::kInPerson,
+            "think-aloud protocols require the researcher present (Fig. 4)"};
+  }
+  if (inputs.device_dependent) {
+    return {StudySetting::kInPerson,
+            "device-dependent studies need a controlled test device "
+            "(Fig. 4)"};
+  }
+  if (inputs.comparison_against_control) {
+    return {StudySetting::kInPerson,
+            "comparisons against a control need fine experimental control "
+            "(Fig. 4)"};
+  }
+  return {StudySetting::kRemote,
+          "no control/device/think-aloud constraints: recruit a large, "
+          "diverse population remotely for high ecological validity "
+          "(Fig. 4)"};
+}
+
+const char* StudyStructureToString(StudyStructure structure) {
+  switch (structure) {
+    case StudyStructure::kBetweenSubject:
+      return "between-subject";
+    case StudyStructure::kWithinSubject:
+      return "within-subject";
+    case StudyStructure::kSimulation:
+      return "simulation";
+  }
+  return "unknown";
+}
+
+StudyStructureDecision RecommendStudyStructure(
+    const StudyStructureInputs& inputs) {
+  StudyStructureDecision d;
+  if (inputs.interactions_definitive &&
+      inputs.all_navigation_patterns_testable) {
+    d.structure = StudyStructure::kSimulation;
+    d.rationale =
+        "interactions are definitive and all navigation patterns can be "
+        "tested: simulate plausible traces instead of recruiting (Fig. 5, "
+        "§4.1.3)";
+    d.cautions = {
+        "Validate simulated traces against at least one small real-user "
+        "study when possible.",
+        "Use HCI timing models (Fitts', GOMS, ACT-R) appropriate for the "
+        "input modality."};
+    return d;
+  }
+  if (inputs.task_depends_on_inherent_ability) {
+    d.structure = StudyStructure::kWithinSubject;
+    d.rationale =
+        "the task depends on an inherent ability of the user (e.g. what "
+        "counts as an insight), so the same users must see every "
+        "condition (Fig. 5)";
+    d.cautions = {
+        "Randomize or counterbalance condition order to combat learning.",
+        "Watch for interference between conditions; asymmetric effects "
+        "make conclusions hard.",
+        "Break long sessions into chunks with breaks to avoid fatigue."};
+    return d;
+  }
+  d.structure = StudyStructure::kBetweenSubject;
+  d.rationale =
+      "prefer between-subject whenever possible: it avoids carry-over "
+      "effects and has high external validity (Fig. 5, §4.1.2)";
+  d.cautions = {
+      "Split users evenly and randomly to avoid demographic bias.",
+      "Equalize instructions and conditions between control and test."};
+  return d;
+}
+
+}  // namespace ideval

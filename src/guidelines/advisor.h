@@ -1,0 +1,109 @@
+#ifndef IDEVAL_GUIDELINES_ADVISOR_H_
+#define IDEVAL_GUIDELINES_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "guidelines/metric_catalog.h"
+
+namespace ideval {
+
+/// Characteristics of a system under evaluation; inputs to metric
+/// selection (Table 3 + §3.3 best practices).
+struct SystemProfile {
+  std::string name = "system";
+  bool exploratory = false;          ///< Guides users to insights.
+  bool approximate = false;          ///< Sampling / progressive answers.
+  bool speculative_prefetching = false;
+  bool distributed = false;
+  bool large_data = false;
+  bool task_based = false;           ///< Solves a specific user task.
+  bool reduces_user_effort = false;  ///< Compared against a baseline.
+  bool targets_experts = false;      ///< Frequent expert use.
+  bool targets_novices = false;      ///< Everyday untrained use.
+  bool domain_specific = false;      ///< Needs practitioner task input.
+  bool high_frame_rate_device = false;  ///< Touch/gesture, many events/s.
+  bool consecutive_query_bursts = false;  ///< Queries issued back-to-back.
+};
+
+/// A recommended metric and why.
+struct MetricRecommendation {
+  Metric metric;
+  std::string reason;
+};
+
+/// Applies Table 3's "when to use" rules plus the §3.3 best practices
+/// (always cover at least one human and one system factor; user feedback
+/// and latency always apply). Output is ordered: qualitative, quantitative
+/// human, backend, frontend.
+std::vector<MetricRecommendation> RecommendMetrics(
+    const SystemProfile& profile);
+
+/// Returns §3.3's numbered best practices (1–8) as text.
+const std::vector<std::string>& MetricSelectionBestPractices();
+
+/// Returns §5's evaluation principles (1–8) as text.
+const std::vector<std::string>& EvaluationPrinciples();
+
+/// --- Study-design decision trees (Figs. 4 and 5) ---
+
+/// Inputs to the in-person vs remote decision (Fig. 4).
+struct StudySettingInputs {
+  bool think_aloud_protocol = false;
+  bool device_dependent = false;
+  bool comparison_against_control = false;
+};
+
+enum class StudySetting {
+  kInPerson,  ///< Low ecological validity, high experimental control.
+  kRemote,    ///< High ecological validity, low control (crowdsourcing).
+};
+
+const char* StudySettingToString(StudySetting setting);
+
+struct StudySettingDecision {
+  StudySetting setting;
+  std::string rationale;
+};
+
+/// Fig. 4: remote only if no think-aloud, not device-dependent and no
+/// control-comparison is needed.
+StudySettingDecision RecommendStudySetting(const StudySettingInputs& inputs);
+
+/// Inputs to the within/between-subject/simulation decision (Fig. 5).
+struct StudyStructureInputs {
+  /// Task outcome depends on an inherent ability of the user (e.g. what
+  /// counts as an insight).
+  bool task_depends_on_inherent_ability = false;
+  /// Interactions are definitive and need no user cognition.
+  bool interactions_definitive = false;
+  /// All plausible navigation patterns can be enumerated/tested.
+  bool all_navigation_patterns_testable = false;
+};
+
+enum class StudyStructure {
+  kBetweenSubject,  ///< High external validity; preferred when possible.
+  kWithinSubject,   ///< Needed when ability confounds; randomize order.
+  kSimulation,      ///< Replay plausible traces; no participants.
+};
+
+const char* StudyStructureToString(StudyStructure structure);
+
+struct StudyStructureDecision {
+  StudyStructure structure;
+  std::string rationale;
+  /// Extra cautions (counterbalancing, fatigue breaks, etc.).
+  std::vector<std::string> cautions;
+};
+
+/// Fig. 5 plus §4.2.2's threats: prefers simulation when valid, then
+/// between-subject, then within-subject with mitigations.
+StudyStructureDecision RecommendStudyStructure(
+    const StudyStructureInputs& inputs);
+
+/// Minimum participant count §5 cites for behaviour studies.
+inline constexpr int kRecommendedMinParticipants = 10;
+
+}  // namespace ideval
+
+#endif  // IDEVAL_GUIDELINES_ADVISOR_H_

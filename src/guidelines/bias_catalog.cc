@@ -1,0 +1,119 @@
+#include "guidelines/bias_catalog.h"
+
+#include <cassert>
+
+namespace ideval {
+
+const char* CognitiveBiasToString(CognitiveBias bias) {
+  switch (bias) {
+    case CognitiveBias::kSocialDesirability:
+      return "social desirability bias";
+    case CognitiveBias::kAnchoring:
+      return "anchoring effect";
+    case CognitiveBias::kHalo:
+      return "halo effect";
+    case CognitiveBias::kAttraction:
+      return "attraction effect";
+    case CognitiveBias::kFraming:
+      return "framing effect";
+    case CognitiveBias::kSelection:
+      return "selection bias";
+    case CognitiveBias::kConfirmation:
+      return "confirmation bias";
+  }
+  return "unknown";
+}
+
+const char* BiasSideToString(BiasSide side) {
+  switch (side) {
+    case BiasSide::kParticipant:
+      return "participant";
+    case BiasSide::kExperimenter:
+      return "experimenter";
+  }
+  return "unknown";
+}
+
+const std::vector<BiasInfo>& AllBiases() {
+  static const auto* kBiases = new std::vector<BiasInfo>{
+      {CognitiveBias::kSocialDesirability, BiasSide::kParticipant,
+       "Participants act to please the researcher, e.g. supporting the "
+       "tested hypothesis.",
+       "Follow externally approved scripted language with participants; "
+       "never disclose the tested hypothesis."},
+      {CognitiveBias::kAnchoring, BiasSide::kParticipant,
+       "Fixating on initial information, e.g. preferring the first system "
+       "seen.",
+       "Randomize and counterbalance condition order."},
+      {CognitiveBias::kHalo, BiasSide::kParticipant,
+       "One positive trait (nice looks, one good feature) inflates every "
+       "rating.",
+       "Break tasks into fine-grained units; have each participant "
+       "evaluate a single feature."},
+      {CognitiveBias::kAttraction, BiasSide::kParticipant,
+       "Clustering of points distorts choices between items on the Pareto "
+       "front; affects accuracy in scatterplot studies.",
+       "Modify the study procedure (e.g. the scatterplot mitigation of "
+       "Dimara et al.)."},
+      {CognitiveBias::kFraming, BiasSide::kExperimenter,
+       "Question wording steers participants toward the tested system.",
+       "Have all study verbiage externally reviewed."},
+      {CognitiveBias::kSelection, BiasSide::kExperimenter,
+       "Recruiting participants likely to favour the tested condition "
+       "(e.g. only iPhone users for an iPhone study).",
+       "Randomly assign participants before collecting demographics or "
+       "background information."},
+      {CognitiveBias::kConfirmation, BiasSide::kExperimenter,
+       "Seeing the results one expects.",
+       "Practice high transparency: publish study material and all user "
+       "comments."},
+  };
+  return *kBiases;
+}
+
+const BiasInfo& InfoFor(CognitiveBias bias) {
+  for (const auto& info : AllBiases()) {
+    if (info.bias == bias) return info;
+  }
+  assert(false && "bias missing from catalog");
+  return AllBiases().front();
+}
+
+const std::vector<ValidityThreat>& ExternalValidityThreats() {
+  static const auto* kThreats = new std::vector<ValidityThreat>{
+      {"learning",
+       "In within-subject designs the user does better on the second "
+       "condition simply from task familiarity.",
+       "Randomize or counterbalance condition order; use different users "
+       "for different metrics (e.g. learnability vs discoverability)."},
+      {"interference",
+       "Exposure to the first condition degrades performance on the "
+       "second (confused functionality).",
+       "Randomize/counterbalance; beware asymmetric effects, which make "
+       "conclusions hard to draw."},
+      {"fatigue",
+       "Long tasks degrade performance toward the end.",
+       "Break tasks into small chunks with adequate breaks."},
+  };
+  return *kThreats;
+}
+
+std::vector<std::string> StudyProcedureChecklist() {
+  std::vector<std::string> checklist;
+  for (const auto& b : AllBiases()) {
+    checklist.push_back(std::string("[") + BiasSideToString(b.side) + "] " +
+                        CognitiveBiasToString(b.bias) + ": " + b.mitigation);
+  }
+  for (const auto& t : ExternalValidityThreats()) {
+    checklist.push_back("[validity] " + t.name + ": " + t.mitigation);
+  }
+  checklist.push_back(
+      "[design] Recruit at least ~10 users for behaviour studies (more if "
+      "the interaction is highly variable).");
+  checklist.push_back(
+      "[design] Use real datasets and real-world tasks for ecological "
+      "validity.");
+  return checklist;
+}
+
+}  // namespace ideval

@@ -1,0 +1,58 @@
+#ifndef IDEVAL_GUIDELINES_BIAS_CATALOG_H_
+#define IDEVAL_GUIDELINES_BIAS_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+namespace ideval {
+
+/// Cognitive biases affecting user studies (Table 4).
+enum class CognitiveBias {
+  kSocialDesirability,
+  kAnchoring,
+  kHalo,
+  kAttraction,
+  kFraming,
+  kSelection,
+  kConfirmation,
+};
+
+/// Whose behaviour the bias distorts.
+enum class BiasSide {
+  kParticipant,
+  kExperimenter,
+};
+
+const char* CognitiveBiasToString(CognitiveBias bias);
+const char* BiasSideToString(BiasSide side);
+
+/// One row of Table 4.
+struct BiasInfo {
+  CognitiveBias bias;
+  BiasSide side;
+  std::string description;
+  std::string mitigation;
+};
+
+/// All Table 4 rows.
+const std::vector<BiasInfo>& AllBiases();
+
+/// Catalog entry for `bias`.
+const BiasInfo& InfoFor(CognitiveBias bias);
+
+/// Threats to external validity in within-subject designs (§4.2.2).
+struct ValidityThreat {
+  std::string name;         ///< learning / interference / fatigue.
+  std::string description;
+  std::string mitigation;
+};
+
+const std::vector<ValidityThreat>& ExternalValidityThreats();
+
+/// Pre-study checklist: every bias mitigation plus the §5 principles that
+/// apply to study procedure, as actionable lines.
+std::vector<std::string> StudyProcedureChecklist();
+
+}  // namespace ideval
+
+#endif  // IDEVAL_GUIDELINES_BIAS_CATALOG_H_

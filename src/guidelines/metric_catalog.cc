@@ -1,0 +1,239 @@
+#include "guidelines/metric_catalog.h"
+
+#include <cassert>
+
+namespace ideval {
+
+const char* MetricToString(Metric metric) {
+  switch (metric) {
+    case Metric::kUserFeedback:
+      return "user feedback";
+    case Metric::kDesignStudy:
+      return "design study";
+    case Metric::kFocusGroup:
+      return "focus group";
+    case Metric::kNumInsights:
+      return "no. of insights";
+    case Metric::kUniquenessOfInsights:
+      return "uniqueness of insights";
+    case Metric::kTaskCompletionTime:
+      return "task completion time";
+    case Metric::kAccuracy:
+      return "accuracy";
+    case Metric::kNumInteractions:
+      return "number of interactions";
+    case Metric::kLearnability:
+      return "learnability";
+    case Metric::kDiscoverability:
+      return "discoverability";
+    case Metric::kThroughput:
+      return "throughput";
+    case Metric::kScalability:
+      return "scalability";
+    case Metric::kCacheHitRate:
+      return "cache hit rate";
+    case Metric::kLatency:
+      return "latency";
+    case Metric::kLatencyConstraintViolation:
+      return "latency constraint violation";
+    case Metric::kQueryIssuingFrequency:
+      return "query issuing frequency";
+  }
+  return "unknown";
+}
+
+const char* MetricCategoryToString(MetricCategory category) {
+  switch (category) {
+    case MetricCategory::kHumanQualitative:
+      return "human/qualitative";
+    case MetricCategory::kHumanQuantitative:
+      return "human/quantitative";
+    case MetricCategory::kSystemBackend:
+      return "system/backend";
+    case MetricCategory::kSystemFrontend:
+      return "system/frontend";
+  }
+  return "unknown";
+}
+
+const std::vector<MetricInfo>& AllMetricInfo() {
+  static const auto* kInfo = new std::vector<MetricInfo>{
+      {Metric::kDesignStudy, MetricCategory::kHumanQualitative,
+       "Extended interviews with practitioners to articulate the problem "
+       "space and define study tasks.",
+       "For formulating system specifications and evaluation tasks."},
+      {Metric::kFocusGroup, MetricCategory::kHumanQualitative,
+       "Small expert groups reaching consensus feedback on features or "
+       "designs.",
+       "To get consensus feedback from a group."},
+      {Metric::kUserFeedback, MetricCategory::kHumanQualitative,
+       "Open-ended comments, suggestions, Likert-scale surveys (e.g. SUS, "
+       "ICE-T).",
+       "Always."},
+      {Metric::kNumInsights, MetricCategory::kHumanQuantitative,
+       "Insights reported during exploratory analysis; subjective — use "
+       "with caution.",
+       "Exploratory systems that provide user guidance."},
+      {Metric::kUniquenessOfInsights, MetricCategory::kHumanQuantitative,
+       "How many reported insights are unique across users.",
+       "Exploratory systems that provide user guidance."},
+      {Metric::kTaskCompletionTime, MetricCategory::kHumanQuantitative,
+       "Time for a user to complete a system-specific task.",
+       "Task-based systems."},
+      {Metric::kAccuracy, MetricCategory::kHumanQuantitative,
+       "Deviation of approximate answers or user readings from ground "
+       "truth (precision/recall, MSE, scored accuracy).",
+       "Approximate and speculative systems."},
+      {Metric::kNumInteractions, MetricCategory::kHumanQuantitative,
+       "Iterations or operator applications needed to finish a task.",
+       "Systems that aim to reduce user effort for a specific task, "
+       "usually against a baseline."},
+      {Metric::kLearnability, MetricCategory::kHumanQuantitative,
+       "How quickly users master functionality after being taught.",
+       "Complex systems that will be used frequently by experts."},
+      {Metric::kDiscoverability, MetricCategory::kHumanQuantitative,
+       "How quickly users find actions without instruction (affordances).",
+       "Systems designed for everyday use by naive/untrained users."},
+      {Metric::kLatency, MetricCategory::kSystemBackend,
+       "Submit-to-result time, decomposed into network, query scheduling, "
+       "query execution, post-aggregation and rendering.",
+       "Always."},
+      {Metric::kScalability, MetricCategory::kSystemBackend,
+       "Performance change as data grows (scale-up / scale-out).",
+       "Systems that deal with large amounts of data."},
+      {Metric::kThroughput, MetricCategory::kSystemBackend,
+       "Transactions/requests/tasks per second.",
+       "Distributed systems."},
+      {Metric::kCacheHitRate, MetricCategory::kSystemBackend,
+       "Fraction of queries answered from cache.",
+       "Systems that perform prefetching."},
+      {Metric::kLatencyConstraintViolation, MetricCategory::kSystemFrontend,
+       "Times the zero-latency rule is violated: the user perceives a "
+       "delay because results arrive after their next interaction "
+       "(delays cascade, Fig. 2).",
+       "Systems where multiple queries are issued consecutively in a "
+       "short time frame."},
+      {Metric::kQueryIssuingFrequency, MetricCategory::kSystemFrontend,
+       "Queries issued per second by a device/interface combination; must "
+       "be matched (throttled) to backend capacity.",
+       "Devices with high frame rate."},
+  };
+  return *kInfo;
+}
+
+const MetricInfo& InfoFor(Metric metric) {
+  for (const auto& info : AllMetricInfo()) {
+    if (info.metric == metric) return info;
+  }
+  assert(false && "metric missing from catalog");
+  return AllMetricInfo().front();
+}
+
+namespace {
+
+using M = Metric;
+
+}  // namespace
+
+const std::vector<SurveyedSystem>& SurveyTable1() {
+  static const auto* kTable = new std::vector<SurveyedSystem>{
+      {"Online Aggregation", 1997, {M::kAccuracy}},
+      {"Igarashi et al.", 2000, {M::kUserFeedback, M::kTaskCompletionTime}},
+      {"Fekete and Plaisant", 2002, {M::kLatency}},
+      {"Yang et al.", 2003, {M::kUserFeedback}},
+      {"Plaisant", 2004, {M::kNumInsights}},
+      {"Yang et al.", 2004, {M::kTaskCompletionTime}},
+      {"Seo and Shneiderman", 2005, {M::kNumInsights}},
+      {"Kosara et al.", 2006, {M::kLatency}},
+      {"Mackinlay et al.", 2007, {M::kUserFeedback}},
+      {"Scented Widgets", 2007, {M::kUserFeedback, M::kUniquenessOfInsights}},
+      {"Faith", 2007, {M::kAccuracy}},
+      {"Jagadish et al.", 2007, {M::kUserFeedback}},
+      {"Yang et al.", 2007, {M::kNumInsights}},
+      {"Nalix", 2007, {M::kUserFeedback}},
+      {"Heer et al.", 2008, {M::kUserFeedback}},
+      {"LiveRac", 2008, {M::kUserFeedback}},
+      {"Basu et al.", 2008, {M::kNumInteractions}},
+      {"Atlas", 2008, {M::kLatency, M::kThroughput}},
+      {"Liu and Jagadish", 2009, {M::kTaskCompletionTime}},
+      {"Woodring and Shen", 2009, {M::kLatency, M::kScalability}},
+      {"Facetor", 2010,
+       {M::kUserFeedback, M::kTaskCompletionTime, M::kNumInteractions}},
+      {"Wrangler", 2011, {M::kUserFeedback, M::kTaskCompletionTime}},
+      {"Dicon", 2011, {M::kUserFeedback, M::kNumInsights}},
+      {"Yang et al.", 2011, {M::kLatency}},
+      {"Kashyap et al.", 2011, {M::kNumInteractions}},
+      {"Fisher et al.", 2012, {M::kUserFeedback}},
+      {"GravNav", 2012, {M::kUserFeedback, M::kTaskCompletionTime}},
+      {"Wei et al.", 2012, {M::kNumInsights}},
+      {"Dataplay", 2012, {M::kUserFeedback, M::kTaskCompletionTime}},
+      {"Zhang et al.", 2012, {M::kNumInsights}},
+      {"VizDeck", 2012, {M::kNumInteractions}},
+  };
+  return *kTable;
+}
+
+const std::vector<SurveyedSystem>& SurveyTable2() {
+  static const auto* kTable = new std::vector<SurveyedSystem>{
+      {"Skimmer", 2012, {M::kLatency, M::kScalability}},
+      {"Scout", 2012, {M::kCacheHitRate}},
+      {"Martin and Ward", 1995, {M::kUserFeedback}},
+      {"Bakke et al.", 2011, {M::kUserFeedback, M::kTaskCompletionTime}},
+      {"GestureDB", 2013,
+       {M::kUserFeedback, M::kTaskCompletionTime, M::kLearnability,
+        M::kDiscoverability}},
+      {"Basole et al.", 2013,
+       {M::kUserFeedback, M::kNumInsights, M::kTaskCompletionTime}},
+      {"Biswas et al.", 2013, {M::kAccuracy, M::kScalability}},
+      {"MotionExplorer", 2013, {M::kUserFeedback}},
+      {"Yuan et al.", 2013, {M::kUserFeedback}},
+      {"Ferreira et al.", 2013, {M::kNumInsights}},
+      {"Cooper et al.", 2010, {M::kThroughput}},
+      {"Immens", 2013, {M::kLatency, M::kScalability}},
+      {"Nanocubes", 2013, {M::kLatency}},
+      {"Kinetica", 2014,
+       {M::kUserFeedback, M::kNumInsights, M::kTaskCompletionTime}},
+      {"DICE", 2014,
+       {M::kAccuracy, M::kLatency, M::kScalability, M::kCacheHitRate}},
+      {"Lyra", 2014, {M::kUserFeedback, M::kNumInsights}},
+      {"Dimitriadou et al.", 2014,
+       {M::kAccuracy, M::kNumInteractions, M::kLatency}},
+      {"SeeDB", 2014, {M::kUserFeedback, M::kAccuracy, M::kLatency}},
+      {"SnapToQuery", 2015,
+       {M::kUserFeedback, M::kAccuracy, M::kLatency}},
+      {"Kim et al.", 2015, {M::kLatency}},
+      {"ForeCache", 2015, {M::kCacheHitRate}},
+      {"Zenvisage", 2016,
+       {M::kUserFeedback, M::kTaskCompletionTime, M::kLatency}},
+      {"FluxQuery", 2016, {M::kLatency}},
+      {"Voyager", 2016, {M::kNumInteractions}},
+      {"Moritz et al.", 2017, {M::kAccuracy}},
+      {"Incvisage", 2017,
+       {M::kUserFeedback, M::kNumInsights, M::kAccuracy, M::kLatency}},
+      {"Data Tweening", 2017, {M::kUserFeedback, M::kAccuracy}},
+      {"Icarus", 2018,
+       {M::kUserFeedback, M::kAccuracy, M::kNumInteractions, M::kLatency}},
+      {"Datamaran", 2018, {M::kAccuracy}},
+      {"Tensorboard", 2018, {M::kUserFeedback, M::kNumInsights}},
+      {"DataSpread", 2018, {M::kLatency}},
+      {"Sesame", 2018, {M::kLatency, M::kScalability}},
+      {"Transformer", 2019,
+       {M::kUserFeedback, M::kTaskCompletionTime, M::kNumInteractions}},
+      {"ARQuery", 2019, {M::kUserFeedback, M::kTaskCompletionTime}},
+  };
+  return *kTable;
+}
+
+int64_t SurveyUsageCount(Metric metric) {
+  int64_t count = 0;
+  for (const auto* table : {&SurveyTable1(), &SurveyTable2()}) {
+    for (const auto& sys : *table) {
+      for (Metric m : sys.metrics) {
+        if (m == metric) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace ideval

@@ -1,0 +1,78 @@
+#ifndef IDEVAL_GUIDELINES_METRIC_CATALOG_H_
+#define IDEVAL_GUIDELINES_METRIC_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ideval {
+
+/// The metric taxonomy of Fig. 1.
+enum class Metric {
+  // Human factors — qualitative.
+  kUserFeedback,
+  kDesignStudy,
+  kFocusGroup,
+  // Human factors — quantitative.
+  kNumInsights,
+  kUniquenessOfInsights,
+  kTaskCompletionTime,
+  kAccuracy,
+  kNumInteractions,
+  kLearnability,
+  kDiscoverability,
+  // System factors — backend.
+  kThroughput,
+  kScalability,
+  kCacheHitRate,
+  kLatency,
+  // System factors — frontend (novel in this paper).
+  kLatencyConstraintViolation,
+  kQueryIssuingFrequency,
+};
+
+/// Broad category in Fig. 1's tree.
+enum class MetricCategory {
+  kHumanQualitative,
+  kHumanQuantitative,
+  kSystemBackend,
+  kSystemFrontend,
+};
+
+const char* MetricToString(Metric metric);
+const char* MetricCategoryToString(MetricCategory category);
+
+/// Catalog entry: what the metric measures and when to use it (Table 3).
+struct MetricInfo {
+  Metric metric;
+  MetricCategory category;
+  std::string description;
+  std::string when_to_use;
+};
+
+/// All metrics of Fig. 1 with their Table 3 guidance.
+const std::vector<MetricInfo>& AllMetricInfo();
+
+/// Catalog entry for `metric`.
+const MetricInfo& InfoFor(Metric metric);
+
+/// One surveyed system row of Tables 1–2: which metrics its published
+/// evaluation reported.
+struct SurveyedSystem {
+  std::string name;
+  int year = 0;
+  std::vector<Metric> metrics;
+};
+
+/// Table 1: metrics for data interaction, 1997–2012.
+const std::vector<SurveyedSystem>& SurveyTable1();
+
+/// Table 2: metrics for data interaction, 2012–present.
+const std::vector<SurveyedSystem>& SurveyTable2();
+
+/// Count of surveyed systems (both tables) reporting `metric`.
+int64_t SurveyUsageCount(Metric metric);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_GUIDELINES_METRIC_CATALOG_H_

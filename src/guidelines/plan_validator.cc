@@ -1,0 +1,212 @@
+#include "guidelines/plan_validator.h"
+
+#include <algorithm>
+
+namespace ideval {
+
+const char* SeverityToString(PlanIssue::Severity severity) {
+  switch (severity) {
+    case PlanIssue::Severity::kError:
+      return "ERROR";
+    case PlanIssue::Severity::kWarning:
+      return "WARNING";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool Has(const std::vector<Metric>& metrics, Metric m) {
+  return std::find(metrics.begin(), metrics.end(), m) != metrics.end();
+}
+
+bool IsHumanFactor(Metric m) {
+  switch (InfoFor(m).category) {
+    case MetricCategory::kHumanQualitative:
+    case MetricCategory::kHumanQuantitative:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<PlanIssue> ValidateEvaluationPlan(const EvaluationPlan& plan) {
+  std::vector<PlanIssue> issues;
+  auto error = [&issues](std::string guideline, std::string message) {
+    issues.push_back(PlanIssue{PlanIssue::Severity::kError,
+                               std::move(guideline), std::move(message)});
+  };
+  auto warn = [&issues](std::string guideline, std::string message) {
+    issues.push_back(PlanIssue{PlanIssue::Severity::kWarning,
+                               std::move(guideline), std::move(message)});
+  };
+
+  // Best practice 1 / principle 3: cover both perspectives.
+  const bool any_human =
+      std::any_of(plan.metrics.begin(), plan.metrics.end(), IsHumanFactor);
+  const bool any_system = std::any_of(
+      plan.metrics.begin(), plan.metrics.end(),
+      [](Metric m) { return !IsHumanFactor(m); });
+  if (!any_human) {
+    error("best practice 1",
+          "no human-factor metric: interactive systems must be evaluated "
+          "from the user's perspective too");
+  }
+  if (!any_system) {
+    error("best practice 1",
+          "no system-factor metric: report at least latency");
+  }
+  if (!Has(plan.metrics, Metric::kLatency)) {
+    warn("Table 3", "latency applies to every interactive system");
+  }
+  if (!Has(plan.metrics, Metric::kUserFeedback)) {
+    warn("Table 3 / best practice 3",
+         "collect open-ended user feedback at every stage");
+  }
+
+  // Profile-conditional metrics (Table 3 / best practices 2, 4, 7, 8).
+  if (plan.profile.approximate && !Has(plan.metrics, Metric::kAccuracy)) {
+    warn("best practice 4",
+         "approximate system without an accuracy metric: the "
+         "accuracy/latency trade-off is the contribution to measure");
+  }
+  if (plan.profile.speculative_prefetching &&
+      !Has(plan.metrics, Metric::kCacheHitRate) &&
+      !Has(plan.metrics, Metric::kAccuracy)) {
+    warn("best practice 4",
+         "speculative prefetching without cache hit rate or accuracy");
+  }
+  if (plan.profile.distributed &&
+      !Has(plan.metrics, Metric::kThroughput)) {
+    warn("best practice 7", "distributed system without throughput");
+  }
+  if (plan.profile.high_frame_rate_device) {
+    if (!Has(plan.metrics, Metric::kQueryIssuingFrequency)) {
+      warn("best practice 8",
+           "high-frame-rate device without query issuing frequency");
+    }
+    if (!Has(plan.metrics, Metric::kLatencyConstraintViolation)) {
+      warn("best practice 8",
+           "high-frame-rate device without latency constraint violations");
+    }
+  }
+  if (plan.profile.domain_specific &&
+      !Has(plan.metrics, Metric::kDesignStudy)) {
+    warn("best practice 2",
+         "domain-specific system without a design study to ground tasks");
+  }
+
+  // Construct validity (§4.2.3): insight metrics only make sense for
+  // exploratory systems.
+  if ((Has(plan.metrics, Metric::kNumInsights) ||
+       Has(plan.metrics, Metric::kUniquenessOfInsights)) &&
+      !plan.profile.exploratory) {
+    warn("§4.2.3 construct validity",
+         "insight metrics on a non-exploratory system measure the wrong "
+         "construct");
+  }
+
+  // Study-structure threats (§4.2.2).
+  if (plan.structure == StudyStructure::kWithinSubject &&
+      !plan.randomized_or_counterbalanced) {
+    error("§4.2.2 learning/interference",
+          "within-subject design without randomization or "
+          "counterbalancing: order effects confound the comparison");
+  }
+  if (plan.structure != StudyStructure::kSimulation &&
+      !plan.breaks_between_tasks) {
+    warn("§4.2.2 fatigue",
+         "no breaks between tasks: fatigue degrades late-task performance");
+  }
+  if (Has(plan.metrics, Metric::kLearnability) &&
+      Has(plan.metrics, Metric::kDiscoverability) &&
+      plan.same_users_for_learnability_and_discoverability) {
+    error("§3.2.2",
+          "the same users cannot serve learnability and discoverability: "
+          "once instructed, nothing is left to discover");
+  }
+
+  // Participants (§5 principle 7) — only when humans are involved.
+  if (plan.structure != StudyStructure::kSimulation && any_human &&
+      plan.participants < kRecommendedMinParticipants) {
+    warn("§5 principle 7",
+         "fewer than ~10 participants for a behaviour study");
+  }
+
+  // Bias mitigations (Table 4).
+  if (plan.hypothesis_disclosed_to_participants) {
+    error("Table 4 social desirability",
+          "participants know the hypothesis: they will act to confirm it");
+  }
+  if (!plan.tasks_externally_reviewed &&
+      plan.structure != StudyStructure::kSimulation) {
+    warn("Table 4 framing",
+         "study verbiage not externally reviewed: wording can steer "
+         "participants");
+  }
+  if (plan.demographics_collected_before_assignment) {
+    warn("Table 4 selection",
+         "collecting demographics before random assignment invites "
+         "selection bias");
+  }
+
+  // Ecological validity (§5 principle 4).
+  if (!plan.uses_real_datasets &&
+      plan.structure != StudyStructure::kSimulation) {
+    warn("§5 principle 4",
+         "synthetic-only tasks/datasets reduce ecological validity");
+  }
+
+  std::stable_sort(issues.begin(), issues.end(),
+                   [](const PlanIssue& a, const PlanIssue& b) {
+                     return static_cast<int>(a.severity) <
+                            static_cast<int>(b.severity);
+                   });
+  return issues;
+}
+
+Result<std::vector<std::vector<int>>> CounterbalancedOrders(
+    int conditions, int participants) {
+  if (conditions < 1) {
+    return Status::InvalidArgument("conditions must be >= 1");
+  }
+  if (participants < 1) {
+    return Status::InvalidArgument("participants must be >= 1");
+  }
+  // Balanced Latin square construction: row r starts at r, then alternates
+  // r+1, r-1, r+2, ... giving first-order carryover balance for even n.
+  std::vector<std::vector<int>> square;
+  for (int r = 0; r < conditions; ++r) {
+    std::vector<int> row;
+    row.reserve(static_cast<size_t>(conditions));
+    int low = r;
+    int high = r + 1;
+    row.push_back(((low % conditions) + conditions) % conditions);
+    for (int i = 1; i < conditions; ++i) {
+      if (i % 2 == 1) {
+        row.push_back(((high++ % conditions) + conditions) % conditions);
+      } else {
+        row.push_back((((--low) % conditions) + conditions) % conditions);
+      }
+    }
+    square.push_back(row);
+  }
+  if (conditions % 2 == 1 && conditions > 1) {
+    // Odd n: append the reversed rows to restore carryover balance.
+    const size_t base = square.size();
+    for (size_t r = 0; r < base; ++r) {
+      std::vector<int> reversed(square[r].rbegin(), square[r].rend());
+      square.push_back(std::move(reversed));
+    }
+  }
+  std::vector<std::vector<int>> orders;
+  orders.reserve(static_cast<size_t>(participants));
+  for (int p = 0; p < participants; ++p) {
+    orders.push_back(square[static_cast<size_t>(p) % square.size()]);
+  }
+  return orders;
+}
+
+}  // namespace ideval

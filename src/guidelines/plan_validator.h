@@ -1,0 +1,71 @@
+#ifndef IDEVAL_GUIDELINES_PLAN_VALIDATOR_H_
+#define IDEVAL_GUIDELINES_PLAN_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "guidelines/advisor.h"
+
+namespace ideval {
+
+/// A concrete evaluation plan for an interactive data system: which
+/// metrics will be reported, how the user study is designed, and the
+/// procedural safeguards in place. `ValidateEvaluationPlan` turns the
+/// paper's guidelines (§3.3 best practices, §4's validity/bias analysis,
+/// §5's principles) into executable checks over it.
+struct EvaluationPlan {
+  SystemProfile profile;
+  std::vector<Metric> metrics;
+
+  StudySetting setting = StudySetting::kInPerson;
+  StudyStructure structure = StudyStructure::kBetweenSubject;
+  int participants = 0;
+
+  /// §4.2.2 mitigations.
+  bool randomized_or_counterbalanced = false;
+  bool breaks_between_tasks = false;
+
+  /// Table 4 mitigations.
+  bool tasks_externally_reviewed = false;
+  bool hypothesis_disclosed_to_participants = false;
+  bool demographics_collected_before_assignment = false;
+
+  /// §5 principle 4.
+  bool uses_real_datasets = false;
+
+  /// §3.2.2: learnability and discoverability need disjoint users.
+  bool same_users_for_learnability_and_discoverability = false;
+};
+
+/// One finding of the validator.
+struct PlanIssue {
+  enum class Severity {
+    kError,    ///< The study's conclusions would be unsound.
+    kWarning,  ///< A guideline is unmet; justify or fix.
+  };
+  Severity severity = Severity::kWarning;
+  /// Which guideline fired ("best practice 1", "§4.2.2 learning", ...).
+  std::string guideline;
+  std::string message;
+};
+
+const char* SeverityToString(PlanIssue::Severity severity);
+
+/// Checks `plan` against every applicable guideline; returns the issues
+/// found, errors first. An empty result means the plan complies.
+std::vector<PlanIssue> ValidateEvaluationPlan(const EvaluationPlan& plan);
+
+/// Counterbalanced condition orderings (§4.2.2's mitigation for learning
+/// and interference): a balanced Latin square over `conditions`, cycled
+/// over `participants` rows. For even `conditions` each condition appears
+/// in each position equally often AND each condition precedes every other
+/// equally often; for odd `conditions` the square is completed with the
+/// reversed rows (the standard 2n construction). Errors if either count
+/// is < 1.
+Result<std::vector<std::vector<int>>> CounterbalancedOrders(int conditions,
+                                                            int participants);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_GUIDELINES_PLAN_VALIDATOR_H_

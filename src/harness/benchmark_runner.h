@@ -1,0 +1,114 @@
+#ifndef IDEVAL_HARNESS_BENCHMARK_RUNNER_H_
+#define IDEVAL_HARNESS_BENCHMARK_RUNNER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "device/device_model.h"
+#include "engine/engine.h"
+#include "metrics/frontend_metrics.h"
+#include "prefetch/scroll_loader.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+
+/// Which query interface the benchmark drives (§2.1: each device-interface
+/// combination generates a unique workload, so it is a first-class axis).
+enum class InterfaceKind {
+  kInertialScroll,
+  kCrossfilter,
+  kCompositeExplore,
+};
+
+const char* InterfaceKindToString(InterfaceKind kind);
+
+/// A declarative benchmark specification, in the spirit of the IDEBench
+/// effort the paper discusses (§4.1.3, §9): a complete interactive
+/// workload — dataset, interface, device, users, backend, optimizations —
+/// described as data, so that runs are comparable and shareable.
+///
+/// Specs serialize to/from a `key = value` text format (see
+/// `ParseWorkloadSpec` / `WorkloadSpecToText`) so they can live in files
+/// next to results.
+struct WorkloadSpec {
+  std::string name = "workload";
+  InterfaceKind interface_kind = InterfaceKind::kCrossfilter;
+  DeviceType device = DeviceType::kMouse;
+  EngineProfile engine = EngineProfile::kInMemoryColumnStore;
+  int num_users = 3;
+  uint64_t seed = 1;
+  /// Dataset rows; 0 = the case study's published size.
+  int64_t rows = 0;
+
+  // --- Optimization knobs (all off by default). ---
+  /// KL suppression threshold; negative = disabled (§7.1, Algorithm 2).
+  double kl_threshold = -1.0;
+  /// Minimum issue interval; zero = no throttling (§3.1.2).
+  Duration throttle_interval;
+  /// Backend queue policy (§7.1, Algorithm 1).
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  int num_connections = 2;
+
+  // --- Interface-specific knobs. ---
+  /// Crossfilter: slider adjustments per user.
+  int crossfilter_moves = 15;
+  /// Scroll: loading strategy and fetch size (§6.2).
+  ScrollLoadStrategy scroll_strategy = ScrollLoadStrategy::kTimerFetch;
+  int64_t scroll_tuples_per_fetch = 58;
+  /// Composite: session length in minutes (§8's study required >= 20).
+  double explore_session_minutes = 20.0;
+};
+
+/// Parses the `key = value` format (one pair per line; '#' comments and
+/// blank lines ignored). Unknown keys and malformed values are errors —
+/// a benchmark spec that silently ignores options is not a benchmark.
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text);
+
+/// Serializes a spec to the same format (round-trips through the parser).
+std::string WorkloadSpecToText(const WorkloadSpec& spec);
+
+/// Aggregate results of one benchmark run: the paper's system-factor
+/// battery plus interface-specific extras.
+struct WorkloadReport {
+  WorkloadSpec spec;
+
+  // Workload shape.
+  int64_t interaction_events = 0;  ///< Device/widget events generated.
+  int64_t queries_generated = 0;   ///< Queries the interface produced.
+  int64_t queries_executed = 0;    ///< After suppression/skip.
+  int64_t queries_suppressed = 0;  ///< Dropped client-side (KL/throttle).
+  int64_t groups_skipped = 0;      ///< Shed by the backend (skip policy).
+
+  // System factors.
+  double qif = 0.0;                 ///< Queries/second issued.
+  double lcv_fraction = 0.0;        ///< §7.2 definition (crossfilter) or
+                                    ///< stall-episode fraction (scroll).
+  double median_latency_ms = 0.0;   ///< Perceived, executed queries.
+  double p90_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double throughput_qps = 0.0;
+
+  /// Scroll-only extras.
+  std::optional<double> mean_stall_ms;
+  std::optional<int64_t> stalls;
+
+  /// Human factors (aggregated over users).
+  double mean_session_s = 0.0;
+  double mean_interactions_per_user = 0.0;
+
+  /// Renders the report as an aligned text block.
+  std::string ToText() const;
+};
+
+/// Materializes the spec — builds the dataset, simulates the users on the
+/// device/interface, applies the client-side optimizations, replays the
+/// workload against the backend — and measures the full metric battery.
+/// Deterministic for a given spec.
+Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_HARNESS_BENCHMARK_RUNNER_H_

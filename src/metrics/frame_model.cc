@@ -1,0 +1,55 @@
+#include "metrics/frame_model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ideval {
+
+Result<FrameReport> AnalyzeFrames(const std::vector<QueryTimeline>& timelines,
+                                  const FrameModelOptions& options) {
+  if (options.fps <= 0.0) {
+    return Status::InvalidArgument("fps must be positive");
+  }
+  FrameReport report;
+  const double frame_us = 1e6 / options.fps;
+
+  // Frame index -> (results delivered, distinct groups) in that frame.
+  struct FrameCell {
+    int64_t results = 0;
+    std::set<int64_t> groups;
+  };
+  std::map<int64_t, FrameCell> frames;
+  SimTime first = SimTime::Max();
+  SimTime last = SimTime::Origin();
+  Duration delay_total;
+  for (const auto& t : timelines) {
+    if (t.skipped) continue;
+    ++report.results_arrived;
+    const double at_us = static_cast<double>(t.client_receive.micros());
+    const int64_t frame = static_cast<int64_t>(at_us / frame_us) + 1;
+    FrameCell& cell = frames[frame];
+    ++cell.results;
+    cell.groups.insert(t.group_id);
+    const SimTime tick = SimTime::FromMicros(
+        static_cast<int64_t>(static_cast<double>(frame) * frame_us));
+    delay_total += tick - t.client_receive;
+    first = std::min(first, t.client_receive);
+    last = std::max(last, tick);
+  }
+  if (report.results_arrived == 0) return report;
+
+  report.frames_with_updates = static_cast<int64_t>(frames.size());
+  for (const auto& [_, cell] : frames) {
+    if (cell.groups.size() > 1) report.coalesced_results += cell.results;
+  }
+  report.mean_display_delay = delay_total / report.results_arrived;
+  const Duration span = last - first;
+  if (span > Duration::Zero()) {
+    report.effective_update_hz =
+        static_cast<double>(report.frames_with_updates) / span.seconds();
+  }
+  return report;
+}
+
+}  // namespace ideval

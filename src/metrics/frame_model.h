@@ -1,0 +1,57 @@
+#ifndef IDEVAL_METRICS_FRAME_MODEL_H_
+#define IDEVAL_METRICS_FRAME_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+
+/// Frontend frame model (§3.1.2). The display refreshes at a fixed rate;
+/// results arriving between ticks cannot be shown until the next frame,
+/// and several results landing inside one frame interval are *coalesced*
+/// into a single repaint. This captures the paper's observation that the
+/// frontend frame rate bounds useful result delivery: "even if the user
+/// issues queries at a high rate, they are limited in the amount of
+/// information they can process, so progressively presenting them with
+/// results is adequate".
+struct FrameModelOptions {
+  /// Display refresh rate.
+  double fps = 60.0;
+};
+
+/// What a frame-locked frontend actually displays for a session.
+struct FrameReport {
+  int64_t results_arrived = 0;    ///< Executed queries' results.
+  int64_t frames_with_updates = 0;  ///< Repaints actually performed.
+  /// Results folded into a repaint together with results of a *different*
+  /// interaction (query group) — updates the user never saw individually.
+  /// (Queries of one coordinated-view group always land together and are
+  /// not counted: they are one logical update.)
+  int64_t coalesced_results = 0;
+  /// Mean delay from result arrival to its displaying frame tick.
+  Duration mean_display_delay;
+  /// Repaints per second over the active span.
+  double effective_update_hz = 0.0;
+
+  /// Fraction of render work saved by repainting per frame instead of per
+  /// result (0 when every result got its own frame).
+  double RenderSavings() const {
+    return results_arrived == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(frames_with_updates) /
+                           static_cast<double>(results_arrived);
+  }
+};
+
+/// Buckets the executed timelines' client-receive instants into frame
+/// ticks and reports coalescing behaviour. Errors if fps <= 0.
+Result<FrameReport> AnalyzeFrames(const std::vector<QueryTimeline>& timelines,
+                                  const FrameModelOptions& options);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_METRICS_FRAME_MODEL_H_

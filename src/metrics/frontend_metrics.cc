@@ -1,0 +1,115 @@
+#include "metrics/frontend_metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace ideval {
+
+Result<QifStats> ComputeQif(const std::vector<SimTime>& issue_times) {
+  QifStats out;
+  out.queries = static_cast<int64_t>(issue_times.size());
+  if (issue_times.empty()) return out;
+  for (size_t i = 1; i < issue_times.size(); ++i) {
+    if (issue_times[i] < issue_times[i - 1]) {
+      return Status::InvalidArgument("issue times must be nondecreasing");
+    }
+    out.intervals_ms.push_back(
+        (issue_times[i] - issue_times[i - 1]).millis());
+  }
+  out.span = issue_times.back() - issue_times.front();
+  if (out.span > Duration::Zero()) {
+    out.qif = static_cast<double>(out.queries) / out.span.seconds();
+  }
+  return out;
+}
+
+std::vector<SimTime> IssueTimes(const std::vector<QueryTimeline>& timelines) {
+  std::vector<SimTime> out;
+  out.reserve(timelines.size());
+  for (const auto& t : timelines) {
+    if (!t.skipped) out.push_back(t.issue_time);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LcvStats ComputeCrossfilterLcv(const std::vector<QueryTimeline>& timelines) {
+  LcvStats out;
+  // Next *interaction* time per group: the issue time of the next group
+  // (skipped or not — the user interacted either way).
+  // Build group_id -> next interaction issue time.
+  std::vector<std::pair<int64_t, SimTime>> group_issues;
+  for (const auto& t : timelines) {
+    if (group_issues.empty() || group_issues.back().first != t.group_id) {
+      group_issues.emplace_back(t.group_id, t.issue_time);
+    }
+  }
+  std::unordered_map<int64_t, SimTime> next_map;
+  for (size_t i = 0; i + 1 < group_issues.size(); ++i) {
+    next_map[group_issues[i].first] = group_issues[i + 1].second;
+  }
+
+  for (const auto& t : timelines) {
+    if (t.skipped) continue;
+    auto it = next_map.find(t.group_id);
+    if (it == next_map.end()) continue;  // Last interaction: no successor.
+    ++out.queries_considered;
+    if (t.client_receive > it->second) {
+      ++out.violations;
+      out.overshoot_ms.push_back((t.client_receive - it->second).millis());
+    }
+  }
+  return out;
+}
+
+Summary PerceivedLatencySummary(const std::vector<QueryTimeline>& timelines) {
+  std::vector<double> ms;
+  ms.reserve(timelines.size());
+  for (const auto& t : timelines) {
+    if (t.skipped) continue;
+    ms.push_back(t.PerceivedLatency().millis());
+  }
+  return Summary(std::move(ms));
+}
+
+LatencyBreakdownMeans MeanLatencyBreakdown(
+    const std::vector<QueryTimeline>& timelines) {
+  LatencyBreakdownMeans out;
+  int64_t n = 0;
+  Duration network, scheduling, execution, post_agg, rendering, perceived;
+  for (const auto& t : timelines) {
+    if (t.skipped) continue;
+    ++n;
+    network += t.network_latency;
+    scheduling += t.scheduling_latency;
+    execution += t.execution_latency;
+    post_agg += t.post_aggregation_latency;
+    rendering += t.rendering_latency;
+    perceived += t.PerceivedLatency();
+  }
+  if (n == 0) return out;
+  out.network = network / n;
+  out.scheduling = scheduling / n;
+  out.execution = execution / n;
+  out.post_aggregation = post_agg / n;
+  out.rendering = rendering / n;
+  out.perceived = perceived / n;
+  return out;
+}
+
+double ComputeThroughput(const std::vector<QueryTimeline>& timelines) {
+  SimTime first = SimTime::Max();
+  SimTime last = SimTime::Origin();
+  int64_t n = 0;
+  for (const auto& t : timelines) {
+    if (t.skipped) continue;
+    ++n;
+    first = std::min(first, t.issue_time);
+    last = std::max(last, t.exec_end);
+  }
+  if (n == 0 || last <= first) return 0.0;
+  return static_cast<double>(n) / (last - first).seconds();
+}
+
+}  // namespace ideval

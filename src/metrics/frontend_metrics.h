@@ -1,0 +1,83 @@
+#ifndef IDEVAL_METRICS_FRONTEND_METRICS_H_
+#define IDEVAL_METRICS_FRONTEND_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+
+/// --- Query Issuing Frequency (QIF), §3.1.2 ---
+///
+/// Queries issued per second by a device/interface combination. High-frame-
+/// rate devices can flood a slow backend (Fig. 3); QIF should be measured
+/// per system per device and matched to backend capacity.
+struct QifStats {
+  int64_t queries = 0;
+  Duration span;
+  /// Queries per second over the active span.
+  double qif = 0.0;
+  /// Inter-arrival intervals (ms) between consecutive issues — the series
+  /// Fig. 14 histograms.
+  std::vector<double> intervals_ms;
+};
+
+/// Computes QIF over issue timestamps (must be nondecreasing).
+Result<QifStats> ComputeQif(const std::vector<SimTime>& issue_times);
+
+/// Issue timestamps of the executed (non-skipped) queries in `timelines`.
+std::vector<SimTime> IssueTimes(const std::vector<QueryTimeline>& timelines);
+
+/// --- Latency Constraint Violation (LCV), §3.1.2 ---
+///
+/// Counts perceived delays: the zero-latency rule is violated whenever the
+/// user interacts again before the previous query's results have returned
+/// (Fig. 2), and those delays cascade through the backend queue.
+struct LcvStats {
+  int64_t queries_considered = 0;
+  int64_t violations = 0;
+  /// Violating queries' completion overshoot past the next interaction.
+  std::vector<double> overshoot_ms;
+
+  double ViolationFraction() const {
+    return queries_considered == 0
+               ? 0.0
+               : static_cast<double>(violations) /
+                     static_cast<double>(queries_considered);
+  }
+};
+
+/// Computes LCV over a crossfilter session (§7.2 definition): an executed
+/// query violates if its results reach the client after the user's next
+/// interaction was issued. Skipped queries are excluded. The last group
+/// (no successor interaction) is judged against `session_end` when
+/// provided, else excluded.
+LcvStats ComputeCrossfilterLcv(const std::vector<QueryTimeline>& timelines);
+
+/// Perceived-latency summary over executed queries (render_end −
+/// issue_time), for Fig. 13-style reporting.
+Summary PerceivedLatencySummary(const std::vector<QueryTimeline>& timelines);
+
+/// Mean server-side latency components over executed queries — one value
+/// per stage of §3.1.1's latency decomposition.
+struct LatencyBreakdownMeans {
+  Duration network;
+  Duration scheduling;
+  Duration execution;
+  Duration post_aggregation;
+  Duration rendering;
+  Duration perceived;
+};
+
+LatencyBreakdownMeans MeanLatencyBreakdown(
+    const std::vector<QueryTimeline>& timelines);
+
+/// Backend throughput: executed queries per second of session span.
+double ComputeThroughput(const std::vector<QueryTimeline>& timelines);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_METRICS_FRONTEND_METRICS_H_

@@ -1,0 +1,48 @@
+#include "metrics/human_factors.h"
+
+namespace ideval {
+
+namespace {
+
+/// Counts contiguous event bursts: a new burst starts after a gap larger
+/// than `gap`.
+template <typename Event>
+int64_t CountBursts(const std::vector<Event>& events, Duration gap) {
+  if (events.empty()) return 0;
+  int64_t bursts = 1;
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time - events[i - 1].time > gap) ++bursts;
+  }
+  return bursts;
+}
+
+}  // namespace
+
+HumanFactors ComputeScrollHumanFactors(const ScrollTrace& trace) {
+  HumanFactors out;
+  out.task_completion_time = trace.session_duration;
+  out.num_interactions =
+      CountBursts(trace.events, Duration::Millis(100));
+  out.task_outputs = static_cast<int64_t>(trace.selections.size());
+  return out;
+}
+
+HumanFactors ComputeCrossfilterHumanFactors(const CrossfilterTrace& trace) {
+  HumanFactors out;
+  out.task_completion_time = trace.session_duration;
+  out.num_interactions = static_cast<int64_t>(trace.events.size());
+  out.task_outputs = CountBursts(trace.events, Duration::Millis(400));
+  return out;
+}
+
+HumanFactors ComputeExploreHumanFactors(const ExploreTrace& trace) {
+  HumanFactors out;
+  out.task_completion_time = trace.session_duration;
+  out.num_interactions = static_cast<int64_t>(trace.phases.size());
+  for (const auto& phase : trace.phases) {
+    if (phase.request.widget == WidgetKind::kMap) ++out.task_outputs;
+  }
+  return out;
+}
+
+}  // namespace ideval

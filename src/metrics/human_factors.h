@@ -1,0 +1,55 @@
+#ifndef IDEVAL_METRICS_HUMAN_FACTORS_H_
+#define IDEVAL_METRICS_HUMAN_FACTORS_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "workload/crossfilter_task.h"
+#include "workload/explore_task.h"
+#include "workload/scroll_task.h"
+
+namespace ideval {
+
+/// Quantitative human-factor measurements computed from a session trace
+/// (§3.2.2). Qualitative factors (feedback, design studies, focus groups)
+/// and ability-dependent ones (insights) require real humans; these are
+/// the ones a trace determines mechanically:
+///
+///   - task completion time — how long the session took;
+///   - number of interactions — the user-effort proxy systems like Icarus
+///     and Facetor report (§3.2.2 warns completion time alone is a weak
+///     proxy for effort: prefer interactions when comparable).
+struct HumanFactors {
+  Duration task_completion_time;
+  /// Distinct user inputs: flicks/corrections are approximated by glide
+  /// episodes for scrolling, slider events for crossfiltering, widget
+  /// actions for composite exploration.
+  int64_t num_interactions = 0;
+  /// Task-specific output count (selections made, brushes applied,
+  /// queries issued) for effort-per-outcome normalization.
+  int64_t task_outputs = 0;
+
+  /// Interactions per output — lower is less user effort per achieved
+  /// result (the Facetor-style operator-count comparison).
+  double InteractionsPerOutput() const {
+    return task_outputs == 0 ? 0.0
+                             : static_cast<double>(num_interactions) /
+                                   static_cast<double>(task_outputs);
+  }
+};
+
+/// §6 scroll session: interactions = glide episodes (contiguous event
+/// bursts) + corrective backscrolls; outputs = selections.
+HumanFactors ComputeScrollHumanFactors(const ScrollTrace& trace);
+
+/// §7 crossfilter session: interactions = slider events; outputs = the
+/// number of distinct slider adjustments (event bursts).
+HumanFactors ComputeCrossfilterHumanFactors(const CrossfilterTrace& trace);
+
+/// §8 composite session: interactions = widget actions; outputs = map
+/// viewport queries (the results the user actually examined).
+HumanFactors ComputeExploreHumanFactors(const ExploreTrace& trace);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_METRICS_HUMAN_FACTORS_H_

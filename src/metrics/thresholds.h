@@ -1,0 +1,36 @@
+#ifndef IDEVAL_METRICS_THRESHOLDS_H_
+#define IDEVAL_METRICS_THRESHOLDS_H_
+
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// Perceptual-latency thresholds from the studies §3.1.1 surveys. These
+/// anchor what "interactive" means per task; spending resources below a
+/// threshold the user cannot perceive is wasted (§3.1.2).
+
+/// Liu & Heer: an added 500 ms delay in visual analytics is noticeable and
+/// measurably harms exploration behaviour.
+inline constexpr Duration kVisualAnalysisNoticeableDelay =
+    Duration::Millis(500);
+
+/// Nelson et al.: head-mounted displays tolerate ~50 ms added delay best;
+/// total time, not delay, dominates sickness scores beyond that.
+inline constexpr Duration kHeadMountedDelayBudget = Duration::Millis(50);
+
+/// Pavlovych & Gutwin: mouse target-acquisition accuracy drops above
+/// 50 ms latency; tracking accuracy above 110 ms.
+inline constexpr Duration kTargetAcquisitionLatencyLimit =
+    Duration::Millis(50);
+inline constexpr Duration kTargetTrackingLatencyLimit = Duration::Millis(110);
+
+/// Jota et al.: direct-touch users can discriminate ~20 ms latency
+/// differences but nothing below.
+inline constexpr Duration kTouchPerceivableDifference = Duration::Millis(20);
+
+/// The sub-second bar §7.2 uses for "interactive" backend performance.
+inline constexpr Duration kInteractiveLatencyBudget = Duration::Seconds(1.0);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_METRICS_THRESHOLDS_H_

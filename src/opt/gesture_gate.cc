@@ -1,0 +1,94 @@
+#include "opt/gesture_gate.h"
+
+#include <cmath>
+
+namespace ideval {
+
+const char* GestureIntentToString(GestureIntent intent) {
+  switch (intent) {
+    case GestureIntent::kIntentionalMove:
+      return "move";
+    case GestureIntent::kDwell:
+      return "dwell";
+  }
+  return "unknown";
+}
+
+GestureGate::GestureGate(Options options) : options_(options) {}
+
+void GestureGate::Reset() {
+  intent_ = GestureIntent::kDwell;
+  window_.clear();
+  low_active_ = false;
+}
+
+GestureIntent GestureGate::Observe(const PointerSample& sample) {
+  window_.push_back(sample);
+  // Drop samples that left the trailing window.
+  const SimTime cutoff = sample.time - options_.window;
+  size_t first = 0;
+  while (first < window_.size() && window_[first].time < cutoff) ++first;
+  if (first > 0) {
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<long>(first));
+  }
+  if (window_.size() < 2) return intent_;
+
+  // Net displacement across the window: jitter wanders around a point and
+  // cancels out; deliberate motion travels.
+  const double dx = window_.back().x - window_.front().x;
+  const double dy = window_.back().y - window_.front().y;
+  const double displacement = std::sqrt(dx * dx + dy * dy);
+
+  if (intent_ == GestureIntent::kDwell) {
+    if (displacement >= options_.move_threshold) {
+      intent_ = GestureIntent::kIntentionalMove;
+      low_active_ = false;
+    }
+    return intent_;
+  }
+  // Currently moving: require sustained low displacement to flip back.
+  if (displacement <= options_.dwell_threshold) {
+    if (!low_active_) {
+      low_active_ = true;
+      low_since_ = sample.time;
+    } else if (sample.time - low_since_ >= options_.dwell_confirm) {
+      intent_ = GestureIntent::kDwell;
+      low_active_ = false;
+    }
+  } else {
+    low_active_ = false;
+  }
+  return intent_;
+}
+
+std::vector<GestureLabel> GestureGate::Classify(const PointerTrace& trace) {
+  Reset();
+  std::vector<GestureLabel> labels;
+  labels.reserve(trace.size());
+  for (const PointerSample& s : trace) {
+    labels.push_back(GestureLabel{s.time, Observe(s)});
+  }
+  return labels;
+}
+
+GestureGateReport EvaluateGestureGate(GestureGate* gate,
+                                      const PointerTrace& trace) {
+  GestureGateReport report;
+  if (gate == nullptr) return report;
+  gate->Reset();
+  for (const PointerSample& s : trace) {
+    const GestureIntent intent = gate->Observe(s);
+    const bool passed = intent == GestureIntent::kIntentionalMove;
+    if (s.intended_motion) {
+      ++report.true_moves;
+      report.passed_moves += passed;
+    } else {
+      ++report.true_dwells;
+      report.passed_dwells += passed;
+    }
+  }
+  return report;
+}
+
+}  // namespace ideval

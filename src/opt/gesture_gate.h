@@ -1,0 +1,117 @@
+#ifndef IDEVAL_OPT_GESTURE_GATE_H_
+#define IDEVAL_OPT_GESTURE_GATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "device/device_model.h"
+
+namespace ideval {
+
+/// What the gate believes the user is doing at a given sample.
+enum class GestureIntent {
+  kIntentionalMove,  ///< Deliberate pointer motion: issue queries.
+  kDwell,            ///< Holding position (possibly with jitter): suppress.
+};
+
+const char* GestureIntentToString(GestureIntent intent);
+
+/// Per-sample classification result.
+struct GestureLabel {
+  SimTime time;
+  GestureIntent intent = GestureIntent::kDwell;
+};
+
+/// Online gesture-intent classifier (§2.3).
+///
+/// Gestural devices cannot hold a point steady: sensor jitter produces
+/// unintended, noisy, repeated queries. GestureDB's answer is to classify
+/// the gesture and anticipate intent; this gate is the workload-side
+/// version: it watches the pointer stream and lets query-triggering events
+/// through only while the motion looks deliberate.
+///
+/// The classifier is a hysteresis filter over windowed displacement:
+/// motion is *intentional* while the pointer's net displacement over the
+/// trailing window beats `move_threshold` (jitter wanders but does not
+/// travel), and flips back to *dwell* after the displacement stays under
+/// `dwell_threshold` for `dwell_confirm` time. Hysteresis prevents the
+/// gate from chattering at gesture boundaries.
+///
+/// Because `PointerSample` carries the behaviour model's ground-truth
+/// `intended_motion` flag, the gate's precision/recall is directly
+/// measurable — see `EvaluateGestureGate` and `bench_abl_gesture_gate`.
+class GestureGate {
+ public:
+  struct Options {
+    /// Trailing window over which net displacement is measured.
+    Duration window = Duration::Millis(250);
+    /// Net displacement (same units as the trace) that signals deliberate
+    /// motion.
+    double move_threshold = 40.0;
+    /// Displacement under which motion is considered stopped.
+    double dwell_threshold = 25.0;
+    /// How long displacement must stay low before flipping to dwell.
+    Duration dwell_confirm = Duration::Millis(120);
+  };
+
+  explicit GestureGate(Options options);
+  GestureGate() : GestureGate(Options()) {}
+
+  /// Feeds one sample; returns the current intent estimate.
+  GestureIntent Observe(const PointerSample& sample);
+
+  /// Resets to the initial (dwell) state.
+  void Reset();
+
+  GestureIntent current_intent() const { return intent_; }
+
+  /// Classifies a whole trace (fresh state).
+  std::vector<GestureLabel> Classify(const PointerTrace& trace);
+
+ private:
+  Options options_;
+  GestureIntent intent_ = GestureIntent::kDwell;
+  std::vector<PointerSample> window_;  // Trailing samples within `window`.
+  SimTime low_since_;
+  bool low_active_ = false;
+};
+
+/// Confusion-matrix evaluation of the gate against the behaviour model's
+/// ground truth.
+struct GestureGateReport {
+  int64_t true_moves = 0;        ///< Ground-truth intentional samples.
+  int64_t true_dwells = 0;
+  int64_t passed_moves = 0;      ///< Intentional samples the gate passed.
+  int64_t passed_dwells = 0;     ///< Jitter samples the gate let through.
+
+  /// Of the samples the gate passed, how many were truly intentional.
+  double Precision() const {
+    const int64_t passed = passed_moves + passed_dwells;
+    return passed == 0 ? 0.0
+                       : static_cast<double>(passed_moves) /
+                             static_cast<double>(passed);
+  }
+  /// Of the truly intentional samples, how many the gate passed.
+  double Recall() const {
+    return true_moves == 0 ? 0.0
+                           : static_cast<double>(passed_moves) /
+                                 static_cast<double>(true_moves);
+  }
+  /// Fraction of jitter samples suppressed.
+  double NoiseSuppression() const {
+    return true_dwells == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(passed_dwells) /
+                           static_cast<double>(true_dwells);
+  }
+};
+
+/// Runs the gate over `trace` and scores it against `intended_motion`.
+GestureGateReport EvaluateGestureGate(GestureGate* gate,
+                                      const PointerTrace& trace);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OPT_GESTURE_GATE_H_

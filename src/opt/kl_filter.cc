@@ -1,0 +1,117 @@
+#include "opt/kl_filter.h"
+
+#include <algorithm>
+
+#include "engine/predicate.h"
+
+namespace ideval {
+
+KlQueryFilter::KlQueryFilter(TablePtr table, double threshold,
+                             Options options, std::vector<size_t> sample_rows)
+    : table_(std::move(table)),
+      threshold_(threshold),
+      options_(options),
+      sample_rows_(std::move(sample_rows)) {}
+
+Result<KlQueryFilter> KlQueryFilter::Make(const TablePtr& table,
+                                          double threshold, Options options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("KlQueryFilter: null table");
+  }
+  if (table->num_rows() == 0) {
+    return Status::InvalidArgument("KlQueryFilter: empty table");
+  }
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("KlQueryFilter: threshold must be >= 0");
+  }
+  if (options.sample_size <= 0) {
+    return Status::InvalidArgument("KlQueryFilter: sample_size must be > 0");
+  }
+  // Deterministic uniform-stride sample.
+  const size_t n = table->num_rows();
+  const size_t want = std::min<size_t>(
+      n, static_cast<size_t>(options.sample_size));
+  std::vector<size_t> rows;
+  rows.reserve(want);
+  const double stride = static_cast<double>(n) / static_cast<double>(want);
+  for (size_t i = 0; i < want; ++i) {
+    rows.push_back(static_cast<size_t>(static_cast<double>(i) * stride));
+  }
+  return KlQueryFilter(table, threshold, options, std::move(rows));
+}
+
+Result<FixedHistogram> KlQueryFilter::Approximate(
+    const HistogramQuery& q) const {
+  IDEVAL_ASSIGN_OR_RETURN(
+      CompiledPredicates preds,
+      CompiledPredicates::Compile(*table_, q.predicates));
+  IDEVAL_ASSIGN_OR_RETURN(const Column* col,
+                          table_->ColumnByName(q.bin_column));
+  if (col->type() == DataType::kString) {
+    return Status::InvalidArgument("KL approximation over string column");
+  }
+  IDEVAL_ASSIGN_OR_RETURN(
+      FixedHistogram hist,
+      FixedHistogram::Make(q.bin_lo, q.bin_hi,
+                           static_cast<size_t>(q.bins)));
+  const bool is_int = col->type() == DataType::kInt64;
+  for (size_t row : sample_rows_) {
+    if (!preds.Matches(*table_, row)) continue;
+    const double v = is_int ? static_cast<double>(col->int64_data()[row])
+                            : col->double_data()[row];
+    hist.Add(v);
+  }
+  return hist;
+}
+
+Result<bool> KlQueryFilter::ShouldIssue(const QueryGroup& group) {
+  double max_divergence = 0.0;
+  bool any_histogram = false;
+  std::vector<std::pair<std::string, FixedHistogram>> approximations;
+
+  for (const Query& q : group.queries) {
+    const auto* h = std::get_if<HistogramQuery>(&q);
+    if (h == nullptr) return true;  // Pass non-histogram groups through.
+    any_histogram = true;
+    IDEVAL_ASSIGN_OR_RETURN(FixedHistogram approx, Approximate(*h));
+    auto ref = reference_.find(h->bin_column);
+    if (ref == reference_.end()) {
+      // Never seen this view: always issue.
+      max_divergence = threshold_ + 1.0;
+    } else {
+      IDEVAL_ASSIGN_OR_RETURN(
+          double kl, KlDivergence(approx, ref->second, options_.epsilon));
+      max_divergence = std::max(max_divergence, kl);
+    }
+    approximations.emplace_back(h->bin_column, std::move(approx));
+  }
+  if (!any_histogram) return true;
+  last_divergence_ = max_divergence;
+  if (max_divergence <= threshold_) return false;
+  for (auto& [name, hist] : approximations) {
+    reference_.insert_or_assign(name, std::move(hist));
+  }
+  return true;
+}
+
+Result<std::vector<QueryGroup>> FilterQueryGroups(
+    KlQueryFilter* filter, const std::vector<QueryGroup>& groups,
+    int64_t* suppressed) {
+  if (filter == nullptr) {
+    return Status::InvalidArgument("FilterQueryGroups: null filter");
+  }
+  std::vector<QueryGroup> out;
+  int64_t dropped = 0;
+  for (const auto& g : groups) {
+    IDEVAL_ASSIGN_OR_RETURN(bool issue, filter->ShouldIssue(g));
+    if (issue) {
+      out.push_back(g);
+    } else {
+      ++dropped;
+    }
+  }
+  if (suppressed != nullptr) *suppressed = dropped;
+  return out;
+}
+
+}  // namespace ideval

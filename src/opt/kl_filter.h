@@ -1,0 +1,83 @@
+#ifndef IDEVAL_OPT_KL_FILTER_H_
+#define IDEVAL_OPT_KL_FILTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "sim/query_scheduler.h"
+#include "storage/table.h"
+
+namespace ideval {
+
+/// Client-side result-driven query suppression (§7.1, Algorithm 2).
+///
+/// Before sending a crossfilter query group to the backend, the filter
+/// *approximates* each query's histogram over a small uniform sample of the
+/// table (the paper points to hash/sampling/wavelet sketches for this) and
+/// compares it against the approximation of the group it last let through
+/// via Kullback–Leibler divergence. Groups whose every histogram diverges
+/// by at most the threshold are suppressed: their results would look the
+/// same to the user.
+///
+///   - threshold = 0.0 reproduces the paper's "KL>0" condition (issue only
+///     when the approximate result set changes at all);
+///   - threshold = 0.2 reproduces "KL>0.2".
+class KlQueryFilter {
+ public:
+  struct Options {
+    /// Uniform-stride sample size used for the approximation. Coarse on
+    /// purpose: the sketch only has to detect *perceptible* result
+    /// changes, and a small sample is what makes sub-pixel slider jitter
+    /// map to an identical approximation (KL = 0) and get suppressed.
+    int64_t sample_size = 250;
+    /// Smoothing epsilon for the divergence (keeps empty bins finite).
+    double epsilon = 1e-9;
+  };
+
+  /// Builds the sample over `table`. Errors on null/empty tables.
+  static Result<KlQueryFilter> Make(const TablePtr& table, double threshold,
+                                    Options options);
+  static Result<KlQueryFilter> Make(const TablePtr& table, double threshold) {
+    return Make(table, threshold, Options());
+  }
+
+  double threshold() const { return threshold_; }
+
+  /// Decides whether `group` should reach the backend. When it returns
+  /// true the group's approximations become the new reference. Non-
+  /// histogram queries always pass (the optimization is defined on
+  /// coordinated histogram views).
+  Result<bool> ShouldIssue(const QueryGroup& group);
+
+  /// Maximum divergence the last `ShouldIssue` computed (diagnostics).
+  double last_divergence() const { return last_divergence_; }
+
+ private:
+  KlQueryFilter(TablePtr table, double threshold, Options options,
+                std::vector<size_t> sample_rows);
+
+  /// Approximate histogram of `q` over the sample.
+  Result<FixedHistogram> Approximate(const HistogramQuery& q) const;
+
+  TablePtr table_;
+  double threshold_;
+  Options options_;
+  std::vector<size_t> sample_rows_;
+  /// Reference approximations keyed by binned attribute.
+  std::map<std::string, FixedHistogram> reference_;
+  double last_divergence_ = 0.0;
+};
+
+/// Applies the filter to a whole session: returns only the groups that
+/// should be issued (order preserved). `suppressed` (optional) receives
+/// the number dropped.
+Result<std::vector<QueryGroup>> FilterQueryGroups(
+    KlQueryFilter* filter, const std::vector<QueryGroup>& groups,
+    int64_t* suppressed = nullptr);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OPT_KL_FILTER_H_

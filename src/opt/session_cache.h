@@ -1,0 +1,78 @@
+#ifndef IDEVAL_OPT_SESSION_CACHE_H_
+#define IDEVAL_OPT_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/engine.h"
+
+namespace ideval {
+
+/// Session-aware result reuse (§2.4).
+///
+/// In interactive analysis consecutive queries are related: users jitter a
+/// slider back and forth, revisit earlier brushes, or re-issue the same
+/// viewport. Session-based systems (the paper cites Sesame's up-to-25x
+/// gains) exploit this by answering repeated queries from the results of
+/// previous ones instead of the backend. `SessionCache` implements the
+/// exact-match tier of that idea over any `Engine`: results are keyed by
+/// the canonical query text and served in near-zero time on a hit.
+class SessionCache {
+ public:
+  struct Options {
+    /// Maximum cached results (LRU beyond that).
+    int64_t capacity = 256;
+    /// Modelled cost of serving a cached result (client-side lookup).
+    Duration hit_cost = Duration::Micros(500);
+  };
+
+  /// `engine` must outlive the cache.
+  SessionCache(Engine* engine, Options options);
+  explicit SessionCache(Engine* engine) : SessionCache(engine, Options()) {}
+
+  /// Result of one cached execution.
+  struct Execution {
+    QueryResponse response;
+    bool cache_hit = false;
+    /// Simulated server-side time actually spent (hit_cost on hits, the
+    /// engine's full time otherwise).
+    Duration effective_time;
+  };
+
+  /// Executes `query`, serving from the session cache when an identical
+  /// query was answered before.
+  Result<Execution> Execute(const Query& query);
+
+  /// Invalidates everything (e.g. data changed).
+  void Clear();
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const;
+
+  /// Total backend time avoided by hits — the "gain" a Sesame-style system
+  /// reports.
+  Duration TimeSaved() const { return time_saved_; }
+
+ private:
+  struct Entry {
+    QueryResponse response;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  Engine* engine_;
+  Options options_;
+  std::unordered_map<std::string, Entry> cache_;
+  std::list<std::string> lru_;  // Front = most recent.
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  Duration time_saved_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OPT_SESSION_CACHE_H_

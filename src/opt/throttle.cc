@@ -1,0 +1,37 @@
+#include "opt/throttle.h"
+
+namespace ideval {
+
+bool QifThrottler::Admit(SimTime t) {
+  if (last_passed_.has_value() && t - *last_passed_ < min_interval_) {
+    return false;
+  }
+  last_passed_ = t;
+  return true;
+}
+
+std::vector<QueryGroup> ThrottleQueryGroups(
+    QifThrottler* throttler, const std::vector<QueryGroup>& groups) {
+  std::vector<QueryGroup> out;
+  if (throttler == nullptr) return out;
+  for (const auto& g : groups) {
+    if (throttler->Admit(g.issue_time)) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<DebouncedEvent> DebounceEventTimes(
+    const std::vector<SimTime>& times, Duration quiet_period) {
+  std::vector<DebouncedEvent> out;
+  if (times.empty()) return out;
+  for (size_t i = 0; i + 1 < times.size(); ++i) {
+    if (times[i + 1] - times[i] >= quiet_period) {
+      out.push_back(DebouncedEvent{i, times[i] + quiet_period});
+    }
+  }
+  out.push_back(
+      DebouncedEvent{times.size() - 1, times.back() + quiet_period});
+  return out;
+}
+
+}  // namespace ideval

@@ -1,0 +1,60 @@
+#ifndef IDEVAL_OPT_THROTTLE_H_
+#define IDEVAL_OPT_THROTTLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+
+/// Client-side rate limiter matching QIF to backend capacity (§3.1.2:
+/// "there is a need to throttle the number of queries being sent to match
+/// the backend capacity").
+///
+/// Passes an event only if at least `min_interval` has elapsed since the
+/// last passed event. Stateless about content — it caps the rate, trading
+/// result freshness granularity for backend health (Fig. 3's
+/// "overwhelmed backend" quadrant).
+class QifThrottler {
+ public:
+  explicit QifThrottler(Duration min_interval)
+      : min_interval_(min_interval) {}
+
+  /// True if an event at `t` passes; updates internal state when it does.
+  bool Admit(SimTime t);
+
+  /// Resets to pass the next event unconditionally.
+  void Reset() { last_passed_.reset(); }
+
+  Duration min_interval() const { return min_interval_; }
+
+ private:
+  Duration min_interval_;
+  std::optional<SimTime> last_passed_;
+};
+
+/// Applies a throttler to a session, keeping only admitted groups.
+std::vector<QueryGroup> ThrottleQueryGroups(
+    QifThrottler* throttler, const std::vector<QueryGroup>& groups);
+
+/// Trailing-edge debouncer: an event is emitted only after `quiet_period`
+/// with no further events — i.e., when the user pauses. Useful on jittery
+/// gestural devices where intermediate positions are noise (§2.3); the
+/// cost is added latency of one quiet period.
+///
+/// Given the ordered issue times of a session, returns for each original
+/// event whether it survives debouncing, and the (delayed) time at which
+/// it fires.
+struct DebouncedEvent {
+  size_t source_index = 0;
+  SimTime fire_time;
+};
+
+std::vector<DebouncedEvent> DebounceEventTimes(
+    const std::vector<SimTime>& times, Duration quiet_period);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OPT_THROTTLE_H_

@@ -1,0 +1,137 @@
+#include "prefetch/content_prefetcher.h"
+
+#include <algorithm>
+
+namespace ideval {
+
+ContentAwarePrefetcher::ContentAwarePrefetcher(Options options,
+                                               MarkovTilePrefetcher markov)
+    : options_(options), markov_(std::move(markov)) {}
+
+Result<ContentAwarePrefetcher> ContentAwarePrefetcher::Make(
+    const TablePtr& table, const std::string& lat_col,
+    const std::string& lng_col, Options options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("ContentAwarePrefetcher: null table");
+  }
+  if (table->num_rows() == 0) {
+    return Status::InvalidArgument("ContentAwarePrefetcher: empty table");
+  }
+  if (options.min_useful_zoom > options.max_useful_zoom) {
+    return Status::InvalidArgument(
+        "ContentAwarePrefetcher: min_useful_zoom > max_useful_zoom");
+  }
+  IDEVAL_ASSIGN_OR_RETURN(const Column* lat, table->ColumnByName(lat_col));
+  IDEVAL_ASSIGN_OR_RETURN(const Column* lng, table->ColumnByName(lng_col));
+  if (lat->type() == DataType::kString ||
+      lng->type() == DataType::kString) {
+    return Status::InvalidArgument(
+        "ContentAwarePrefetcher: lat/lng must be numeric");
+  }
+
+  MarkovTilePrefetcher::Options mopts;
+  mopts.fan_out = options.fan_out;
+  mopts.smoothing = options.smoothing;
+  mopts.min_useful_zoom = options.min_useful_zoom;
+  mopts.max_useful_zoom = options.max_useful_zoom;
+  ContentAwarePrefetcher out(options, MarkovTilePrefetcher(mopts));
+
+  // Count rows per tile for the useful band plus one margin level each
+  // side (zoom-in/zoom-out candidates reach one level beyond the band).
+  std::unordered_map<TileId, int64_t, TileIdHash> counts;
+  std::unordered_map<int, int64_t> zoom_max;
+  const size_t n = table->num_rows();
+  for (int zoom = options.min_useful_zoom - 1;
+       zoom <= options.max_useful_zoom + 1; ++zoom) {
+    if (zoom < 1) continue;
+    for (size_t row = 0; row < n; ++row) {
+      const TileId tile =
+          MapWidget::TileAt(lat->GetDouble(row), lng->GetDouble(row), zoom);
+      const int64_t c = ++counts[tile];
+      zoom_max[zoom] = std::max(zoom_max[zoom], c);
+    }
+  }
+  out.density_.reserve(counts.size());
+  for (const auto& [tile, count] : counts) {
+    const int64_t mx = zoom_max[tile.zoom];
+    out.density_[tile] =
+        mx > 0 ? static_cast<double>(count) / static_cast<double>(mx) : 0.0;
+  }
+  return out;
+}
+
+double ContentAwarePrefetcher::DensityAt(const TileId& tile) const {
+  auto it = density_.find(tile);
+  return it == density_.end() ? 0.0 : it->second;
+}
+
+std::vector<TileId> ContentAwarePrefetcher::PrefetchCandidates(
+    const GeoBounds& bounds, int zoom) const {
+  struct Candidate {
+    TileId tile;
+    double score;
+  };
+  const double clat = bounds.CenterLat();
+  const double clng = bounds.CenterLng();
+  const TileId center = MapWidget::TileAt(clat, clng, zoom);
+
+  auto zoom_weight = [&](int z) {
+    return (z >= options_.min_useful_zoom && z <= options_.max_useful_zoom)
+               ? 1.0
+               : 0.25;
+  };
+  auto combined = [&](double direction_prob, const TileId& tile) {
+    return options_.direction_weight * direction_prob * zoom_weight(tile.zoom) +
+           options_.content_weight * DensityAt(tile) * zoom_weight(tile.zoom);
+  };
+
+  std::vector<Candidate> candidates;
+  const struct {
+    MapMove move;
+    int64_t dx, dy;
+  } kDirs[] = {{MapMove::kNorth, 0, -1},
+               {MapMove::kSouth, 0, 1},
+               {MapMove::kEast, 1, 0},
+               {MapMove::kWest, -1, 0}};
+  for (const auto& d : kDirs) {
+    TileId t = center;
+    t.tx += d.dx;
+    t.ty += d.dy;
+    candidates.push_back(Candidate{t, combined(markov_.TransitionProb(d.move),
+                                               t)});
+  }
+  const TileId in = MapWidget::TileAt(clat, clng, zoom + 1);
+  const TileId out = MapWidget::TileAt(clat, clng, zoom - 1);
+  candidates.push_back(
+      Candidate{in, combined(markov_.TransitionProb(MapMove::kZoomIn), in)});
+  candidates.push_back(Candidate{
+      out, combined(markov_.TransitionProb(MapMove::kZoomOut), out)});
+  const struct {
+    MapMove a, b;
+    int64_t dx, dy;
+  } kDiags[] = {{MapMove::kNorth, MapMove::kEast, 1, -1},
+                {MapMove::kNorth, MapMove::kWest, -1, -1},
+                {MapMove::kSouth, MapMove::kEast, 1, 1},
+                {MapMove::kSouth, MapMove::kWest, -1, 1}};
+  for (const auto& d : kDiags) {
+    TileId t = center;
+    t.tx += d.dx;
+    t.ty += d.dy;
+    const double p = 0.25 * (markov_.TransitionProb(d.a) +
+                             markov_.TransitionProb(d.b));
+    candidates.push_back(Candidate{t, combined(p, t)});
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<TileId> result;
+  const size_t k = std::min<size_t>(candidates.size(),
+                                    static_cast<size_t>(options_.fan_out));
+  result.reserve(k);
+  for (size_t i = 0; i < k; ++i) result.push_back(candidates[i].tile);
+  return result;
+}
+
+}  // namespace ideval

@@ -1,0 +1,69 @@
+#ifndef IDEVAL_PREFETCH_CONTENT_PREFETCHER_H_
+#define IDEVAL_PREFETCH_CONTENT_PREFETCHER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "prefetch/tile_cache.h"
+#include "storage/table.h"
+
+namespace ideval {
+
+/// Content-aware spatial prefetching (the Scout idea §3.1.1 surveys):
+/// users navigate *toward content* — dense clusters of listings, not empty
+/// ocean — so the data under a candidate tile predicts whether it will be
+/// requested. This prefetcher combines the Markov direction predictor
+/// with a per-tile density index built from the table itself, and exposes
+/// the two weights so the Scout-style sensitivity analysis
+/// (`bench_abl_content_prefetch`) can sweep them.
+class ContentAwarePrefetcher {
+ public:
+  struct Options {
+    /// Tiles prefetched per observed move.
+    int fan_out = 6;
+    /// Weight of the Markov next-move probability.
+    double direction_weight = 1.0;
+    /// Weight of the normalized tile density.
+    double content_weight = 1.0;
+    /// Zoom band worth prefetching into (Fig. 18) — the density index is
+    /// built for these levels (plus one margin level on each side).
+    int min_useful_zoom = 11;
+    int max_useful_zoom = 14;
+    /// Laplace smoothing for the Markov chain.
+    double smoothing = 0.5;
+  };
+
+  /// Builds the density index over `table`'s `lat_col`/`lng_col` columns.
+  /// Errors on missing/non-numeric columns or an empty table.
+  static Result<ContentAwarePrefetcher> Make(const TablePtr& table,
+                                             const std::string& lat_col,
+                                             const std::string& lng_col,
+                                             Options options);
+
+  /// Observes a viewport move (updates the direction predictor).
+  void Observe(MapMove move) { markov_.Observe(move); }
+
+  /// Tiles to prefetch for the viewport at (`bounds`, `zoom`), ranked by
+  /// the weighted direction × content score.
+  std::vector<TileId> PrefetchCandidates(const GeoBounds& bounds,
+                                         int zoom) const;
+
+  /// Normalized data density under `tile` (1.0 = densest tile at that
+  /// zoom; 0.0 = empty or outside the indexed band).
+  double DensityAt(const TileId& tile) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  ContentAwarePrefetcher(Options options, MarkovTilePrefetcher markov);
+
+  Options options_;
+  MarkovTilePrefetcher markov_;
+  std::unordered_map<TileId, double, TileIdHash> density_;  ///< Normalized.
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_PREFETCH_CONTENT_PREFETCHER_H_

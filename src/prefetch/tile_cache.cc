@@ -1,0 +1,195 @@
+#include "prefetch/tile_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+const char* EvictionPolicyToString(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kFifo:
+      return "fifo";
+  }
+  return "unknown";
+}
+
+TileCache::TileCache(int64_t capacity, EvictionPolicy policy)
+    : capacity_(capacity < 1 ? 1 : capacity), policy_(policy) {}
+
+void TileCache::Touch(std::list<TileId>::iterator it) {
+  if (policy_ == EvictionPolicy::kLru) {
+    order_.splice(order_.begin(), order_, it);
+  }
+  // FIFO never reorders on access.
+}
+
+void TileCache::Admit(const TileId& tile) {
+  if (static_cast<int64_t>(map_.size()) >= capacity_) {
+    const TileId& victim = order_.back();
+    map_.erase(victim);
+    order_.pop_back();
+  }
+  order_.push_front(tile);
+  map_[tile] = order_.begin();
+}
+
+bool TileCache::Request(const TileId& tile) {
+  auto it = map_.find(tile);
+  if (it != map_.end()) {
+    Touch(it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  Admit(tile);
+  return false;
+}
+
+void TileCache::Prefetch(const TileId& tile) {
+  if (map_.find(tile) != map_.end()) return;
+  Admit(tile);
+}
+
+bool TileCache::Contains(const TileId& tile) const {
+  return map_.find(tile) != map_.end();
+}
+
+double TileCache::HitRate() const {
+  const int64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void TileCache::Clear() {
+  order_.clear();
+  map_.clear();
+}
+
+const char* MapMoveToString(MapMove move) {
+  switch (move) {
+    case MapMove::kNorth:
+      return "N";
+    case MapMove::kSouth:
+      return "S";
+    case MapMove::kEast:
+      return "E";
+    case MapMove::kWest:
+      return "W";
+    case MapMove::kZoomIn:
+      return "Z+";
+    case MapMove::kZoomOut:
+      return "Z-";
+  }
+  return "?";
+}
+
+Result<MapMove> ClassifyMove(const GeoBounds& before, int zoom_before,
+                             const GeoBounds& after, int zoom_after) {
+  if (zoom_after > zoom_before) return MapMove::kZoomIn;
+  if (zoom_after < zoom_before) return MapMove::kZoomOut;
+  const double dlat = after.CenterLat() - before.CenterLat();
+  const double dlng = after.CenterLng() - before.CenterLng();
+  if (dlat == 0.0 && dlng == 0.0) {
+    return Status::InvalidArgument("viewport did not move");
+  }
+  if (std::abs(dlat) >= std::abs(dlng)) {
+    return dlat > 0.0 ? MapMove::kNorth : MapMove::kSouth;
+  }
+  return dlng > 0.0 ? MapMove::kEast : MapMove::kWest;
+}
+
+MarkovTilePrefetcher::MarkovTilePrefetcher(Options options)
+    : options_(options) {
+  for (auto& row : counts_) row.fill(0.0);
+}
+
+void MarkovTilePrefetcher::Observe(MapMove move) {
+  if (has_last_) {
+    counts_[static_cast<size_t>(last_move_)][static_cast<size_t>(move)] +=
+        1.0;
+  }
+  last_move_ = move;
+  has_last_ = true;
+}
+
+double MarkovTilePrefetcher::TransitionProb(MapMove next) const {
+  const auto& row = counts_[static_cast<size_t>(last_move_)];
+  double total = 0.0;
+  for (double c : row) total += c + options_.smoothing;
+  if (total <= 0.0) return 1.0 / static_cast<double>(kNumMapMoves);
+  return (row[static_cast<size_t>(next)] + options_.smoothing) / total;
+}
+
+std::vector<TileId> MarkovTilePrefetcher::PrefetchCandidates(
+    const GeoBounds& bounds, int zoom) const {
+  struct Candidate {
+    TileId tile;
+    double score;
+  };
+  const double clat = bounds.CenterLat();
+  const double clng = bounds.CenterLng();
+  const TileId center = MapWidget::TileAt(clat, clng, zoom);
+
+  auto zoom_weight = [&](int z) {
+    // Prefetching outside the zoom band users visit (Fig. 18) is wasted
+    // effort; §8 recommends concentrating on levels 11–14.
+    return (z >= options_.min_useful_zoom && z <= options_.max_useful_zoom)
+               ? 1.0
+               : 0.25;
+  };
+
+  std::vector<Candidate> candidates;
+  // Directional neighbors at the current zoom.
+  const struct {
+    MapMove move;
+    int64_t dx, dy;
+  } kDirs[] = {{MapMove::kNorth, 0, -1},
+               {MapMove::kSouth, 0, 1},
+               {MapMove::kEast, 1, 0},
+               {MapMove::kWest, -1, 0}};
+  for (const auto& d : kDirs) {
+    TileId t = center;
+    t.tx += d.dx;
+    t.ty += d.dy;
+    candidates.push_back(
+        Candidate{t, TransitionProb(d.move) * zoom_weight(zoom)});
+  }
+  // Zoom-in child tile under the viewport center and zoom-out parent.
+  candidates.push_back(
+      Candidate{MapWidget::TileAt(clat, clng, zoom + 1),
+                TransitionProb(MapMove::kZoomIn) * zoom_weight(zoom + 1)});
+  candidates.push_back(
+      Candidate{MapWidget::TileAt(clat, clng, zoom - 1),
+                TransitionProb(MapMove::kZoomOut) * zoom_weight(zoom - 1)});
+  // Diagonals, discounted: drags are rarely perfectly axis-aligned.
+  const struct {
+    MapMove a, b;
+    int64_t dx, dy;
+  } kDiags[] = {{MapMove::kNorth, MapMove::kEast, 1, -1},
+                {MapMove::kNorth, MapMove::kWest, -1, -1},
+                {MapMove::kSouth, MapMove::kEast, 1, 1},
+                {MapMove::kSouth, MapMove::kWest, -1, 1}};
+  for (const auto& d : kDiags) {
+    TileId t = center;
+    t.tx += d.dx;
+    t.ty += d.dy;
+    candidates.push_back(Candidate{
+        t, 0.5 * (TransitionProb(d.a) + TransitionProb(d.b)) * 0.5 *
+               zoom_weight(zoom)});
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<TileId> out;
+  const size_t k = std::min<size_t>(candidates.size(),
+                                    static_cast<size_t>(options_.fan_out));
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(candidates[i].tile);
+  return out;
+}
+
+}  // namespace ideval

@@ -1,0 +1,121 @@
+#ifndef IDEVAL_PREFETCH_TILE_CACHE_H_
+#define IDEVAL_PREFETCH_TILE_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "widget/map_widget.h"
+
+namespace ideval {
+
+/// Cache replacement policies compared by the A1 ablation (§3.1.1 claims
+/// eviction-based policies lose to predictive caching).
+enum class EvictionPolicy {
+  kLru,
+  kFifo,
+};
+
+const char* EvictionPolicyToString(EvictionPolicy policy);
+
+/// Fixed-capacity cache of map tiles with pluggable eviction and hit-rate
+/// accounting (the cache-hit-rate metric of §3.1.1).
+class TileCache {
+ public:
+  TileCache(int64_t capacity, EvictionPolicy policy);
+
+  /// Demand access: returns true on hit; on miss the tile is admitted.
+  bool Request(const TileId& tile);
+
+  /// Speculative insert (prefetch): admits without touching hit counters.
+  void Prefetch(const TileId& tile);
+
+  bool Contains(const TileId& tile) const;
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const;
+
+  void Clear();
+
+ private:
+  void Admit(const TileId& tile);
+  void Touch(std::list<TileId>::iterator it);
+
+  int64_t capacity_;
+  EvictionPolicy policy_;
+  std::list<TileId> order_;  // Front = most recent (LRU) / newest (FIFO).
+  std::unordered_map<TileId, std::list<TileId>::iterator, TileIdHash> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+/// Map navigation moves the predictor learns over.
+enum class MapMove {
+  kNorth,
+  kSouth,
+  kEast,
+  kWest,
+  kZoomIn,
+  kZoomOut,
+};
+
+constexpr size_t kNumMapMoves = 6;
+
+const char* MapMoveToString(MapMove move);
+
+/// Classifies the viewport transition between two consecutive map
+/// requests.
+Result<MapMove> ClassifyMove(const GeoBounds& before, int zoom_before,
+                             const GeoBounds& after, int zoom_after);
+
+/// First-order Markov predictor over map moves with §8-informed priors:
+/// prefetch effort is weighted toward the zoom levels users actually visit
+/// (11–14) and the drag directions the chain predicts.
+///
+/// This is the "behavior-driven prefetching" §8 motivates: Table 9 says
+/// map actions dominate, Fig. 18 bounds useful zoom depth, and Table 10
+/// bounds how far a drag can move the viewport — so prefetching the
+/// predicted-direction neighbors plus the zoom-in tile covers most next
+/// requests.
+class MarkovTilePrefetcher {
+ public:
+  struct Options {
+    /// Tiles prefetched per observed move.
+    int fan_out = 6;
+    /// Laplace smoothing for the transition matrix.
+    double smoothing = 0.5;
+    /// Zoom levels worth prefetching into (Fig. 18).
+    int min_useful_zoom = 11;
+    int max_useful_zoom = 14;
+  };
+
+  explicit MarkovTilePrefetcher(Options options);
+  MarkovTilePrefetcher() : MarkovTilePrefetcher(Options()) {}
+
+  /// Observes a move and updates the transition matrix.
+  void Observe(MapMove move);
+
+  /// Predicted probability of `next` given the last observed move.
+  double TransitionProb(MapMove next) const;
+
+  /// Tiles to prefetch for the viewport at (`bounds`, `zoom`), ranked by
+  /// predicted next-move probability and zoom usefulness.
+  std::vector<TileId> PrefetchCandidates(const GeoBounds& bounds,
+                                         int zoom) const;
+
+ private:
+  Options options_;
+  std::array<std::array<double, kNumMapMoves>, kNumMapMoves> counts_{};
+  MapMove last_move_ = MapMove::kNorth;
+  bool has_last_ = false;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_PREFETCH_TILE_CACHE_H_

@@ -1,0 +1,130 @@
+#include "sim/query_scheduler.h"
+
+#include <algorithm>
+
+namespace ideval {
+
+std::vector<QueryGroup> MergeSessions(
+    const std::vector<std::vector<QueryGroup>>& sessions) {
+  std::vector<QueryGroup> merged;
+  size_t total = 0;
+  for (const auto& s : sessions) total += s.size();
+  merged.reserve(total);
+  for (const auto& s : sessions) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const QueryGroup& a, const QueryGroup& b) {
+                     return a.issue_time < b.issue_time;
+                   });
+  return merged;
+}
+
+const char* SchedulingPolicyToString(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kSkipStale:
+      return "skip";
+  }
+  return "unknown";
+}
+
+QueryScheduler::QueryScheduler(Engine* engine, SchedulerOptions options)
+    : engine_(engine), options_(options) {
+  if (options_.num_connections < 1) options_.num_connections = 1;
+}
+
+Result<SessionExecution> QueryScheduler::Run(
+    const std::vector<QueryGroup>& groups) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("QueryScheduler has no engine");
+  }
+  for (size_t i = 1; i < groups.size(); ++i) {
+    if (groups[i].issue_time < groups[i - 1].issue_time) {
+      return Status::InvalidArgument(
+          "query groups must be sorted by issue time");
+    }
+  }
+
+  SessionExecution out;
+  out.groups_submitted = static_cast<int64_t>(groups.size());
+  const CostModel& cost = engine_->cost_model();
+  const Duration request_net = cost.network_request;
+
+  // The backend serves groups one at a time; `backend_free` is when it can
+  // take the next one.
+  SimTime backend_free = SimTime::Origin();
+
+  size_t next = 0;  // Next unprocessed group.
+  while (next < groups.size()) {
+    // Under kSkipStale, once the backend frees up it jumps to the newest
+    // group that has already arrived, shedding everything older.
+    size_t chosen = next;
+    if (options_.policy == SchedulingPolicy::kSkipStale) {
+      while (chosen + 1 < groups.size() &&
+             groups[chosen + 1].issue_time + request_net <= backend_free) {
+        // The group at `chosen` is stale: a newer one is already waiting.
+        const QueryGroup& stale = groups[chosen];
+        for (size_t qi = 0; qi < stale.queries.size(); ++qi) {
+          QueryTimeline t;
+          t.group_id = static_cast<int64_t>(chosen);
+          t.query_index = static_cast<int64_t>(qi);
+          t.skipped = true;
+          t.issue_time = stale.issue_time;
+          t.backend_arrival = stale.issue_time + request_net;
+          out.timelines.push_back(std::move(t));
+        }
+        ++out.groups_skipped;
+        ++chosen;
+      }
+    }
+
+    const QueryGroup& group = groups[chosen];
+    const SimTime arrival = group.issue_time + request_net;
+    const SimTime group_start = std::max(arrival, backend_free);
+
+    // Queries of the group run concurrently across connections; extras
+    // serialize round-robin.
+    std::vector<SimTime> conn_free(
+        static_cast<size_t>(options_.num_connections), group_start);
+    SimTime group_end = group_start;
+    for (size_t qi = 0; qi < group.queries.size(); ++qi) {
+      IDEVAL_ASSIGN_OR_RETURN(QueryResponse response,
+                              engine_->Execute(group.queries[qi]));
+      const size_t conn = qi % conn_free.size();
+
+      QueryTimeline t;
+      t.group_id = static_cast<int64_t>(chosen);
+      t.query_index = static_cast<int64_t>(qi);
+      t.issue_time = group.issue_time;
+      t.backend_arrival = arrival;
+      t.exec_start = conn_free[conn];
+      t.exec_end = t.exec_start + response.ServerTime();
+      conn_free[conn] = t.exec_end;
+      group_end = std::max(group_end, t.exec_end);
+
+      const Duration response_net = cost.NetworkTime(response.stats);
+      t.client_receive = t.exec_end + response_net;
+      const Duration render = cost.RenderTime(response.stats);
+      t.render_end = t.client_receive + render;
+
+      t.network_latency = request_net + response_net;
+      t.scheduling_latency = t.exec_start - t.backend_arrival;
+      t.execution_latency = response.execution_time;
+      t.post_aggregation_latency = response.post_aggregation_time;
+      t.rendering_latency = render;
+      t.stats = response.stats;
+      t.data = std::move(response.data);
+
+      out.last_completion = std::max(out.last_completion, t.render_end);
+      out.timelines.push_back(std::move(t));
+    }
+    backend_free = group_end;
+    ++out.groups_executed;
+    next = chosen + 1;
+  }
+  return out;
+}
+
+}  // namespace ideval

@@ -1,0 +1,114 @@
+#ifndef IDEVAL_SIM_QUERY_SCHEDULER_H_
+#define IDEVAL_SIM_QUERY_SCHEDULER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/engine.h"
+#include "engine/query.h"
+
+namespace ideval {
+
+/// How the backend drains its queue when interaction outpaces execution.
+enum class SchedulingPolicy {
+  /// Run every issued query in arrival order — the "raw" condition of §7.2,
+  /// where delays cascade exactly as in Fig. 2.
+  kFifo,
+  /// When the backend frees up, jump to the *newest* pending query group
+  /// and mark the stale ones skipped — Algorithm 1 ("Skip") of §7.1.
+  kSkipStale,
+};
+
+const char* SchedulingPolicyToString(SchedulingPolicy policy);
+
+/// Scheduler configuration.
+struct SchedulerOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  /// Parallel backend connections; queries inside one group run
+  /// concurrently across connections (the paper forks one process per
+  /// query of a coordinated-view group).
+  int num_connections = 2;
+};
+
+/// Full simulated timeline of one query, from user issue to rendered
+/// result. All latency components of Fig. 1's latency subtree are explicit.
+struct QueryTimeline {
+  int64_t group_id = 0;
+  int64_t query_index = 0;  ///< Position within its group.
+  bool skipped = false;     ///< True if the Skip policy dropped it.
+
+  SimTime issue_time;       ///< User action in the frontend.
+  SimTime backend_arrival;  ///< After request-side network.
+  SimTime exec_start;       ///< After queueing (scheduling latency).
+  SimTime exec_end;         ///< Execution + post-aggregation done.
+  SimTime client_receive;   ///< After response-side network.
+  SimTime render_end;       ///< Result on screen.
+
+  Duration network_latency;
+  Duration scheduling_latency;
+  Duration execution_latency;
+  Duration post_aggregation_latency;
+  Duration rendering_latency;
+
+  QueryWorkStats stats;
+  std::optional<QueryResultData> data;  ///< Absent for skipped queries.
+
+  /// End-to-end latency the user perceives ("from the moment the user hits
+  /// submit till they get back results", §3.1.1). Zero for skipped queries.
+  Duration PerceivedLatency() const {
+    return skipped ? Duration::Zero() : render_end - issue_time;
+  }
+};
+
+/// One frontend interaction step: a timestamp plus the coordinated-view
+/// query group it triggers (crossfiltering issues n-1 histogram queries per
+/// slider event).
+struct QueryGroup {
+  SimTime issue_time;
+  std::vector<Query> queries;
+};
+
+/// Result of replaying a session against a backend.
+struct SessionExecution {
+  std::vector<QueryTimeline> timelines;  ///< Issue order, groups contiguous.
+  int64_t groups_submitted = 0;
+  int64_t groups_executed = 0;
+  int64_t groups_skipped = 0;
+  SimTime last_completion;
+};
+
+/// Discrete-event backend simulator.
+///
+/// Replays a sequence of query groups against an `Engine`, modelling the
+/// execution-delay cascade of Fig. 2: the backend serves one group at a
+/// time (its queries in parallel over `num_connections`), so when the user
+/// issues faster than the backend drains, queueing delay accumulates and
+/// perceived latency grows without bound under `kFifo`. Under `kSkipStale`
+/// the backend sheds stale groups instead.
+class QueryScheduler {
+ public:
+  /// `engine` must outlive the scheduler.
+  QueryScheduler(Engine* engine, SchedulerOptions options);
+
+  /// Replays `groups` (must be sorted by nondecreasing issue time) and
+  /// returns per-query timelines.
+  Result<SessionExecution> Run(const std::vector<QueryGroup>& groups);
+
+ private:
+  Engine* engine_;
+  SchedulerOptions options_;
+};
+
+/// Merges several users' sessions into one arrival-ordered stream for a
+/// *shared* backend — the setup for throughput/saturation studies (§3.1.1:
+/// throughput is the metric for backends serving many clients). Each
+/// user's internal order is preserved (stable merge by issue time).
+std::vector<QueryGroup> MergeSessions(
+    const std::vector<std::vector<QueryGroup>>& sessions);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SIM_QUERY_SCHEDULER_H_

@@ -1,0 +1,43 @@
+#ifndef IDEVAL_SIM_SIM_CLOCK_H_
+#define IDEVAL_SIM_SIM_CLOCK_H_
+
+#include "common/result.h"
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// Monotonic virtual clock that all simulated components share.
+///
+/// ideval never reads wall-clock time in experiment paths; sessions advance
+/// this clock as interaction events and query completions occur, which
+/// makes every latency, interval and LCV count deterministic.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Advances to `t`. Errors if `t` is in the past (monotonicity).
+  Status AdvanceTo(SimTime t) {
+    if (t < now_) {
+      return Status::InvalidArgument("SimClock cannot move backwards (" +
+                                     t.ToString() + " < " + now_.ToString() +
+                                     ")");
+    }
+    now_ = t;
+    return Status::OK();
+  }
+
+  /// Advances by a nonnegative duration.
+  Status Advance(Duration d) { return AdvanceTo(now_ + d); }
+
+  /// Resets to the origin (new session).
+  void Reset() { now_ = SimTime::Origin(); }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SIM_SIM_CLOCK_H_

@@ -1,0 +1,120 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+namespace ideval {
+
+Column::Column(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      data_ = std::vector<int64_t>{};
+      break;
+    case DataType::kDouble:
+      data_ = std::vector<double>{};
+      break;
+    case DataType::kString:
+      data_ = std::vector<std::string>{};
+      break;
+  }
+}
+
+DataType Column::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+Status Column::Append(const Value& value) {
+  if (value.type() != type()) {
+    return Status::InvalidArgument(
+        std::string("cannot append ") + DataTypeToString(value.type()) +
+        " value to " + DataTypeToString(type()) + " column");
+  }
+  switch (type()) {
+    case DataType::kInt64:
+      AppendInt64(value.int64());
+      break;
+    case DataType::kDouble:
+      AppendDouble(value.dbl());
+      break;
+    case DataType::kString:
+      AppendString(value.str());
+      break;
+  }
+  return Status::OK();
+}
+
+Value Column::Get(size_t row) const {
+  switch (type()) {
+    case DataType::kInt64:
+      return Value(std::get<0>(data_)[row]);
+    case DataType::kDouble:
+      return Value(std::get<1>(data_)[row]);
+    case DataType::kString:
+      return Value(std::get<2>(data_)[row]);
+  }
+  return Value();
+}
+
+double Column::GetDouble(size_t row) const {
+  if (type() == DataType::kInt64) {
+    return static_cast<double>(std::get<0>(data_)[row]);
+  }
+  return std::get<1>(data_)[row];
+}
+
+double Column::AvgCellBytes() const {
+  switch (type()) {
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8.0;
+    case DataType::kString: {
+      const auto& strs = std::get<2>(data_);
+      if (strs.empty()) return 16.0;
+      size_t total = 0;
+      for (const auto& s : strs) total += s.size();
+      // Payload plus a 16-byte varlen header, roughly matching how row
+      // stores account for varchar cells.
+      return static_cast<double>(total) / static_cast<double>(strs.size()) +
+             16.0;
+    }
+  }
+  return 8.0;
+}
+
+Result<double> Column::NumericMin() const {
+  if (type() == DataType::kString) {
+    return Status::InvalidArgument("NumericMin on string column");
+  }
+  if (size() == 0) return Status::InvalidArgument("NumericMin on empty column");
+  if (type() == DataType::kInt64) {
+    const auto& v = std::get<0>(data_);
+    return static_cast<double>(*std::min_element(v.begin(), v.end()));
+  }
+  const auto& v = std::get<1>(data_);
+  return *std::min_element(v.begin(), v.end());
+}
+
+Result<double> Column::NumericMax() const {
+  if (type() == DataType::kString) {
+    return Status::InvalidArgument("NumericMax on string column");
+  }
+  if (size() == 0) return Status::InvalidArgument("NumericMax on empty column");
+  if (type() == DataType::kInt64) {
+    const auto& v = std::get<0>(data_);
+    return static_cast<double>(*std::max_element(v.begin(), v.end()));
+  }
+  const auto& v = std::get<1>(data_);
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace ideval

@@ -1,0 +1,27 @@
+#include "storage/schema.h"
+
+namespace ideval {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return FieldIndex(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ':';
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace ideval

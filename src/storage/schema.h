@@ -1,0 +1,47 @@
+#ifndef IDEVAL_STORAGE_SCHEMA_H_
+#define IDEVAL_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace ideval {
+
+/// Name + type of one column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  bool operator==(const Field&) const = default;
+};
+
+/// Ordered list of fields describing a `Table`.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True if a column named `name` exists.
+  bool HasField(const std::string& name) const;
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_STORAGE_SCHEMA_H_

@@ -1,0 +1,81 @@
+#include "storage/table.h"
+
+#include <cassert>
+
+namespace ideval {
+
+Table::Table(std::string name, Schema schema, std::vector<Column> columns)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      num_rows_(columns_.empty() ? 0 : columns_[0].size()) {
+  for (const auto& c : columns_) {
+    assert(c.size() == num_rows_ && "ragged columns");
+    (void)c;
+  }
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  IDEVAL_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+double Table::AvgRowBytes() const {
+  double bytes = 0.0;
+  for (const auto& c : columns_) bytes += c.AvgCellBytes();
+  return bytes;
+}
+
+std::string Table::RowsToString(size_t begin, size_t end) const {
+  std::string out;
+  if (end > num_rows_) end = num_rows_;
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) out += " | ";
+      out += columns_[c].Get(r).ToString();
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TableBuilder::TableBuilder(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.field(i).type) {
+      return Status::InvalidArgument("type mismatch in column '" +
+                                     schema_.field(i).name + "'");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    IDEVAL_RETURN_NOT_OK(columns_[i].Append(row[i]));
+  }
+  return Status::OK();
+}
+
+void TableBuilder::MustAppendRow(const std::vector<Value>& row) {
+  const Status s = AppendRow(row);
+  assert(s.ok());
+  (void)s;
+}
+
+Result<TablePtr> TableBuilder::Finish() && {
+  const size_t rows = num_rows();
+  for (const auto& c : columns_) {
+    if (c.size() != rows) {
+      return Status::Internal("ragged columns in TableBuilder::Finish");
+    }
+  }
+  return TablePtr(std::make_shared<Table>(std::move(name_), std::move(schema_),
+                                          std::move(columns_)));
+}
+
+}  // namespace ideval

@@ -1,0 +1,85 @@
+#ifndef IDEVAL_STORAGE_TABLE_H_
+#define IDEVAL_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace ideval {
+
+/// An immutable-after-build, column-oriented table.
+///
+/// Tables are built once by the dataset generators (`src/data/`) or by a
+/// `TableBuilder`, then shared read-only across engines, widgets, and
+/// benches via `std::shared_ptr<const Table>`.
+class Table {
+ public:
+  Table(std::string name, Schema schema, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Borrow a column by name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Cell accessor. Requires valid indices.
+  Value At(size_t row, size_t col) const { return columns_[col].Get(row); }
+
+  /// Approximate width of one row in bytes (sum of per-column averages);
+  /// feeds the disk engine's tuples-per-page layout.
+  double AvgRowBytes() const;
+
+  /// Renders rows [begin, end) as "v1 | v2 | ..." lines for debug output.
+  std::string RowsToString(size_t begin, size_t end) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+/// Row-at-a-time builder for a `Table`.
+///
+///     TableBuilder b("movies", schema);
+///     b.MustAppendRow({Value(1), Value(9.2), Value("The Shawshank ...")});
+///     TablePtr t = std::move(b).Finish();
+class TableBuilder {
+ public:
+  TableBuilder(std::string name, Schema schema);
+
+  /// Appends one row; errors on arity or type mismatch.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// `AppendRow` that asserts success — for generator code whose rows are
+  /// correct by construction.
+  void MustAppendRow(const std::vector<Value>& row);
+
+  /// Direct access to a column being built (typed fast path for
+  /// generators). Requires a valid index.
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// Validates column lengths and produces the immutable table.
+  Result<TablePtr> Finish() &&;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_STORAGE_TABLE_H_

@@ -1,0 +1,34 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace ideval {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  char buf[64];
+  switch (type()) {
+    case DataType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int64()));
+      return buf;
+    case DataType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", dbl());
+      return buf;
+    case DataType::kString:
+      return str();
+  }
+  return {};
+}
+
+}  // namespace ideval

@@ -1,0 +1,66 @@
+#ifndef IDEVAL_STORAGE_VALUE_H_
+#define IDEVAL_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ideval {
+
+/// Physical type of a column.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "int64" / "double" / "string".
+const char* DataTypeToString(DataType type);
+
+/// A single dynamically-typed cell value, used at the API boundary
+/// (row construction, predicate literals). Hot loops operate on the typed
+/// column vectors directly and never touch `Value`.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  DataType type() const {
+    switch (data_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int64 widened to double. Requires a numeric value.
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64()) : dbl();
+  }
+
+  bool operator==(const Value& other) const = default;
+
+  /// Rendering for debug output and CSV export.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_STORAGE_VALUE_H_

@@ -1,0 +1,164 @@
+#include "widget/composite_interface.h"
+
+#include <algorithm>
+
+namespace ideval {
+
+const char* WidgetKindToString(WidgetKind kind) {
+  switch (kind) {
+    case WidgetKind::kMap:
+      return "map";
+    case WidgetKind::kSlider:
+      return "slider";
+    case WidgetKind::kCheckbox:
+      return "checkbox";
+    case WidgetKind::kButton:
+      return "button";
+    case WidgetKind::kTextBox:
+      return "text box";
+  }
+  return "unknown";
+}
+
+CompositeInterface::CompositeInterface(MapWidget map, Options options)
+    : map_(map), options_(std::move(options)) {}
+
+std::vector<Predicate> CompositeInterface::FilterPredicates() const {
+  std::vector<Predicate> preds;
+  if (price_range_.has_value()) {
+    preds.push_back(
+        RangePredicate{"price", price_range_->first, price_range_->second});
+  }
+  if (guests_.has_value()) {
+    preds.push_back(RangePredicate{"guests", static_cast<double>(*guests_),
+                                   8.0});  // "sleeps at least N".
+  }
+  if (room_types_.size() == 1) {
+    preds.push_back(StringEqPredicate{"room_type", *room_types_.begin()});
+  } else if (room_types_.size() > 1) {
+    preds.push_back(StringInPredicate{
+        "room_type",
+        std::vector<std::string>(room_types_.begin(), room_types_.end())});
+  }
+  if (min_rating_.has_value()) {
+    preds.push_back(RangePredicate{"rating", *min_rating_, 5.0});
+  }
+  if (max_min_nights_.has_value()) {
+    preds.push_back(RangePredicate{
+        "min_nights", 1.0, static_cast<double>(*max_min_nights_)});
+  }
+  // Dates have no listings column (availability lives in a separate
+  // subsystem on the real site); they constrain the URL only.
+  return preds;
+}
+
+int CompositeInterface::ActiveFilterConditions() const {
+  int n = 0;
+  if (dates_.has_value()) n += 2;        // checkin, checkout.
+  if (price_range_.has_value()) n += 2;  // price_min, price_max.
+  if (guests_.has_value()) n += 1;
+  n += static_cast<int>(room_types_.size());
+  if (min_rating_.has_value()) n += 1;
+  if (max_min_nights_.has_value()) n += 1;
+  return n;
+}
+
+CompositeRequest CompositeInterface::BuildRequest(SimTime t,
+                                                  WidgetKind widget) {
+  CompositeRequest r;
+  r.time = t;
+  r.widget = widget;
+  r.query = map_.BuildQuery(options_.table, FilterPredicates());
+  r.zoom_level = map_.zoom();
+  r.bounds = map_.Viewport();
+  r.num_filter_conditions = ActiveFilterConditions();
+  return r;
+}
+
+CompositeRequest CompositeInterface::ZoomIn(SimTime t) {
+  map_.ZoomIn();
+  return BuildRequest(t, WidgetKind::kMap);
+}
+
+CompositeRequest CompositeInterface::ZoomOut(SimTime t) {
+  map_.ZoomOut();
+  return BuildRequest(t, WidgetKind::kMap);
+}
+
+CompositeRequest CompositeInterface::Drag(SimTime t, double dlat,
+                                          double dlng) {
+  map_.DragBy(dlat, dlng);
+  return BuildRequest(t, WidgetKind::kMap);
+}
+
+CompositeRequest CompositeInterface::SetPriceRange(SimTime t, double lo,
+                                                   double hi) {
+  if (lo >= hi) {
+    price_range_.reset();
+  } else {
+    price_range_ = {lo, hi};
+  }
+  return BuildRequest(t, WidgetKind::kSlider);
+}
+
+CompositeRequest CompositeInterface::ToggleRoomType(
+    SimTime t, const std::string& room_type) {
+  auto it = room_types_.find(room_type);
+  if (it != room_types_.end()) {
+    room_types_.erase(it);
+  } else {
+    room_types_.insert(room_type);
+  }
+  return BuildRequest(t, WidgetKind::kCheckbox);
+}
+
+CompositeRequest CompositeInterface::SetGuests(SimTime t, int64_t guests) {
+  if (guests <= 0) {
+    guests_.reset();
+  } else {
+    guests_ = guests;
+  }
+  return BuildRequest(t, WidgetKind::kButton);
+}
+
+CompositeRequest CompositeInterface::SetDates(SimTime t, int checkin_day,
+                                              int nights) {
+  if (nights <= 0) {
+    dates_.reset();
+  } else {
+    dates_ = {checkin_day, nights};
+  }
+  return BuildRequest(t, WidgetKind::kButton);
+}
+
+CompositeRequest CompositeInterface::SetMinRating(SimTime t,
+                                                  double min_rating) {
+  if (min_rating <= 0.0) {
+    min_rating_.reset();
+  } else {
+    min_rating_ = std::min(min_rating, 5.0);
+  }
+  return BuildRequest(t, WidgetKind::kSlider);
+}
+
+CompositeRequest CompositeInterface::SetMaxMinNights(SimTime t,
+                                                     int64_t nights) {
+  if (nights <= 0) {
+    max_min_nights_.reset();
+  } else {
+    max_min_nights_ = nights;
+  }
+  return BuildRequest(t, WidgetKind::kSlider);
+}
+
+Result<CompositeRequest> CompositeInterface::SearchDestination(SimTime t,
+                                                               size_t index) {
+  if (index >= options_.destinations.size()) {
+    return Status::OutOfRange("destination index out of range");
+  }
+  const auto& d = options_.destinations[index];
+  map_.JumpTo(d.lat, d.lng, d.zoom);
+  return BuildRequest(t, WidgetKind::kTextBox);
+}
+
+}  // namespace ideval

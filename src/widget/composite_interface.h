@@ -1,0 +1,123 @@
+#ifndef IDEVAL_WIDGET_COMPOSITE_INTERFACE_H_
+#define IDEVAL_WIDGET_COMPOSITE_INTERFACE_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/query.h"
+#include "widget/map_widget.h"
+
+namespace ideval {
+
+/// The query-interface widget classes whose usage shares Table 9 reports.
+enum class WidgetKind {
+  kMap,
+  kSlider,
+  kCheckbox,
+  kButton,
+  kTextBox,
+};
+
+const char* WidgetKindToString(WidgetKind kind);
+
+/// One interaction on the composite interface: which widget the user
+/// touched and the (fully predicated) backend query it produced.
+struct CompositeRequest {
+  SimTime time;
+  WidgetKind widget = WidgetKind::kMap;
+  SelectQuery query;
+  int zoom_level = 0;       ///< Map zoom at issue time (Fig. 18).
+  GeoBounds bounds;         ///< Viewport at issue time (Fig. 19 / Table 10).
+  int num_filter_conditions = 0;  ///< Active filter count (Fig. 20).
+};
+
+/// An Airbnb-style multi-widget search page (§8, Fig. 16): a map plus
+/// price slider, guest stepper, room-type check boxes and a destination
+/// text box. Every widget action re-issues the page query with the merged
+/// filter state, tagged with the originating widget for Table 9.
+class CompositeInterface {
+ public:
+  struct Options {
+    std::string table = "listings";
+    /// Destination presets the text box can search for
+    /// (lat, lng, jump-to zoom).
+    struct Destination {
+      std::string name;
+      double lat;
+      double lng;
+      int zoom;
+    };
+    std::vector<Destination> destinations;
+  };
+
+  CompositeInterface(MapWidget map, Options options);
+
+  const MapWidget& map() const { return map_; }
+  MapWidget* mutable_map() { return &map_; }
+
+  /// Number of destination presets the text box can search for.
+  size_t num_destinations() const { return options_.destinations.size(); }
+
+  /// --- Widget actions; each returns the request it triggers. ---
+
+  /// Map zoom in/out (no-op request if already at a zoom bound).
+  CompositeRequest ZoomIn(SimTime t);
+  CompositeRequest ZoomOut(SimTime t);
+
+  /// Map drag by degrees.
+  CompositeRequest Drag(SimTime t, double dlat, double dlng);
+
+  /// Price slider (two bounds -> two filter conditions). `lo >= hi`
+  /// clears the filter (handles dragged back to the track ends).
+  CompositeRequest SetPriceRange(SimTime t, double lo, double hi);
+
+  /// Room-type check boxes: toggles membership in a multi-select facet.
+  /// Each selected type is one filter condition; empty = any.
+  CompositeRequest ToggleRoomType(SimTime t, const std::string& room_type);
+
+  /// Guest stepper buttons (one condition; 0 clears).
+  CompositeRequest SetGuests(SimTime t, int64_t guests);
+
+  /// Check-in/check-out date picker (two URL conditions; the listings
+  /// table carries no availability calendar, so dates constrain the URL
+  /// but not the executed query — as on the real site, availability is
+  /// resolved by a separate subsystem). `nights <= 0` clears the dates.
+  CompositeRequest SetDates(SimTime t, int checkin_day, int nights);
+
+  /// Minimum-rating slider (one condition; <= 0 clears).
+  CompositeRequest SetMinRating(SimTime t, double min_rating);
+
+  /// Maximum minimum-nights slider (one condition; <= 0 clears).
+  CompositeRequest SetMaxMinNights(SimTime t, int64_t nights);
+
+  /// Destination text box: jumps the map to the `index`-th preset.
+  Result<CompositeRequest> SearchDestination(SimTime t, size_t index);
+
+  /// Number of currently-active attribute filter conditions, counted the
+  /// way §8 counts URL filter parameters (each bound = 1): dates 2,
+  /// price 2, guests 1, each room type 1, rating 1, min-nights 1. The
+  /// four viewport bounds are reported separately in `CompositeRequest`.
+  int ActiveFilterConditions() const;
+
+ private:
+  CompositeRequest BuildRequest(SimTime t, WidgetKind widget);
+  std::vector<Predicate> FilterPredicates() const;
+
+  MapWidget map_;
+  Options options_;
+  std::optional<std::pair<double, double>> price_range_;
+  std::set<std::string> room_types_;
+  std::optional<int64_t> guests_;
+  std::optional<std::pair<int, int>> dates_;  ///< (checkin day, nights).
+  std::optional<double> min_rating_;
+  std::optional<int64_t> max_min_nights_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WIDGET_COMPOSITE_INTERFACE_H_

@@ -1,0 +1,126 @@
+#include "widget/crossfilter.h"
+
+#include <algorithm>
+
+#include "engine/query.h"
+
+namespace ideval {
+
+RangeSlider::RangeSlider(double domain_lo, double domain_hi, double track_px)
+    : domain_lo_(domain_lo),
+      domain_hi_(domain_hi),
+      track_px_(track_px),
+      selected_lo_(domain_lo),
+      selected_hi_(domain_hi) {}
+
+double RangeSlider::ValueAt(double x) const {
+  const double clamped = std::clamp(x, 0.0, track_px_);
+  return domain_lo_ + (domain_hi_ - domain_lo_) * (clamped / track_px_);
+}
+
+double RangeSlider::PixelAt(double value) const {
+  const double clamped = std::clamp(value, domain_lo_, domain_hi_);
+  return track_px_ * (clamped - domain_lo_) / (domain_hi_ - domain_lo_);
+}
+
+void RangeSlider::MoveHandlePx(bool lower, double x) {
+  const double v = ValueAt(x);
+  if (lower) {
+    selected_lo_ = std::min(v, selected_hi_);
+  } else {
+    selected_hi_ = std::max(v, selected_lo_);
+  }
+}
+
+void RangeSlider::Reset() {
+  selected_lo_ = domain_lo_;
+  selected_hi_ = domain_hi_;
+}
+
+CrossfilterView::CrossfilterView(TablePtr table,
+                                 std::vector<std::string> attributes,
+                                 std::vector<RangeSlider> sliders,
+                                 int64_t bins)
+    : table_(std::move(table)),
+      attributes_(std::move(attributes)),
+      sliders_(std::move(sliders)),
+      bins_(bins) {}
+
+Result<CrossfilterView> CrossfilterView::Make(
+    const TablePtr& table, std::vector<std::string> attributes,
+    int64_t bins) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("CrossfilterView: null table");
+  }
+  if (attributes.size() < 2) {
+    return Status::InvalidArgument(
+        "CrossfilterView needs at least two attributes to coordinate");
+  }
+  if (bins <= 0) {
+    return Status::InvalidArgument("CrossfilterView: bins must be > 0");
+  }
+  std::vector<RangeSlider> sliders;
+  sliders.reserve(attributes.size());
+  for (const auto& name : attributes) {
+    IDEVAL_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(name));
+    IDEVAL_ASSIGN_OR_RETURN(double lo, col->NumericMin());
+    IDEVAL_ASSIGN_OR_RETURN(double hi, col->NumericMax());
+    if (!(lo < hi)) {
+      return Status::InvalidArgument("attribute '" + name +
+                                     "' has a degenerate domain");
+    }
+    sliders.emplace_back(lo, hi);
+  }
+  return CrossfilterView(table, std::move(attributes), std::move(sliders),
+                         bins);
+}
+
+Query CrossfilterView::HistogramFor(size_t i) const {
+  HistogramQuery q;
+  q.table = table_->name();
+  q.bin_column = attributes_[i];
+  q.bin_lo = sliders_[i].domain_lo();
+  q.bin_hi = sliders_[i].domain_hi();
+  q.bins = bins_;
+  for (size_t k = 0; k < attributes_.size(); ++k) {
+    // Selections at the full domain still ship as predicates — that is
+    // what the logged §7 SQL does (every WHERE clause lists x, y and z).
+    q.predicates.push_back(RangePredicate{attributes_[k],
+                                          sliders_[k].selected_lo(),
+                                          sliders_[k].selected_hi()});
+  }
+  return q;
+}
+
+Result<QueryGroup> CrossfilterView::ApplySliderEvent(
+    const SliderEvent& event) {
+  if (event.slider_index < 0 ||
+      static_cast<size_t>(event.slider_index) >= sliders_.size()) {
+    return Status::OutOfRange("slider index out of range");
+  }
+  if (!(event.min_val <= event.max_val)) {
+    return Status::InvalidArgument("slider event has min_val > max_val");
+  }
+  RangeSlider& s = sliders_[static_cast<size_t>(event.slider_index)];
+  s.MoveHandlePx(true, s.PixelAt(event.min_val));
+  s.MoveHandlePx(false, s.PixelAt(event.max_val));
+
+  QueryGroup group;
+  group.issue_time = event.time;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i == static_cast<size_t>(event.slider_index)) continue;
+    group.queries.push_back(HistogramFor(i));
+  }
+  return group;
+}
+
+QueryGroup CrossfilterView::FullRefresh(SimTime t) const {
+  QueryGroup group;
+  group.issue_time = t;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    group.queries.push_back(HistogramFor(i));
+  }
+  return group;
+}
+
+}  // namespace ideval

@@ -1,0 +1,97 @@
+#ifndef IDEVAL_WIDGET_CROSSFILTER_H_
+#define IDEVAL_WIDGET_CROSSFILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "sim/query_scheduler.h"
+#include "storage/table.h"
+
+namespace ideval {
+
+/// One slider move as logged by §7: {timestamp, minVal, maxVal, sliderIdx}.
+struct SliderEvent {
+  SimTime time;
+  double min_val = 0.0;
+  double max_val = 0.0;
+  int slider_index = 0;
+};
+
+/// A range slider mapping a pixel track to an attribute domain.
+///
+/// Device traces are in pixels; `ValueAt` converts a handle pixel position
+/// to a domain value, clamped to the track.
+class RangeSlider {
+ public:
+  /// Track of `track_px` pixels spanning [domain_lo, domain_hi].
+  RangeSlider(double domain_lo, double domain_hi, double track_px = 400.0);
+
+  double domain_lo() const { return domain_lo_; }
+  double domain_hi() const { return domain_hi_; }
+  double track_px() const { return track_px_; }
+
+  /// Domain value of a handle at pixel `x` (clamped to the track).
+  double ValueAt(double x) const;
+
+  /// Pixel position of a domain value (clamped to the domain).
+  double PixelAt(double value) const;
+
+  /// Current selected range.
+  double selected_lo() const { return selected_lo_; }
+  double selected_hi() const { return selected_hi_; }
+
+  /// Moves a handle: updates the min (`lower`=true) or max handle to the
+  /// value at pixel `x`, keeping lo <= hi.
+  void MoveHandlePx(bool lower, double x);
+
+  /// Resets the selection to the full domain.
+  void Reset();
+
+ private:
+  double domain_lo_, domain_hi_, track_px_;
+  double selected_lo_, selected_hi_;
+};
+
+/// Coordinated-view crossfilter over `n` numeric attributes of one table
+/// (§7, Fig. 12): each attribute has a 20-bin histogram and a range slider;
+/// dragging slider `k` re-filters every *other* histogram.
+class CrossfilterView {
+ public:
+  /// Builds sliders from the min/max of each named column. Errors if a
+  /// column is missing or non-numeric.
+  static Result<CrossfilterView> Make(const TablePtr& table,
+                                      std::vector<std::string> attributes,
+                                      int64_t bins = 20);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+  const RangeSlider& slider(size_t i) const { return sliders_[i]; }
+  RangeSlider* mutable_slider(size_t i) { return &sliders_[i]; }
+
+  /// Applies a slider event and returns the coordinated query group it
+  /// triggers: one filtered histogram query per *other* attribute, with
+  /// WHERE conjuncts from all current slider selections ("about 50(n-1)
+  /// queries per second", §7.1).
+  Result<QueryGroup> ApplySliderEvent(const SliderEvent& event);
+
+  /// The query group refreshing every histogram (initial paint).
+  QueryGroup FullRefresh(SimTime t) const;
+
+ private:
+  CrossfilterView(TablePtr table, std::vector<std::string> attributes,
+                  std::vector<RangeSlider> sliders, int64_t bins);
+
+  /// Histogram query for attribute `i` under the current selections.
+  Query HistogramFor(size_t i) const;
+
+  TablePtr table_;
+  std::vector<std::string> attributes_;
+  std::vector<RangeSlider> sliders_;
+  int64_t bins_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WIDGET_CROSSFILTER_H_

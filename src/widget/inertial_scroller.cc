@@ -1,0 +1,74 @@
+#include "widget/inertial_scroller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+InertialScroller::InertialScroller(ScrollerOptions options)
+    : options_(options) {}
+
+double InertialScroller::MaxScrollTopPx() const {
+  const double total =
+      static_cast<double>(options_.total_tuples) * options_.tuple_height_px;
+  const double window =
+      static_cast<double>(options_.visible_tuples) * options_.tuple_height_px;
+  return std::max(0.0, total - window);
+}
+
+ScrollEvent InertialScroller::Emit(SimTime t, double delta_px) {
+  const double before = scroll_top_px_;
+  scroll_top_px_ =
+      std::clamp(scroll_top_px_ + delta_px, 0.0, MaxScrollTopPx());
+  ScrollEvent e;
+  e.time = t;
+  e.wheel_delta_px = scroll_top_px_ - before;  // Clamped actual movement.
+  e.scroll_top_px = scroll_top_px_;
+  e.top_tuple = top_tuple();
+  e.tuples_delta = e.wheel_delta_px / options_.tuple_height_px;
+  return e;
+}
+
+std::vector<ScrollEvent> InertialScroller::Flick(SimTime t,
+                                                 double velocity_px_s) {
+  std::vector<ScrollEvent> events;
+  const double dt = options_.event_interval.seconds();
+  if (!options_.inertial) {
+    // Plain scrolling: constant small wheel deltas while the gesture lasts
+    // (~0.4 s of notches), no glide afterwards. Fig. 7b's deltas are ~2–4
+    // px per event.
+    const double sign = velocity_px_s < 0.0 ? -1.0 : 1.0;
+    const int notches = 24;
+    SimTime now = t;
+    for (int i = 0; i < notches; ++i) {
+      events.push_back(Emit(now, sign * 3.0));
+      now += options_.event_interval;
+    }
+    return events;
+  }
+  // Inertial: velocity decays exponentially; each interval contributes
+  // v * dt pixels. Matches the accelerate-then-glide envelope of Fig. 7a.
+  double v = velocity_px_s;
+  SimTime now = t;
+  while (std::abs(v) > options_.rest_velocity) {
+    events.push_back(Emit(now, v * dt));
+    v *= std::exp(-options_.inertia_decay * dt);
+    now += options_.event_interval;
+    // Stop early when pinned at a boundary.
+    if ((scroll_top_px_ <= 0.0 && v < 0.0) ||
+        (scroll_top_px_ >= MaxScrollTopPx() && v > 0.0)) {
+      break;
+    }
+  }
+  return events;
+}
+
+ScrollEvent InertialScroller::WheelNotch(SimTime t, double delta_px) {
+  return Emit(t, delta_px);
+}
+
+void InertialScroller::JumpTo(double scroll_top_px) {
+  scroll_top_px_ = std::clamp(scroll_top_px, 0.0, MaxScrollTopPx());
+}
+
+}  // namespace ideval

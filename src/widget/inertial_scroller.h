@@ -1,0 +1,86 @@
+#ifndef IDEVAL_WIDGET_INERTIAL_SCROLLER_H_
+#define IDEVAL_WIDGET_INERTIAL_SCROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// One scroll/wheel event as logged by the §6 user study:
+/// {timestamp, scrollTop, scrollNum, delta}.
+struct ScrollEvent {
+  SimTime time;
+  double wheel_delta_px = 0.0;   ///< Accelerated scroll amount this event.
+  double scroll_top_px = 0.0;    ///< Pixels scrolled from the top.
+  int64_t top_tuple = 0;         ///< Index of the first visible tuple.
+  double tuples_delta = 0.0;     ///< Tuples moved by this event (signed).
+};
+
+/// Configuration of the scrolling surface.
+struct ScrollerOptions {
+  /// Height of one rendered tuple. §6's pixel/tuple statistics (Table 7)
+  /// relate as ~157 px per tuple (31,517 px/s max ≈ 200 tuples/s max).
+  double tuple_height_px = 157.0;
+  /// Number of tuples in the result list (4,000 in §6).
+  int64_t total_tuples = 4000;
+  /// Rows visible at once.
+  int64_t visible_tuples = 6;
+  /// Exponential decay rate of inertial velocity (1/s). Momentum scrolling
+  /// glides to a stop instead of halting immediately.
+  double inertia_decay = 2.2;
+  /// Velocity below which the glide stops (px/s).
+  double rest_velocity = 40.0;
+  /// Event sensing interval while scrolling ("a scroll event is triggered
+  /// every 15–20 ms", §6.2).
+  Duration event_interval = Duration::Micros(17000);
+  /// When false, wheel deltas are small and constant (plain scrolling,
+  /// Fig. 7b); when true, flicks accelerate and glide (Fig. 7a).
+  bool inertial = true;
+};
+
+/// Simulates an inertial (momentum) scrolling surface over a query result
+/// list (§6).
+///
+/// The caller drives it with flicks (touch) or wheel notches (plain
+/// scrolling); the scroller integrates velocity with exponential decay and
+/// emits per-interval scroll events, clamping at list boundaries.
+class InertialScroller {
+ public:
+  explicit InertialScroller(ScrollerOptions options);
+
+  const ScrollerOptions& options() const { return options_; }
+  double scroll_top_px() const { return scroll_top_px_; }
+  int64_t top_tuple() const {
+    return static_cast<int64_t>(scroll_top_px_ / options_.tuple_height_px);
+  }
+
+  /// Performs a flick at `t` with initial velocity `velocity_px_s`
+  /// (negative = scroll back up). Returns the events emitted until the
+  /// glide rests. In non-inertial mode the "flick" is a single fixed-delta
+  /// wheel notch repeated while the (modelled) finger keeps turning:
+  /// `velocity_px_s` then acts only as the sign and nominal speed.
+  std::vector<ScrollEvent> Flick(SimTime t, double velocity_px_s);
+
+  /// Emits one plain (non-inertial) wheel notch of `delta_px`.
+  ScrollEvent WheelNotch(SimTime t, double delta_px);
+
+  /// Jumps to an absolute position (e.g. after a backscroll correction).
+  void JumpTo(double scroll_top_px);
+
+  /// Largest scrollTop value (list fully scrolled).
+  double MaxScrollTopPx() const;
+
+ private:
+  ScrollEvent Emit(SimTime t, double delta_px);
+
+  ScrollerOptions options_;
+  double scroll_top_px_ = 0.0;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WIDGET_INERTIAL_SCROLLER_H_

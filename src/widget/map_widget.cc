@@ -1,0 +1,97 @@
+#include "widget/map_widget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/text_table.h"
+
+namespace ideval {
+
+std::string TileId::ToString() const {
+  return StrFormat("%d/%lld/%lld", zoom, static_cast<long long>(tx),
+                   static_cast<long long>(ty));
+}
+
+MapWidget::MapWidget(double center_lat, double center_lng, int zoom,
+                     Options options)
+    : options_(options), center_lat_(center_lat), center_lng_(center_lng) {
+  zoom_ = std::clamp(zoom, options_.min_zoom, options_.max_zoom);
+}
+
+GeoBounds MapWidget::Viewport() const {
+  const double tile_lng_span = 360.0 / std::pow(2.0, zoom_);
+  const double tile_lat_span = 180.0 / std::pow(2.0, zoom_);
+  const double lng_span = tile_lng_span * options_.viewport_tiles_x;
+  const double lat_span = tile_lat_span * options_.viewport_tiles_y;
+  GeoBounds b;
+  b.sw_lat = center_lat_ - lat_span / 2.0;
+  b.ne_lat = center_lat_ + lat_span / 2.0;
+  b.sw_lng = center_lng_ - lng_span / 2.0;
+  b.ne_lng = center_lng_ + lng_span / 2.0;
+  return b;
+}
+
+bool MapWidget::ZoomIn() {
+  if (zoom_ >= options_.max_zoom) return false;
+  ++zoom_;
+  return true;
+}
+
+bool MapWidget::ZoomOut() {
+  if (zoom_ <= options_.min_zoom) return false;
+  --zoom_;
+  return true;
+}
+
+void MapWidget::DragBy(double dlat, double dlng) {
+  center_lat_ = std::clamp(center_lat_ + dlat, -85.0, 85.0);
+  center_lng_ = std::clamp(center_lng_ + dlng, -180.0, 180.0);
+}
+
+void MapWidget::JumpTo(double lat, double lng, int zoom) {
+  center_lat_ = std::clamp(lat, -85.0, 85.0);
+  center_lng_ = std::clamp(lng, -180.0, 180.0);
+  zoom_ = std::clamp(zoom, options_.min_zoom, options_.max_zoom);
+}
+
+SelectQuery MapWidget::BuildQuery(
+    const std::string& table, std::vector<Predicate> extra_filters) const {
+  const GeoBounds b = Viewport();
+  SelectQuery q;
+  q.table = table;
+  q.predicates.push_back(RangePredicate{"lat", b.sw_lat, b.ne_lat});
+  q.predicates.push_back(RangePredicate{"lng", b.sw_lng, b.ne_lng});
+  for (auto& p : extra_filters) q.predicates.push_back(std::move(p));
+  q.limit = options_.page_size;
+  q.offset = 0;
+  return q;
+}
+
+TileId MapWidget::TileAt(double lat, double lng, int zoom) {
+  const double n = std::pow(2.0, zoom);
+  TileId id;
+  id.zoom = zoom;
+  id.tx = static_cast<int64_t>(std::floor((lng + 180.0) / 360.0 * n));
+  id.ty = static_cast<int64_t>(std::floor((90.0 - lat) / 180.0 * n));
+  const int64_t max_t = static_cast<int64_t>(n) - 1;
+  id.tx = std::clamp<int64_t>(id.tx, 0, max_t);
+  id.ty = std::clamp<int64_t>(id.ty, 0, max_t);
+  return id;
+}
+
+std::vector<TileId> MapWidget::VisibleTiles() const {
+  const GeoBounds b = Viewport();
+  const TileId sw = TileAt(b.sw_lat, b.sw_lng, zoom_);
+  const TileId ne = TileAt(b.ne_lat, b.ne_lng, zoom_);
+  std::vector<TileId> tiles;
+  for (int64_t tx = std::min(sw.tx, ne.tx); tx <= std::max(sw.tx, ne.tx);
+       ++tx) {
+    for (int64_t ty = std::min(sw.ty, ne.ty); ty <= std::max(sw.ty, ne.ty);
+         ++ty) {
+      tiles.push_back(TileId{zoom_, tx, ty});
+    }
+  }
+  return tiles;
+}
+
+}  // namespace ideval

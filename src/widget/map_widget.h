@@ -1,0 +1,110 @@
+#ifndef IDEVAL_WIDGET_MAP_WIDGET_H_
+#define IDEVAL_WIDGET_MAP_WIDGET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query.h"
+
+namespace ideval {
+
+/// Geographic bounding box (the `sw_lat..ne_lng` parameters of §8's
+/// logged Airbnb URLs).
+struct GeoBounds {
+  double sw_lat = 0.0;
+  double sw_lng = 0.0;
+  double ne_lat = 0.0;
+  double ne_lng = 0.0;
+
+  double CenterLat() const { return (sw_lat + ne_lat) / 2.0; }
+  double CenterLng() const { return (sw_lng + ne_lng) / 2.0; }
+  double LatSpan() const { return ne_lat - sw_lat; }
+  double LngSpan() const { return ne_lng - sw_lng; }
+  bool Contains(double lat, double lng) const {
+    return lat >= sw_lat && lat <= ne_lat && lng >= sw_lng && lng <= ne_lng;
+  }
+};
+
+/// Slippy-map tile coordinate (equirectangular; adequate for workload
+/// simulation — the paper's analyses only need zoom levels and viewport
+/// movement, not projection fidelity).
+struct TileId {
+  int zoom = 0;
+  int64_t tx = 0;
+  int64_t ty = 0;
+
+  bool operator==(const TileId&) const = default;
+  std::string ToString() const;
+};
+
+struct TileIdHash {
+  size_t operator()(const TileId& id) const {
+    size_t h = std::hash<int>()(id.zoom);
+    h = h * 1315423911u ^ std::hash<int64_t>()(id.tx);
+    h = h * 2654435761u ^ std::hash<int64_t>()(id.ty);
+    return h;
+  }
+};
+
+/// A pannable, zoomable map viewport over a listings table (§8).
+///
+/// Zoom level semantics follow slippy maps: one tile covers 360/2^z
+/// degrees of longitude; the viewport is ~2 tiles wide and ~1.4 tiles
+/// tall, so each zoom-in halves the visible span ("one zoom action
+/// triggers two predicate changes in the WHERE clause", §2.1).
+class MapWidget {
+ public:
+  struct Options {
+    double viewport_tiles_x = 2.0;
+    double viewport_tiles_y = 1.4;
+    int min_zoom = 3;
+    int max_zoom = 18;
+    /// Listings page size a viewport query returns.
+    int64_t page_size = 18;
+  };
+
+  /// Creates a map centered on (lat, lng) at `zoom`.
+  MapWidget(double center_lat, double center_lng, int zoom, Options options);
+  MapWidget(double center_lat, double center_lng, int zoom)
+      : MapWidget(center_lat, center_lng, zoom, Options()) {}
+
+  int zoom() const { return zoom_; }
+  double center_lat() const { return center_lat_; }
+  double center_lng() const { return center_lng_; }
+
+  /// Current viewport bounds.
+  GeoBounds Viewport() const;
+
+  /// Zooms in/out one level around the current center. Clamped to
+  /// [min_zoom, max_zoom]; returns whether the level changed.
+  bool ZoomIn();
+  bool ZoomOut();
+
+  /// Pans the center by (dlat, dlng) degrees.
+  void DragBy(double dlat, double dlng);
+
+  /// Jumps to a new center/zoom (e.g. after a destination search).
+  void JumpTo(double lat, double lng, int zoom);
+
+  /// The viewport query: listings inside the bounds plus the caller's
+  /// extra filter predicates, paged.
+  SelectQuery BuildQuery(const std::string& table,
+                         std::vector<Predicate> extra_filters) const;
+
+  /// Tiles covering the current viewport (unit of §8's prefetch model).
+  std::vector<TileId> VisibleTiles() const;
+
+  /// Tile containing (lat, lng) at `zoom`.
+  static TileId TileAt(double lat, double lng, int zoom);
+
+ private:
+  Options options_;
+  double center_lat_, center_lng_;
+  int zoom_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WIDGET_MAP_WIDGET_H_

@@ -1,0 +1,145 @@
+#include "workload/crossfilter_task.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+std::vector<CrossfilterUserParams> SampleCrossfilterUsers(int n,
+                                                          DeviceType device,
+                                                          Rng* rng) {
+  std::vector<CrossfilterUserParams> users;
+  users.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    CrossfilterUserParams p;
+    p.user_id = i;
+    p.device = device;
+    p.num_moves = static_cast<int>(rng->UniformInt(16, 26));
+    p.dwell_mean_s = rng->Uniform(1.2, 3.0);
+    p.seed = rng->Next();
+    users.push_back(p);
+  }
+  return users;
+}
+
+namespace {
+
+/// Minimum-jerk position profile from x0 to x1 over [0, 1].
+double MinimumJerk(double x0, double x1, double s) {
+  const double u = std::clamp(s, 0.0, 1.0);
+  const double blend = 10.0 * u * u * u - 15.0 * u * u * u * u +
+                       6.0 * u * u * u * u * u;
+  return x0 + (x1 - x0) * blend;
+}
+
+}  // namespace
+
+Result<CrossfilterTrace> GenerateCrossfilterTrace(
+    const CrossfilterUserParams& params, CrossfilterView* view) {
+  if (view == nullptr) {
+    return Status::InvalidArgument("GenerateCrossfilterTrace: null view");
+  }
+  if (params.num_moves <= 0) {
+    return Status::InvalidArgument("num_moves must be positive");
+  }
+  Rng rng(params.seed);
+  DeviceModel device(params.device, rng.Fork());
+  const DeviceSpec& spec = device.spec();
+
+  CrossfilterTrace trace;
+  trace.user_id = params.user_id;
+  trace.device = params.device;
+
+  SimTime t;
+  // Track, per slider, the current handle pixel positions (lower, upper).
+  struct HandleState {
+    double lo_px;
+    double hi_px;
+  };
+  std::vector<HandleState> handles;
+  for (size_t i = 0; i < view->num_attributes(); ++i) {
+    const RangeSlider& s = view->slider(i);
+    handles.push_back({s.PixelAt(s.selected_lo()), s.PixelAt(s.selected_hi())});
+  }
+
+  for (int move = 0; move < params.num_moves; ++move) {
+    const int slider_idx =
+        static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(
+                                               view->num_attributes()) -
+                                               1));
+    const RangeSlider& slider =
+        view->slider(static_cast<size_t>(slider_idx));
+    HandleState& hs = handles[static_cast<size_t>(slider_idx)];
+    const bool lower = rng.Bernoulli(0.5);
+    const double x0 = lower ? hs.lo_px : hs.hi_px;
+    // Target position: anywhere on the track (keeping lo <= hi).
+    const double x1 = lower ? rng.Uniform(0.0, hs.hi_px)
+                            : rng.Uniform(hs.lo_px, slider.track_px());
+    const double target_width_px = 8.0;  // Handle acquisition width.
+    const Duration mt =
+        device.FittsMovementTime(std::abs(x1 - x0), target_width_px);
+    const Duration dwell = Duration::Seconds(
+        std::max(0.25, rng.Exponential(params.dwell_mean_s)));
+
+    const SimTime move_start = t;
+    const SimTime move_end = t + mt;
+    const SimTime dwell_end = move_end + dwell;
+
+    auto path = [&](SimTime now) -> std::pair<double, double> {
+      if (now <= move_end) {
+        const double s = (now - move_start).seconds() /
+                         std::max(1e-9, mt.seconds());
+        return {MinimumJerk(x0, x1, s), 0.0};
+      }
+      return {x1, 0.0};
+    };
+    auto moving = [&](SimTime now) { return now < move_end; };
+    PointerTrace samples = device.SamplePath(path, move_start, dwell_end,
+                                             moving);
+
+    // Toolkit thresholding: emit a slider event when the handle pixel moved
+    // enough since the last emitted event.
+    double last_emitted = x0;
+    for (const PointerSample& s : samples) {
+      if (std::abs(s.x - last_emitted) < spec.motion_threshold) continue;
+      last_emitted = s.x;
+      const double clamped = std::clamp(s.x, 0.0, slider.track_px());
+      double lo_px = hs.lo_px;
+      double hi_px = hs.hi_px;
+      if (lower) {
+        lo_px = std::min(clamped, hs.hi_px);
+      } else {
+        hi_px = std::max(clamped, hs.lo_px);
+      }
+      SliderEvent e;
+      e.time = s.time;
+      e.slider_index = slider_idx;
+      e.min_val = slider.ValueAt(lo_px);
+      e.max_val = slider.ValueAt(hi_px);
+      trace.events.push_back(e);
+      hs.lo_px = lo_px;
+      hs.hi_px = hi_px;
+    }
+    trace.pointer_trace.insert(trace.pointer_trace.end(), samples.begin(),
+                               samples.end());
+    t = dwell_end;
+  }
+  trace.session_duration = t - SimTime::Origin();
+  return trace;
+}
+
+Result<std::vector<QueryGroup>> BuildQueryGroups(
+    CrossfilterView* view, const std::vector<SliderEvent>& events) {
+  if (view == nullptr) {
+    return Status::InvalidArgument("BuildQueryGroups: null view");
+  }
+  std::vector<QueryGroup> groups;
+  groups.reserve(events.size());
+  for (const SliderEvent& e : events) {
+    IDEVAL_ASSIGN_OR_RETURN(QueryGroup g, view->ApplySliderEvent(e));
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace ideval

@@ -1,0 +1,58 @@
+#ifndef IDEVAL_WORKLOAD_CROSSFILTER_TASK_H_
+#define IDEVAL_WORKLOAD_CROSSFILTER_TASK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "device/device_model.h"
+#include "widget/crossfilter.h"
+
+namespace ideval {
+
+/// A §7 crossfilter session for one user on one device: the slider event
+/// log ({timestamp, minVal, maxVal, sliderIdx}) plus the raw pointer trace
+/// it came from (Fig. 11).
+struct CrossfilterTrace {
+  int user_id = 0;
+  DeviceType device = DeviceType::kMouse;
+  std::vector<SliderEvent> events;
+  PointerTrace pointer_trace;
+  Duration session_duration;
+};
+
+/// Per-user behaviour parameters for the range-query task ("specify range
+/// queries by moving the handle to a specific position", §7).
+struct CrossfilterUserParams {
+  int user_id = 0;
+  DeviceType device = DeviceType::kMouse;
+  /// Slider adjustments in the session.
+  int num_moves = 20;
+  /// Mean dwell between moves while reading the coordinated histograms (s).
+  double dwell_mean_s = 2.0;
+  uint64_t seed = 1;
+};
+
+/// Samples `n` users for a device (the study ran 10 users per device).
+std::vector<CrossfilterUserParams> SampleCrossfilterUsers(int n,
+                                                          DeviceType device,
+                                                          Rng* rng);
+
+/// Simulates the session: each move is a Fitts-timed minimum-jerk handle
+/// drag sampled through the device model; every pointer motion event that
+/// clears the toolkit threshold becomes a slider event. On frictionless
+/// devices (Leap Motion) the dwell phases keep emitting events — the
+/// unintended, noisy, repeated queries of §2.3.
+///
+/// `view` provides slider geometry and is left with the final selections.
+Result<CrossfilterTrace> GenerateCrossfilterTrace(
+    const CrossfilterUserParams& params, CrossfilterView* view);
+
+/// Converts slider events into coordinated query groups by replaying them
+/// through `view` (n-1 histogram queries per event).
+Result<std::vector<QueryGroup>> BuildQueryGroups(
+    CrossfilterView* view, const std::vector<SliderEvent>& events);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WORKLOAD_CROSSFILTER_TASK_H_

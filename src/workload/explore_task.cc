@@ -1,0 +1,190 @@
+#include "workload/explore_task.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+std::vector<ExploreUserParams> SampleExploreUsers(int n, Rng* rng) {
+  std::vector<ExploreUserParams> users;
+  users.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ExploreUserParams p;
+    p.user_id = i;
+    // Destination searches land at zoom 11–12, which (with the ≤3-level
+    // walk) concentrates Fig. 18's activity on levels 11–14.
+    p.start_zoom = static_cast<int>(rng->UniformInt(11, 12));
+    // One user in the study wandered further than three levels.
+    p.max_zoom_depth = rng->Bernoulli(0.07) ? 5 : 3;
+    p.seed = rng->Next();
+    users.push_back(p);
+  }
+  return users;
+}
+
+Result<ExploreTrace> GenerateExploreTrace(const ExploreUserParams& params,
+                                          CompositeInterface* ui) {
+  if (ui == nullptr) {
+    return Status::InvalidArgument("GenerateExploreTrace: null ui");
+  }
+  if (ui->map().zoom() <= 0) {
+    return Status::InvalidArgument("composite interface has no map state");
+  }
+  Rng rng(params.seed);
+  ExploreTrace trace;
+  trace.user_id = params.user_id;
+
+  SimTime t;
+  // Session opens with a destination search (text box).
+  const size_t num_destinations = ui->num_destinations();
+  if (num_destinations == 0) {
+    return Status::InvalidArgument(
+        "composite interface has no destination presets");
+  }
+  auto first = ui->SearchDestination(
+      t, static_cast<size_t>(rng.UniformInt(
+             0, static_cast<int64_t>(num_destinations) - 1)));
+  if (!first.ok()) return first.status();
+  // Anchor the zoom walk at the user's preferred start level.
+  ui->mutable_map()->JumpTo(ui->map().center_lat(), ui->map().center_lng(),
+                            params.start_zoom);
+  CompositeRequest pending = *first;
+  pending.zoom_level = ui->map().zoom();
+  pending.bounds = ui->map().Viewport();
+
+  // The center of the searched destination: drags gravitate back toward
+  // it (users pan around the content they came for, not into empty map).
+  double dest_lat = ui->map().center_lat();
+  double dest_lng = ui->map().center_lng();
+
+  // Most travellers pin their dates right after picking a destination
+  // (two URL filter conditions that persist for the whole session).
+  const bool sets_dates = rng.Bernoulli(0.9);
+  bool dates_set = false;
+
+  // Action mix calibrated to Table 9: the map dominates, filters second.
+  // (The forced destination search and date pick add to the text-box and
+  // button shares, which the weights compensate for.)
+  enum Action { kDrag, kZoom, kSlider, kCheckbox, kButton, kTextBox };
+  const std::vector<double> weights = {46.9, 17.6, 20.0, 10.2, 2.2, 2.8};
+
+  // Which filters this user cares about at all; most stick to dates and
+  // price, which keeps ~70% of queries at four or fewer conditions
+  // (Fig. 20).
+  const bool uses_guests = rng.Bernoulli(0.35);
+  const bool uses_rating = rng.Bernoulli(0.30);
+  const bool uses_nights = rng.Bernoulli(0.25);
+  // Preferred room types the checkbox toggling moves between (1–2).
+  static const char* const kRooms[] = {"Entire home/apt", "Private room",
+                                       "Shared room", "Hotel room"};
+  const size_t preferred_room_a =
+      static_cast<size_t>(rng.UniformInt(0, 3));
+  const size_t preferred_room_b =
+      rng.Bernoulli(0.4) ? static_cast<size_t>(rng.UniformInt(0, 3))
+                         : preferred_room_a;
+
+  while (t - SimTime::Origin() < params.min_session) {
+    // Complete the request–render–explore cycle for the pending request.
+    ExplorePhase phase;
+    phase.request = pending;
+    phase.request_time = Duration::Seconds(std::clamp(
+        rng.LogNormal(params.request_mu, params.request_sigma), 0.08, 30.0));
+    phase.rendering_time = Duration::Seconds(
+        std::clamp(rng.LogNormal(std::log(0.15), 0.5), 0.03, 2.0));
+    phase.exploration_time = Duration::Seconds(std::clamp(
+        rng.LogNormal(params.explore_mu, params.explore_sigma), 0.15, 240.0));
+    t += phase.request_time + phase.rendering_time + phase.exploration_time;
+    trace.phases.push_back(phase);
+
+    // Decide the next action.
+    if (sets_dates && !dates_set && trace.phases.size() >= 1) {
+      dates_set = true;
+      pending = ui->SetDates(t, static_cast<int>(rng.UniformInt(1, 300)),
+                             static_cast<int>(rng.UniformInt(2, 10)));
+      continue;
+    }
+    switch (static_cast<Action>(rng.WeightedIndex(weights))) {
+      case kDrag: {
+        const GeoBounds b = ui->map().Viewport();
+        // Drag amplitude is a fraction of the visible span, so deeper
+        // zooms move smaller distances (Table 10); drags are biased back
+        // toward the destination's content rather than random walks into
+        // empty map.
+        const double pull_lat =
+            std::clamp(0.5 * (dest_lat - b.CenterLat()),
+                       -0.30 * b.LatSpan(), 0.30 * b.LatSpan());
+        const double pull_lng =
+            std::clamp(0.5 * (dest_lng - b.CenterLng()),
+                       -0.25 * b.LngSpan(), 0.25 * b.LngSpan());
+        const double dlat =
+            pull_lat + b.LatSpan() * rng.Uniform(-0.60, 0.60);
+        const double dlng =
+            pull_lng + b.LngSpan() * rng.Uniform(-0.45, 0.45);
+        pending = ui->Drag(t, dlat, dlng);
+        break;
+      }
+      case kZoom: {
+        const int depth = ui->map().zoom() - params.start_zoom;
+        const bool zoom_in =
+            depth < params.max_zoom_depth &&
+            (depth <= 0 || rng.Bernoulli(0.62));
+        if (zoom_in) {
+          pending = ui->ZoomIn(t);
+        } else if (depth > -1) {
+          pending = ui->ZoomOut(t);
+        } else {
+          pending = ui->ZoomIn(t);
+        }
+        break;
+      }
+      case kSlider: {
+        const double which = rng.NextDouble();
+        if (uses_rating && which < 0.15) {
+          pending = ui->SetMinRating(
+              t, rng.Bernoulli(0.25) ? 0.0 : rng.Uniform(3.5, 4.8));
+        } else if (uses_nights && which < 0.30) {
+          pending = ui->SetMaxMinNights(
+              t, rng.Bernoulli(0.25) ? 0 : rng.UniformInt(2, 7));
+        } else if (rng.Bernoulli(0.35)) {
+          // Dragging the price slider back to the track ends clears it.
+          pending = ui->SetPriceRange(t, 0.0, 0.0);
+        } else {
+          const double lo = rng.Uniform(10.0, 120.0);
+          const double hi = lo + rng.Uniform(30.0, 320.0);
+          pending = ui->SetPriceRange(t, lo, hi);
+        }
+        break;
+      }
+      case kCheckbox: {
+        const size_t pick = rng.Bernoulli(0.5) ? preferred_room_a
+                                               : preferred_room_b;
+        pending = ui->ToggleRoomType(t, kRooms[pick]);
+        break;
+      }
+      case kButton:
+        pending = ui->SetGuests(
+            t, uses_guests && !rng.Bernoulli(0.45) ? rng.UniformInt(1, 6)
+                                                  : 0);
+        break;
+      case kTextBox: {
+        auto r = ui->SearchDestination(
+            t, static_cast<size_t>(rng.UniformInt(
+                   0, static_cast<int64_t>(num_destinations) - 1)));
+        if (!r.ok()) return r.status();
+        // A fresh destination restarts the zoom walk near the start level.
+        ui->mutable_map()->JumpTo(ui->map().center_lat(),
+                                  ui->map().center_lng(), params.start_zoom);
+        dest_lat = ui->map().center_lat();
+        dest_lng = ui->map().center_lng();
+        pending = *r;
+        pending.zoom_level = ui->map().zoom();
+        pending.bounds = ui->map().Viewport();
+        break;
+      }
+    }
+  }
+  trace.session_duration = t - SimTime::Origin();
+  return trace;
+}
+
+}  // namespace ideval

@@ -1,0 +1,66 @@
+#ifndef IDEVAL_WORKLOAD_EXPLORE_TASK_H_
+#define IDEVAL_WORKLOAD_EXPLORE_TASK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "widget/composite_interface.h"
+
+namespace ideval {
+
+/// One request–render–explore cycle of the §8 exploration process
+/// (Fig. 17): the browser fetches (T0), renders (T1), then the user reads
+/// the results and decides the next query (T2).
+struct ExplorePhase {
+  CompositeRequest request;
+  Duration request_time;      ///< T0.
+  Duration rendering_time;    ///< T1.
+  Duration exploration_time;  ///< T2.
+};
+
+/// A full §8 composite-interface session.
+struct ExploreTrace {
+  int user_id = 0;
+  std::vector<ExplorePhase> phases;
+  Duration session_duration;
+};
+
+/// Per-user behaviour parameters for the vacation-booking task ("think of
+/// an ideal vacation and use the site to book short-term housing; spend at
+/// least 20 minutes").
+struct ExploreUserParams {
+  int user_id = 0;
+  /// Minimum session length; the user keeps exploring past it to finish
+  /// their current line of investigation.
+  Duration min_session = Duration::Seconds(20 * 60);
+  /// Zoom level the destination search lands on.
+  int start_zoom = 12;
+  /// Deepest zoom-in relative to start (almost all users stay within 3,
+  /// Fig. 18).
+  int max_zoom_depth = 3;
+  /// Log-normal exploration-time parameters (T2). Defaults give mean
+  /// ≈18.3 s with ≈80% of phases above 1 s, matching Fig. 21.
+  double explore_mu = 1.44;
+  double explore_sigma = 1.71;
+  /// Log-normal request-time parameters (T0). Defaults give mean ≈1.1 s
+  /// with ≈80% of requests below 1 s, matching Fig. 21.
+  double request_mu = -1.512;
+  double request_sigma = 1.8;
+  uint64_t seed = 1;
+};
+
+/// Samples `n` users (the study recruited 15 students).
+std::vector<ExploreUserParams> SampleExploreUsers(int n, Rng* rng);
+
+/// Simulates the session over `ui`. Action mix, zoom walk and drag
+/// distances are calibrated to Table 9 (map 62.8%, slider/checkbox 29.9%,
+/// button 3.6%, text box 3.6%), Fig. 18 (zoom levels concentrate on
+/// 11–14), and Table 10 (drag ranges shrink with depth).
+Result<ExploreTrace> GenerateExploreTrace(const ExploreUserParams& params,
+                                          CompositeInterface* ui);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WORKLOAD_EXPLORE_TASK_H_

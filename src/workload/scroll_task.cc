@@ -1,0 +1,152 @@
+#include "workload/scroll_task.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ideval {
+
+std::vector<ScrollUserParams> SampleScrollUsers(int n, Rng* rng) {
+  std::vector<ScrollUserParams> users;
+  users.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ScrollUserParams p;
+    p.user_id = i;
+    // Log-normal peak velocity with median ~8741 px/s, clamped to the
+    // observed range [1824, 31517] px/s (Table 7).
+    p.peak_velocity_px_s =
+        std::clamp(rng->LogNormal(std::log(8741.0), 1.1), 1824.0, 31517.0);
+    p.interest_prob = std::clamp(rng->LogNormal(std::log(0.009), 0.5),
+                                 0.003, 0.03);
+    p.dwell_mean_s = rng->Uniform(0.25, 0.9);
+    p.overshoot = rng->Uniform(0.15, 0.6);
+    // How long the careful-reading phase lasts differs per user; impatient
+    // skimmers hit full speed almost immediately.
+    p.warmup_factor = rng->Uniform(0.25, 0.6);
+    p.warmup_fraction = rng->Uniform(0.04, 0.3);
+    p.seed = rng->Next();
+    users.push_back(p);
+  }
+  return users;
+}
+
+namespace {
+
+/// Initial velocity whose exponential-decay glide covers approximately
+/// `distance` pixels (the glide integral is (|v0| - rest) / decay).
+double VelocityForDistance(double distance, double decay, double rest) {
+  return distance * decay + (distance < 0.0 ? -rest : rest);
+}
+
+}  // namespace
+
+Result<ScrollTrace> GenerateScrollTrace(const ScrollUserParams& params,
+                                        const ScrollTaskOptions& options) {
+  if (params.peak_velocity_px_s <= 0.0) {
+    return Status::InvalidArgument("peak velocity must be positive");
+  }
+  if (params.interest_prob < 0.0 || params.interest_prob > 1.0) {
+    return Status::InvalidArgument("interest_prob must be in [0, 1]");
+  }
+  Rng rng(params.seed);
+  InertialScroller scroller(options.scroller);
+  const ScrollerOptions& so = options.scroller;
+
+  ScrollTrace trace;
+  trace.user_id = params.user_id;
+  SimTime t;
+  const double decay = so.inertia_decay;
+  const double rest = so.rest_velocity;
+  const double window_px =
+      static_cast<double>(so.visible_tuples) * so.tuple_height_px;
+
+  auto run_flick = [&](double v0) {
+    const auto events = scroller.Flick(t, v0);
+    if (!events.empty()) {
+      t = events.back().time + so.event_interval;
+      trace.events.insert(trace.events.end(), events.begin(), events.end());
+    }
+  };
+
+  while (scroller.top_tuple() + so.visible_tuples < so.total_tuples) {
+    const double before_px = scroller.scroll_top_px();
+    // Skim flick at a fraction of the user's peak speed, ramping up from
+    // careful reading at the top of the ranked list to fast skimming.
+    const double progress =
+        scroller.scroll_top_px() / std::max(1.0, scroller.MaxScrollTopPx());
+    const double warmup =
+        params.warmup_factor +
+        (1.0 - params.warmup_factor) *
+            std::min(1.0, progress / params.warmup_fraction);
+    const double v0 =
+        params.peak_velocity_px_s * warmup * rng.Uniform(0.35, 1.0);
+    run_flick(v0);
+    const double after_px = scroller.scroll_top_px();
+    if (after_px <= before_px) break;  // Pinned at the end.
+
+    // Reading pause between flicks.
+    t += Duration::Seconds(std::max(0.1, rng.Exponential(params.dwell_mean_s)));
+
+    // Which tuples flew by? Interest strikes per tuple.
+    const int64_t first =
+        static_cast<int64_t>(before_px / so.tuple_height_px);
+    const int64_t last = static_cast<int64_t>(after_px / so.tuple_height_px);
+    for (int64_t tuple = first; tuple < last; ++tuple) {
+      if (!rng.Bernoulli(params.interest_prob)) continue;
+      // The user wants `tuple`. If it still sits in the visible window they
+      // select directly; with momentum it has usually flown past, so they
+      // flick back toward it — overshooting sometimes, which is exactly
+      // Fig. 9's "backscrolled selections".
+      SelectionRecord sel;
+      sel.tuple_index = tuple;
+      const double target_px =
+          static_cast<double>(tuple) * so.tuple_height_px;
+      int corrections = 0;
+      while (std::abs(scroller.scroll_top_px() - target_px) >
+                 window_px * 0.5 &&
+             corrections < options.max_corrections) {
+        const double dist = target_px - scroller.scroll_top_px();
+        const double factor =
+            rng.Uniform(1.0 - params.overshoot, 1.0 + params.overshoot);
+        // Corrective flicks are bounded by what the user's hands can do.
+        const double v = std::clamp(VelocityForDistance(dist * factor, decay,
+                                                        rest),
+                                    -params.peak_velocity_px_s,
+                                    params.peak_velocity_px_s);
+        run_flick(v);
+        ++corrections;
+        t += Duration::Seconds(rng.Uniform(0.1, 0.3));  // Re-acquire target.
+      }
+      if (std::abs(scroller.scroll_top_px() - target_px) > window_px * 0.5) {
+        // Give up gliding; settle precisely with slow wheel notches.
+        scroller.JumpTo(target_px);
+      }
+      sel.backscrolls = corrections;
+      trace.total_backscrolls += corrections;
+      t += Duration::Seconds(rng.Uniform(0.2, 0.5));  // Click + confirm.
+      sel.time = t;
+      trace.selections.push_back(sel);
+    }
+  }
+  trace.session_duration = t - SimTime::Origin();
+  return trace;
+}
+
+ScrollSpeeds ComputeScrollSpeeds(const ScrollTrace& trace,
+                                 double tuple_height_px) {
+  ScrollSpeeds out;
+  for (size_t i = 1; i < trace.events.size(); ++i) {
+    const Duration dt = trace.events[i].time - trace.events[i - 1].time;
+    if (dt <= Duration::Zero()) continue;
+    // Only count contiguous scrolling samples; pauses between flicks are
+    // not "scrolling speed".
+    if (dt > Duration::Millis(100)) continue;
+    const double px = std::abs(trace.events[i].wheel_delta_px);
+    if (px <= 0.0) continue;
+    const double px_s = px / dt.seconds();
+    out.px_per_s.push_back(px_s);
+    out.tuples_per_s.push_back(px_s / tuple_height_px);
+  }
+  return out;
+}
+
+}  // namespace ideval

@@ -1,0 +1,87 @@
+#ifndef IDEVAL_WORKLOAD_SCROLL_TASK_H_
+#define IDEVAL_WORKLOAD_SCROLL_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "widget/inertial_scroller.h"
+
+namespace ideval {
+
+/// One movie selection made during a scroll session.
+struct SelectionRecord {
+  SimTime time;
+  int64_t tuple_index = 0;
+  /// Corrective reverse-flicks needed to land on the tuple (0 = the user
+  /// stopped in time).
+  int backscrolls = 0;
+};
+
+/// A full §6 scroll session for one simulated user: the raw event log
+/// ({timestamp, scrollTop, scrollNum, delta}) plus selections.
+struct ScrollTrace {
+  int user_id = 0;
+  std::vector<ScrollEvent> events;
+  std::vector<SelectionRecord> selections;
+  int64_t total_backscrolls = 0;
+  Duration session_duration;
+};
+
+/// Per-user behaviour parameters for the skim-and-select task. Sampled by
+/// `SampleScrollUsers` from distributions calibrated to Table 7 / Fig. 8:
+/// per-user peak scroll velocity spans [1824, 31517] px/s with median
+/// ~8741 px/s (≈ 58 tuples/s at 157 px per tuple).
+struct ScrollUserParams {
+  int user_id = 0;
+  /// Peak flick velocity this user is capable of (px/s).
+  double peak_velocity_px_s = 8741.0;
+  /// Probability any given tuple interests the user (drives Fig. 9's
+  /// selection counts).
+  double interest_prob = 0.01;
+  /// Mean pause between flicks while skimming (s).
+  double dwell_mean_s = 0.5;
+  /// Tendency to overshoot when correcting toward a target; glide distance
+  /// is `wanted * Uniform(1-o, 1+o)`.
+  double overshoot = 0.35;
+  /// Users read carefully at the top of the ranked list and skim faster as
+  /// they go: flick velocity ramps from `warmup_factor * peak` up to the
+  /// full peak over the first `warmup_fraction` of the list.
+  double warmup_factor = 0.4;
+  double warmup_fraction = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Task configuration shared across users.
+struct ScrollTaskOptions {
+  ScrollerOptions scroller;
+  /// Maximum corrective flicks per selection before the user gives up and
+  /// fine-scrolls precisely.
+  int max_corrections = 4;
+};
+
+/// Samples `n` users' parameters (the study recruited 15).
+std::vector<ScrollUserParams> SampleScrollUsers(int n, Rng* rng);
+
+/// Simulates one user skimming all tuples and selecting interesting
+/// movies, per §6's task ("skim all 4000 tuples and select interesting
+/// movies"). Deterministic given the params' seed.
+Result<ScrollTrace> GenerateScrollTrace(const ScrollUserParams& params,
+                                        const ScrollTaskOptions& options);
+
+/// Per-event scroll speeds of a trace.
+struct ScrollSpeeds {
+  std::vector<double> px_per_s;      ///< |delta| / interval, per event.
+  std::vector<double> tuples_per_s;  ///< Same, in tuples.
+};
+
+/// Computes per-event speeds (consecutive-event deltas over intervals);
+/// feeds Fig. 8 and Table 7.
+ScrollSpeeds ComputeScrollSpeeds(const ScrollTrace& trace,
+                                 double tuple_height_px);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WORKLOAD_SCROLL_TASK_H_

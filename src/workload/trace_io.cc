@@ -1,0 +1,57 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+
+#include "common/text_table.h"
+
+namespace ideval {
+
+std::string ScrollTraceToCsv(const ScrollTrace& trace) {
+  std::string out = "timestamp_ms,scroll_top_px,top_tuple,delta_px\n";
+  for (const ScrollEvent& e : trace.events) {
+    out += StrFormat("%.3f,%.1f,%lld,%.2f\n", e.time.millis(),
+                     e.scroll_top_px, static_cast<long long>(e.top_tuple),
+                     e.wheel_delta_px);
+  }
+  return out;
+}
+
+std::string CrossfilterTraceToCsv(const CrossfilterTrace& trace) {
+  std::string out = "timestamp_ms,min_val,max_val,slider_idx\n";
+  for (const SliderEvent& e : trace.events) {
+    out += StrFormat("%.3f,%.6f,%.6f,%d\n", e.time.millis(), e.min_val,
+                     e.max_val, e.slider_index);
+  }
+  return out;
+}
+
+std::string ExploreTraceToCsv(const ExploreTrace& trace) {
+  std::string out =
+      "timestamp_ms,widget,zoom,sw_lat,sw_lng,ne_lat,ne_lng,filters,"
+      "request_ms,render_ms,explore_ms\n";
+  for (const ExplorePhase& p : trace.phases) {
+    out += StrFormat(
+        "%.3f,%s,%d,%.5f,%.5f,%.5f,%.5f,%d,%.1f,%.1f,%.1f\n",
+        p.request.time.millis(), WidgetKindToString(p.request.widget),
+        p.request.zoom_level, p.request.bounds.sw_lat, p.request.bounds.sw_lng,
+        p.request.bounds.ne_lat, p.request.bounds.ne_lng,
+        p.request.num_filter_conditions, p.request_time.millis(),
+        p.rendering_time.millis(), p.exploration_time.millis());
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ideval

@@ -1,0 +1,28 @@
+#ifndef IDEVAL_WORKLOAD_TRACE_IO_H_
+#define IDEVAL_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "workload/crossfilter_task.h"
+#include "workload/explore_task.h"
+#include "workload/scroll_task.h"
+
+namespace ideval {
+
+/// CSV serializations of the case-study traces, in the column layouts the
+/// paper logs (Table 5): scrolling {timestamp, scrollTop, scrollNum,
+/// delta}, crossfiltering {timestamp, minVal, maxVal, sliderIdx}, and the
+/// composite interface {timestamp, widget, zoom, bounds, filters, T0, T1,
+/// T2}. These files are the shareable workload artifacts §4.1.3 argues the
+/// community needs.
+std::string ScrollTraceToCsv(const ScrollTrace& trace);
+std::string CrossfilterTraceToCsv(const CrossfilterTrace& trace);
+std::string ExploreTraceToCsv(const ExploreTrace& trace);
+
+/// Writes `contents` to `path`, failing with a Status instead of throwing.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+
+namespace ideval {
+namespace {
+
+TEST(MoviesTest, ShapeMatchesCaseStudy) {
+  MoviesOptions opts;
+  opts.num_rows = 500;
+  auto t = MakeMoviesTable(opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "imdb");
+  EXPECT_EQ((*t)->num_rows(), 500u);
+  for (const char* col :
+       {"id", "title", "year", "director", "genre", "plot", "rating",
+        "poster"}) {
+    EXPECT_TRUE((*t)->schema().HasField(col)) << col;
+  }
+}
+
+TEST(MoviesTest, RejectsNonPositiveRows) {
+  MoviesOptions opts;
+  opts.num_rows = 0;
+  EXPECT_FALSE(MakeMoviesTable(opts).ok());
+}
+
+TEST(MoviesTest, RatingsDescendLikeTopList) {
+  MoviesOptions opts;
+  opts.num_rows = 1000;
+  auto t = MakeMoviesTable(opts);
+  ASSERT_TRUE(t.ok());
+  auto rating = (*t)->ColumnByName("rating");
+  ASSERT_TRUE(rating.ok());
+  const auto& r = (*rating)->double_data();
+  // Top of the list clearly outranks the bottom (noise aside).
+  EXPECT_GT(r.front(), r.back() + 1.0);
+  EXPECT_LE(r.front(), 9.6);
+}
+
+TEST(MoviesTest, Deterministic) {
+  MoviesOptions opts;
+  opts.num_rows = 50;
+  auto a = MakeMoviesTable(opts);
+  auto b = MakeMoviesTable(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t row = 0; row < 50; ++row) {
+    EXPECT_EQ((*a)->At(row, 1).str(), (*b)->At(row, 1).str());
+  }
+}
+
+TEST(MoviesTest, JoinSplitPreservesRows) {
+  MoviesOptions opts;
+  opts.num_rows = 120;
+  auto t = MakeMoviesTable(opts);
+  ASSERT_TRUE(t.ok());
+  auto split = SplitMoviesForJoin(*t);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->ratings->name(), "imdbrating");
+  EXPECT_EQ(split->movies->name(), "movie");
+  EXPECT_EQ(split->ratings->num_rows(), 120u);
+  EXPECT_EQ(split->movies->num_rows(), 120u);
+  EXPECT_EQ(split->ratings->num_columns(), 2u);
+  EXPECT_FALSE(split->movies->schema().HasField("rating"));
+  // Ids line up.
+  EXPECT_EQ(split->ratings->At(7, 0).int64(), split->movies->At(7, 0).int64());
+}
+
+TEST(MoviesTest, SplitRejectsNull) {
+  EXPECT_FALSE(SplitMoviesForJoin(nullptr).ok());
+}
+
+TEST(RoadNetworkTest, MatchesUciShape) {
+  RoadNetworkOptions opts;
+  opts.num_rows = 20000;  // Scaled down for test speed.
+  auto t = MakeRoadNetworkTable(opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "dataroad");
+  EXPECT_EQ((*t)->num_rows(), 20000u);
+  for (const char* col : {"x", "y", "z"}) {
+    EXPECT_TRUE((*t)->schema().HasField(col)) << col;
+  }
+  auto x = (*t)->ColumnByName("x");
+  auto y = (*t)->ColumnByName("y");
+  auto z = (*t)->ColumnByName("z");
+  EXPECT_GE(*(*x)->NumericMin(), opts.x_min);
+  EXPECT_LE(*(*x)->NumericMax(), opts.x_max);
+  EXPECT_GE(*(*y)->NumericMin(), opts.y_min);
+  EXPECT_LE(*(*y)->NumericMax(), opts.y_max);
+  EXPECT_GE(*(*z)->NumericMin(), opts.z_min);
+  EXPECT_LE(*(*z)->NumericMax(), opts.z_max);
+}
+
+TEST(RoadNetworkTest, SpatiallyCorrelated) {
+  RoadNetworkOptions opts;
+  opts.num_rows = 5000;
+  auto t = MakeRoadNetworkTable(opts);
+  ASSERT_TRUE(t.ok());
+  const auto& xs = (*(*t)->ColumnByName("x"))->double_data();
+  // Consecutive points along a road are close: the mean consecutive delta
+  // must be far below what uniform sampling over the box would give.
+  double mean_delta = 0.0;
+  for (size_t i = 1; i < xs.size(); ++i) {
+    mean_delta += std::abs(xs[i] - xs[i - 1]);
+  }
+  mean_delta /= static_cast<double>(xs.size() - 1);
+  const double box_span = opts.x_max - opts.x_min;
+  EXPECT_LT(mean_delta, box_span / 10.0);
+}
+
+TEST(RoadNetworkTest, RejectsDegenerateRanges) {
+  RoadNetworkOptions opts;
+  opts.x_min = opts.x_max = 1.0;
+  EXPECT_FALSE(MakeRoadNetworkTable(opts).ok());
+}
+
+TEST(ListingsTest, ShapeAndRanges) {
+  ListingsOptions opts;
+  opts.num_rows = 10000;
+  auto t = MakeListingsTable(opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 10000u);
+  auto lat = (*t)->ColumnByName("lat");
+  auto lng = (*t)->ColumnByName("lng");
+  auto price = (*t)->ColumnByName("price");
+  EXPECT_GE(*(*lat)->NumericMin(), opts.lat_min);
+  EXPECT_LE(*(*lat)->NumericMax(), opts.lat_max);
+  EXPECT_GE(*(*lng)->NumericMin(), opts.lng_min);
+  EXPECT_LE(*(*lng)->NumericMax(), opts.lng_max);
+  EXPECT_GE(*(*price)->NumericMin(), 10.0);
+  EXPECT_LE(*(*price)->NumericMax(), 2000.0);
+}
+
+TEST(ListingsTest, ClusteredAroundCities) {
+  ListingsOptions opts;
+  opts.num_rows = 20000;
+  opts.num_cities = 8;
+  auto t = MakeListingsTable(opts);
+  ASSERT_TRUE(t.ok());
+  // Zipfian city popularity: coarse-bucketed lat/lng cells should be very
+  // unevenly filled.
+  const auto& lat = (*(*t)->ColumnByName("lat"))->double_data();
+  const auto& lng = (*(*t)->ColumnByName("lng"))->double_data();
+  std::map<std::pair<int, int>, int> cells;
+  for (size_t i = 0; i < lat.size(); ++i) {
+    cells[{static_cast<int>(lat[i]), static_cast<int>(lng[i])}]++;
+  }
+  int max_cell = 0;
+  for (const auto& [_, c] : cells) max_cell = std::max(max_cell, c);
+  const double uniform_share =
+      static_cast<double>(lat.size()) / static_cast<double>(cells.size());
+  EXPECT_GT(max_cell, uniform_share * 3.0);
+}
+
+TEST(ListingsTest, RoomTypesAreValid) {
+  ListingsOptions opts;
+  opts.num_rows = 500;
+  auto t = MakeListingsTable(opts);
+  ASSERT_TRUE(t.ok());
+  const std::set<std::string> valid = {"Entire home/apt", "Private room",
+                                       "Shared room", "Hotel room"};
+  for (const auto& s : (*(*t)->ColumnByName("room_type"))->string_data()) {
+    EXPECT_TRUE(valid.count(s)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,217 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "device/device_model.h"
+#include "device/klm.h"
+
+namespace ideval {
+namespace {
+
+PointerTrace StraightLineTrace(DeviceType type, uint64_t seed,
+                               Duration span) {
+  DeviceModel device(type, Rng(seed));
+  auto path = [](SimTime t) -> std::pair<double, double> {
+    return {t.millis(), 0.0};  // 1 px/ms straight drag.
+  };
+  return device.SamplePath(path, SimTime::Origin(),
+                           SimTime::Origin() + span);
+}
+
+TEST(DeviceSpecTest, AllDevicesHaveSaneSpecs) {
+  for (DeviceType type :
+       {DeviceType::kMouse, DeviceType::kTouchTrackpad,
+        DeviceType::kTouchTablet, DeviceType::kLeapMotion}) {
+    const DeviceSpec spec = DeviceModel::Spec(type);
+    EXPECT_GT(spec.sensing_rate_hz, 10.0);
+    EXPECT_GT(spec.jitter_std, 0.0);
+    EXPECT_GT(spec.fitts_b, 0.0);
+    EXPECT_STRNE(DeviceTypeToString(type), "unknown");
+  }
+}
+
+TEST(DeviceSpecTest, OnlyLeapEmitsWhenStill) {
+  EXPECT_FALSE(DeviceModel::Spec(DeviceType::kMouse).emits_when_still);
+  EXPECT_FALSE(DeviceModel::Spec(DeviceType::kTouchTablet).emits_when_still);
+  EXPECT_TRUE(DeviceModel::Spec(DeviceType::kLeapMotion).emits_when_still);
+}
+
+TEST(DeviceModelTest, SampleRateNearNominal) {
+  const auto trace =
+      StraightLineTrace(DeviceType::kMouse, 1, Duration::Seconds(10.0));
+  const double rate = static_cast<double>(trace.size()) / 10.0;
+  EXPECT_NEAR(rate, 60.0, 12.0);
+}
+
+TEST(DeviceModelTest, JitterOrderingMatchesFig11) {
+  // Residual noise around the intended path: leap >> touch > mouse.
+  auto residual_std = [](DeviceType type) {
+    DeviceModel device(type, Rng(42));
+    auto path = [](SimTime) -> std::pair<double, double> {
+      return {100.0, 50.0};  // Intend to hold still while "moving".
+    };
+    auto trace = device.SamplePath(path, SimTime::Origin(),
+                                   SimTime::Origin() + Duration::Seconds(20));
+    std::vector<double> xs;
+    for (const auto& s : trace) xs.push_back(s.x);
+    return Summary(xs).stddev();
+  };
+  const double mouse = residual_std(DeviceType::kMouse);
+  const double touch = residual_std(DeviceType::kTouchTablet);
+  const double leap = residual_std(DeviceType::kLeapMotion);
+  EXPECT_LT(mouse, touch);
+  EXPECT_GT(leap, touch * 2.0);
+}
+
+TEST(DeviceModelTest, LeapIntervalsTighterThanMouse) {
+  // Fig. 14: leap-motion inter-sample intervals concentrate at 20–25 ms;
+  // mouse/touch have a broader bell.
+  auto interval_cv = [](DeviceType type) {
+    DeviceModel device(type, Rng(7));
+    std::vector<double> intervals;
+    for (int i = 0; i < 2000; ++i) {
+      intervals.push_back(device.NextSampleInterval().millis());
+    }
+    Summary s(intervals);
+    return s.stddev() / s.mean();
+  };
+  EXPECT_LT(interval_cv(DeviceType::kLeapMotion),
+            interval_cv(DeviceType::kMouse) / 2.0);
+}
+
+TEST(DeviceModelTest, DwellSilencesFrictionDevices) {
+  auto moving_never = [](SimTime) { return false; };
+  auto path = [](SimTime) -> std::pair<double, double> {
+    return {200.0, 0.0};
+  };
+  const SimTime end = SimTime::Origin() + Duration::Seconds(10);
+
+  DeviceModel mouse(DeviceType::kMouse, Rng(5));
+  auto mouse_trace =
+      mouse.SamplePath(path, SimTime::Origin(), end, moving_never);
+  const int64_t mouse_events = CountMotionEvents(
+      mouse_trace, DeviceModel::Spec(DeviceType::kMouse).motion_threshold);
+
+  DeviceModel leap(DeviceType::kLeapMotion, Rng(5));
+  auto leap_trace =
+      leap.SamplePath(path, SimTime::Origin(), end, moving_never);
+  const int64_t leap_events = CountMotionEvents(
+      leap_trace, DeviceModel::Spec(DeviceType::kLeapMotion).motion_threshold);
+
+  // The mouse at rest produces almost no events; the Leap keeps firing
+  // (§2.3 unintended queries).
+  EXPECT_LT(mouse_events, 40);
+  EXPECT_GT(leap_events, 300);
+}
+
+TEST(FittsLawTest, MonotoneInDistanceAndDifficulty) {
+  DeviceModel device(DeviceType::kMouse, Rng(1));
+  const Duration near = device.FittsMovementTime(50.0, 10.0);
+  const Duration far = device.FittsMovementTime(500.0, 10.0);
+  const Duration tiny_target = device.FittsMovementTime(500.0, 2.0);
+  EXPECT_LT(near, far);
+  EXPECT_LT(far, tiny_target);
+  // Degenerate inputs stay finite and positive.
+  EXPECT_GT(device.FittsMovementTime(0.0, 10.0), Duration::Zero());
+  EXPECT_GT(device.FittsMovementTime(100.0, 0.0), Duration::Zero());
+}
+
+TEST(FittsLawTest, GestureSlowerThanMouse) {
+  DeviceModel mouse(DeviceType::kMouse, Rng(1));
+  DeviceModel leap(DeviceType::kLeapMotion, Rng(1));
+  EXPECT_GT(leap.FittsMovementTime(300.0, 8.0),
+            mouse.FittsMovementTime(300.0, 8.0));
+}
+
+TEST(CountMotionEventsTest, ThresholdFilters) {
+  PointerTrace trace;
+  for (int i = 0; i < 10; ++i) {
+    PointerSample s;
+    s.time = SimTime::FromMillis(i * 10.0);
+    s.x = static_cast<double>(i) * 0.4;  // 0.4 px steps.
+    trace.push_back(s);
+  }
+  // Steps below threshold accumulate until they clear it.
+  EXPECT_EQ(CountMotionEvents(trace, 1.0), 3);
+  EXPECT_EQ(CountMotionEvents(trace, 0.3), 9);
+  EXPECT_EQ(CountMotionEvents({}, 1.0), 0);
+}
+
+// ----------------------------------- KLM -----------------------------------
+
+TEST(KlmTest, ParsesOperators) {
+  auto ops = ParseKlm("M P B K D H");
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->size(), 6u);
+  EXPECT_EQ((*ops)[0], KlmOp::kMental);
+  EXPECT_EQ((*ops)[3], KlmOp::kKeystroke);
+  EXPECT_FALSE(ParseKlm("MPX").ok());
+}
+
+TEST(KlmTest, EstimateSumsOperators) {
+  KlmParams p = KlmParams::ForDevice(DeviceType::kMouse);
+  auto mk = KlmEstimate("M", p);
+  auto mkk = KlmEstimate("MK", p);
+  ASSERT_TRUE(mk.ok());
+  ASSERT_TRUE(mkk.ok());
+  EXPECT_EQ(*mkk - *mk, p.keystroke);
+  // Empty sequence is zero time.
+  EXPECT_EQ(*KlmEstimate("", p), Duration::Zero());
+}
+
+TEST(KlmTest, PointingUsesDeviceFitts) {
+  // The same P operator takes longer on a gestural device.
+  auto mouse = KlmEstimate("P", DeviceType::kMouse);
+  auto leap = KlmEstimate("P", DeviceType::kLeapMotion);
+  ASSERT_TRUE(mouse.ok());
+  ASSERT_TRUE(leap.ok());
+  EXPECT_GT(*leap, *mouse);
+}
+
+TEST(KlmTest, StandardSequencesAreSane) {
+  // A slider adjustment takes a few seconds; a button press well under one
+  // plus pointing; typing scales with characters.
+  auto slider = KlmEstimate(KlmSequenceForSliderAdjust(), DeviceType::kMouse);
+  ASSERT_TRUE(slider.ok());
+  EXPECT_GT(*slider, Duration::Seconds(1.5));
+  EXPECT_LT(*slider, Duration::Seconds(6.0));
+
+  auto search5 =
+      KlmEstimate(KlmSequenceForTextSearch(5), DeviceType::kMouse);
+  auto search10 =
+      KlmEstimate(KlmSequenceForTextSearch(10), DeviceType::kMouse);
+  ASSERT_TRUE(search5.ok());
+  ASSERT_TRUE(search10.ok());
+  EXPECT_EQ(*search10 - *search5,
+            KlmParams::ForDevice(DeviceType::kMouse).keystroke * 5.0);
+}
+
+TEST(KlmTest, SliderKlmConsistentWithBehaviourModel) {
+  // The KLM estimate for one slider adjustment should be in the same
+  // ballpark as the Fitts-timed move + dwell the crossfilter task model
+  // uses — the cross-validation §4.1.3 asks simulations to do.
+  auto klm = KlmEstimate(KlmSequenceForSliderAdjust(), DeviceType::kMouse);
+  ASSERT_TRUE(klm.ok());
+  DeviceModel mouse(DeviceType::kMouse, Rng(3));
+  const Duration fitts = mouse.FittsMovementTime(200.0, 8.0);
+  // KLM (with its mental operator) should exceed the raw movement time but
+  // stay within one order of magnitude.
+  EXPECT_GT(*klm, fitts);
+  EXPECT_LT(*klm, fitts * 20.0);
+}
+
+TEST(DeviceModelTest, DeterministicGivenSeed) {
+  const auto a =
+      StraightLineTrace(DeviceType::kLeapMotion, 99, Duration::Seconds(2));
+  const auto b =
+      StraightLineTrace(DeviceType::kLeapMotion, 99, Duration::Seconds(2));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+  }
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "engine/buffer_pool.h"
+#include "engine/cost_model.h"
+#include "engine/engine.h"
+#include "engine/progressive.h"
+
+namespace ideval {
+namespace {
+
+TablePtr SmallNumericTable() {
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  TableBuilder b("nums", schema);
+  for (int64_t i = 0; i < 100; ++i) {
+    b.MustAppendRow({Value(i), Value(static_cast<double>(i) / 10.0)});
+  }
+  return std::move(b).Finish().ValueOrDie();
+}
+
+// ------------------------------ Predicates ------------------------------
+
+TEST(PredicateTest, CompileResolvesColumns) {
+  TablePtr t = SmallNumericTable();
+  auto preds = CompiledPredicates::Compile(
+      *t, {RangePredicate{"k", 10.0, 20.0}});
+  ASSERT_TRUE(preds.ok());
+  EXPECT_FALSE(preds->Matches(*t, 5));
+  EXPECT_TRUE(preds->Matches(*t, 10));
+  EXPECT_TRUE(preds->Matches(*t, 20));
+  EXPECT_FALSE(preds->Matches(*t, 21));
+}
+
+TEST(PredicateTest, CompileErrors) {
+  TablePtr t = SmallNumericTable();
+  EXPECT_FALSE(
+      CompiledPredicates::Compile(*t, {RangePredicate{"zzz", 0, 1}}).ok());
+  EXPECT_FALSE(
+      CompiledPredicates::Compile(*t, {StringEqPredicate{"k", "x"}}).ok());
+}
+
+TEST(PredicateTest, ConjunctionSemantics) {
+  TablePtr t = SmallNumericTable();
+  auto preds = CompiledPredicates::Compile(
+      *t, {RangePredicate{"k", 10.0, 50.0}, RangePredicate{"v", 0.0, 2.0}});
+  ASSERT_TRUE(preds.ok());
+  EXPECT_TRUE(preds->Matches(*t, 15));   // k=15, v=1.5.
+  EXPECT_FALSE(preds->Matches(*t, 30));  // v=3.0 fails.
+}
+
+TEST(PredicateTest, ToStringRendersSql) {
+  EXPECT_EQ(PredicateToString(RangePredicate{"x", 1.0, 2.0}),
+            "x >= 1 AND x <= 2");
+  EXPECT_EQ(PredicateToString(StringEqPredicate{"g", "Drama"}),
+            "g = 'Drama'");
+}
+
+// ------------------------------ BufferPool ------------------------------
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  EXPECT_FALSE(pool.Access({"t", 1}));  // Miss, admit.
+  EXPECT_FALSE(pool.Access({"t", 2}));  // Miss, admit.
+  EXPECT_TRUE(pool.Access({"t", 1}));   // Hit; 2 becomes LRU.
+  EXPECT_FALSE(pool.Access({"t", 3}));  // Evicts 2.
+  EXPECT_TRUE(pool.Contains({"t", 1}));
+  EXPECT_FALSE(pool.Contains({"t", 2}));
+  EXPECT_TRUE(pool.Contains({"t", 3}));
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 3);
+  EXPECT_NEAR(pool.HitRate(), 0.25, 1e-12);
+}
+
+TEST(BufferPoolTest, ClearDropsEverything) {
+  BufferPool pool(4);
+  pool.Access({"t", 1});
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0);
+  EXPECT_FALSE(pool.Contains({"t", 1}));
+}
+
+// ------------------------------ CostModel ------------------------------
+
+TEST(CostModelTest, DiskSlowerThanMemory) {
+  QueryWorkStats stats;
+  stats.tuples_scanned = 434874;
+  stats.predicates_evaluated = 434874 * 3;
+  stats.tuples_matched = 200000;
+  stats.groups_built = 20;
+  const Duration disk = CostModel::DiskRowStore().ExecutionTime(stats);
+  const Duration mem =
+      CostModel::InMemoryColumnStore().ExecutionTime(stats);
+  // The two regimes of §7: hundreds of ms vs tens of ms.
+  EXPECT_GT(disk, Duration::Millis(150));
+  EXPECT_LT(disk, Duration::Millis(800));
+  EXPECT_GT(mem, Duration::Millis(5));
+  EXPECT_LT(mem, Duration::Millis(60));
+  EXPECT_GT(disk.micros(), mem.micros() * 5);
+}
+
+TEST(CostModelTest, PageCostsOnlyWhenRequested) {
+  CostModel m = CostModel::DiskRowStore();
+  QueryWorkStats stats;
+  stats.pages_requested = 100;
+  stats.pages_missed = 100;
+  const Duration cold = m.ExecutionTime(stats);
+  stats.pages_missed = 0;
+  const Duration hot = m.ExecutionTime(stats);
+  EXPECT_GT(cold, hot);
+}
+
+TEST(CostModelTest, TuplesPerPage) {
+  CostModel m;
+  m.page_size_bytes = 8192;
+  m.page_fill_factor = 1.0;
+  EXPECT_EQ(m.TuplesPerPage(8192.0), 1);
+  EXPECT_EQ(m.TuplesPerPage(81.92), 100);
+  EXPECT_GE(m.TuplesPerPage(1e9), 1);  // Never zero.
+}
+
+TEST(CostModelTest, RenderPicksRowsOrBins) {
+  CostModel m;
+  QueryWorkStats rows;
+  rows.rows_output = 100;
+  QueryWorkStats bins = rows;
+  bins.groups_built = 20;
+  EXPECT_GT(m.RenderTime(rows), m.RenderTime(bins));
+}
+
+// -------------------------------- Engine --------------------------------
+
+class EngineTest : public ::testing::TestWithParam<EngineProfile> {
+ protected:
+  void SetUp() override {
+    EngineOptions opts;
+    opts.profile = GetParam();
+    engine_ = std::make_unique<Engine>(opts);
+    ASSERT_TRUE(engine_->RegisterTable(SmallNumericTable()).ok());
+  }
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(EngineTest, RegisterRejectsDuplicatesAndNull) {
+  EXPECT_FALSE(engine_->RegisterTable(SmallNumericTable()).ok());
+  EXPECT_FALSE(engine_->RegisterTable(nullptr).ok());
+  EXPECT_TRUE(engine_->GetTable("nums").ok());
+  EXPECT_FALSE(engine_->GetTable("missing").ok());
+}
+
+TEST_P(EngineTest, SelectLimitOffset) {
+  SelectQuery q;
+  q.table = "nums";
+  q.limit = 10;
+  q.offset = 25;
+  auto r = engine_->Execute(q);
+  ASSERT_TRUE(r.ok());
+  const auto& rows = std::get<RowSet>(r->data);
+  ASSERT_EQ(rows.rows.size(), 10u);
+  EXPECT_EQ(rows.rows[0][0].int64(), 25);
+  EXPECT_EQ(rows.rows[9][0].int64(), 34);
+  // A LIMIT/OFFSET scan visits offset+limit tuples.
+  EXPECT_EQ(r->stats.tuples_scanned, 35);
+  EXPECT_EQ(r->stats.rows_output, 10);
+}
+
+TEST_P(EngineTest, SelectWithPredicateAndProjection) {
+  SelectQuery q;
+  q.table = "nums";
+  q.columns = {"v"};
+  q.predicates = {RangePredicate{"k", 90.0, 200.0}};
+  auto r = engine_->Execute(q);
+  ASSERT_TRUE(r.ok());
+  const auto& rows = std::get<RowSet>(r->data);
+  EXPECT_EQ(rows.rows.size(), 10u);  // k in [90, 99].
+  EXPECT_EQ(rows.column_names, std::vector<std::string>{"v"});
+  EXPECT_DOUBLE_EQ(rows.rows[0][0].dbl(), 9.0);
+}
+
+TEST_P(EngineTest, SelectUnknownColumnFails) {
+  SelectQuery q;
+  q.table = "nums";
+  q.columns = {"nope"};
+  EXPECT_FALSE(engine_->Execute(Query(q)).ok());
+}
+
+TEST_P(EngineTest, HistogramCountsMatchManual) {
+  HistogramQuery q;
+  q.table = "nums";
+  q.bin_column = "v";
+  q.bin_lo = 0.0;
+  q.bin_hi = 10.0;
+  q.bins = 10;
+  q.predicates = {RangePredicate{"k", 0.0, 49.0}};
+  auto r = engine_->Execute(q);
+  ASSERT_TRUE(r.ok());
+  const auto& h = std::get<FixedHistogram>(r->data);
+  // k in [0,49] -> v in [0, 4.9]; 10 per unit bin, 5 bins filled.
+  EXPECT_DOUBLE_EQ(h.total(), 50.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 0.0);
+  EXPECT_EQ(r->stats.tuples_matched, 50);
+  EXPECT_EQ(r->stats.groups_built, 10);
+}
+
+TEST_P(EngineTest, HistogramErrors) {
+  HistogramQuery q;
+  q.table = "nums";
+  q.bin_column = "v";
+  q.bins = 0;
+  EXPECT_FALSE(engine_->Execute(Query(q)).ok());
+  q.bins = 10;
+  q.bin_column = "missing";
+  EXPECT_FALSE(engine_->Execute(Query(q)).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, EngineTest,
+    ::testing::Values(EngineProfile::kDiskRowStore,
+                      EngineProfile::kInMemoryColumnStore),
+    [](const auto& info) {
+      return info.param == EngineProfile::kDiskRowStore ? "Disk" : "Memory";
+    });
+
+TEST(EngineJoinTest, JoinPageMatchesIds) {
+  MoviesOptions mopts;
+  mopts.num_rows = 200;
+  auto movies = MakeMoviesTable(mopts);
+  ASSERT_TRUE(movies.ok());
+  auto split = SplitMoviesForJoin(*movies);
+  ASSERT_TRUE(split.ok());
+
+  EngineOptions opts;
+  opts.profile = EngineProfile::kInMemoryColumnStore;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.RegisterTable(split->ratings).ok());
+  ASSERT_TRUE(engine.RegisterTable(split->movies).ok());
+
+  JoinPageQuery q;
+  q.left_table = "imdbrating";
+  q.right_table = "movie";
+  q.join_column = "id";
+  q.limit = 25;
+  q.offset = 50;
+  auto r = engine.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  const auto& rows = std::get<RowSet>(r->data);
+  ASSERT_EQ(rows.rows.size(), 25u);
+  // Joined rows carry left columns then right columns (key deduplicated).
+  EXPECT_EQ(rows.column_names.front(), "id");
+  EXPECT_EQ(rows.rows[0][0].int64(), 51);  // ids are 1-based.
+  EXPECT_EQ(r->stats.hash_build_rows, 25);
+  EXPECT_GT(r->stats.hash_probe_rows, 0);
+}
+
+TEST(EngineJoinTest, JoinRejectsBadKey) {
+  EngineOptions opts;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.RegisterTable(SmallNumericTable()).ok());
+  JoinPageQuery q;
+  q.left_table = "nums";
+  q.right_table = "nums2";
+  q.join_column = "k";
+  EXPECT_FALSE(engine.Execute(Query(q)).ok());  // Unknown right table.
+}
+
+TEST(EngineBufferTest, SecondScanHitsBufferPool) {
+  RoadNetworkOptions ropts;
+  ropts.num_rows = 30000;
+  auto road = MakeRoadNetworkTable(ropts);
+  ASSERT_TRUE(road.ok());
+  EngineOptions opts;
+  opts.profile = EngineProfile::kDiskRowStore;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.RegisterTable(*road).ok());
+
+  HistogramQuery q;
+  q.table = "dataroad";
+  q.bin_column = "x";
+  q.bin_lo = ropts.x_min;
+  q.bin_hi = ropts.x_max;
+  q.bins = 20;
+  auto cold = engine.Execute(Query(q));
+  ASSERT_TRUE(cold.ok());
+  auto warm = engine.Execute(Query(q));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(cold->stats.pages_missed, 0);
+  EXPECT_EQ(warm->stats.pages_missed, 0);
+  EXPECT_LT(warm->execution_time, cold->execution_time);
+  // Identical data either way.
+  EXPECT_EQ(std::get<FixedHistogram>(cold->data),
+            std::get<FixedHistogram>(warm->data));
+}
+
+TEST(EngineBufferTest, ClearCachesForcesColdReads) {
+  EngineOptions opts;
+  opts.profile = EngineProfile::kDiskRowStore;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.RegisterTable(SmallNumericTable()).ok());
+  SelectQuery q;
+  q.table = "nums";
+  q.limit = 100;
+  ASSERT_TRUE(engine.Execute(Query(q)).ok());
+  engine.ClearCaches();
+  auto r = engine.Execute(Query(q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.pages_missed, 0);
+}
+
+TEST(PredicateTest, StringMembership) {
+  Schema schema({{"k", DataType::kInt64}, {"g", DataType::kString}});
+  TableBuilder b("t", schema);
+  const char* genres[] = {"Drama", "Comedy", "Horror", "Drama", "Sci-Fi"};
+  for (int64_t i = 0; i < 5; ++i) {
+    b.MustAppendRow({Value(i), Value(std::string(genres[i]))});
+  }
+  TablePtr t = std::move(b).Finish().ValueOrDie();
+  auto preds = CompiledPredicates::Compile(
+      *t, {StringInPredicate{"g", {"Drama", "Sci-Fi"}}});
+  ASSERT_TRUE(preds.ok());
+  EXPECT_TRUE(preds->Matches(0));
+  EXPECT_FALSE(preds->Matches(1));
+  EXPECT_FALSE(preds->Matches(2));
+  EXPECT_TRUE(preds->Matches(3));
+  EXPECT_TRUE(preds->Matches(4));
+  // Empty membership lists and non-string columns are rejected.
+  EXPECT_FALSE(
+      CompiledPredicates::Compile(*t, {StringInPredicate{"g", {}}}).ok());
+  EXPECT_FALSE(CompiledPredicates::Compile(
+                   *t, {StringInPredicate{"k", {"x"}}})
+                   .ok());
+  EXPECT_EQ(PredicateToString(StringInPredicate{"g", {"a", "b"}}),
+            "g IN ('a', 'b')");
+}
+
+// ------------------------------ Progressive ------------------------------
+
+class ProgressiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RoadNetworkOptions opts;
+    opts.num_rows = 50000;
+    road_ = MakeRoadNetworkTable(opts).ValueOrDie();
+    query_.table = "dataroad";
+    query_.bin_column = "y";
+    query_.bin_lo = opts.y_min;
+    query_.bin_hi = opts.y_max;
+    query_.bins = 20;
+    query_.predicates = {RangePredicate{"x", 8.146, 10.5}};
+  }
+  TablePtr road_;
+  HistogramQuery query_;
+};
+
+TEST_F(ProgressiveTest, AccuracyImprovesAndTimeGrows) {
+  auto steps = RunProgressiveHistogram(road_, query_, ProgressiveOptions{});
+  ASSERT_TRUE(steps.ok());
+  ASSERT_GE(steps->size(), 3u);
+  // Time is cumulative and strictly increasing.
+  for (size_t i = 1; i < steps->size(); ++i) {
+    EXPECT_GT((*steps)[i].available_at, (*steps)[i - 1].available_at);
+  }
+  // Early estimates are already close (unbiased sampling), and the final
+  // step is exact.
+  EXPECT_LT(steps->front().mse_vs_exact, 0.01);
+  EXPECT_DOUBLE_EQ(steps->back().mse_vs_exact, 0.0);
+  EXPECT_DOUBLE_EQ(steps->back().fraction, 1.0);
+  // Error at 1% of the data exceeds error at 50%.
+  EXPECT_GE(steps->front().mse_vs_exact, (*steps)[steps->size() - 2]
+                                             .mse_vs_exact * 0.5);
+  // The 1% estimate is available far sooner than the exact answer.
+  EXPECT_LT(steps->front().available_at.micros(),
+            steps->back().available_at.micros() / 5);
+}
+
+TEST_F(ProgressiveTest, FinalStepMatchesEngineExactly) {
+  auto steps = RunProgressiveHistogram(road_, query_, ProgressiveOptions{});
+  ASSERT_TRUE(steps.ok());
+  EngineOptions eopts;
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.RegisterTable(road_).ok());
+  auto exact = engine.Execute(Query(query_));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(steps->back().estimate, std::get<FixedHistogram>(exact->data));
+}
+
+TEST_F(ProgressiveTest, ValidatesInputs) {
+  EXPECT_FALSE(
+      RunProgressiveHistogram(nullptr, query_, ProgressiveOptions{}).ok());
+  ProgressiveOptions bad;
+  bad.fractions = {0.5, 0.2};
+  EXPECT_FALSE(RunProgressiveHistogram(road_, query_, bad).ok());
+  bad.fractions = {0.0, 0.5};
+  EXPECT_FALSE(RunProgressiveHistogram(road_, query_, bad).ok());
+  HistogramQuery q = query_;
+  q.bins = 0;
+  EXPECT_FALSE(RunProgressiveHistogram(road_, q, ProgressiveOptions{}).ok());
+}
+
+TEST_F(ProgressiveTest, AppendsExactStepWhenMissing) {
+  ProgressiveOptions opts;
+  opts.fractions = {0.1, 0.5};
+  auto steps = RunProgressiveHistogram(road_, query_, opts);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ(steps->size(), 3u);
+  EXPECT_DOUBLE_EQ(steps->back().fraction, 1.0);
+}
+
+TEST(HistogramMseTest, BasicProperties) {
+  auto a = FixedHistogram::Make(0.0, 1.0, 4).ValueOrDie();
+  auto b = FixedHistogram::Make(0.0, 1.0, 4).ValueOrDie();
+  a.Add(0.1, 10.0);
+  b.Add(0.9, 10.0);
+  EXPECT_DOUBLE_EQ(*HistogramMse(a, a), 0.0);
+  EXPECT_GT(*HistogramMse(a, b), 0.0);
+  auto c = FixedHistogram::Make(0.0, 1.0, 8).ValueOrDie();
+  EXPECT_FALSE(HistogramMse(a, c).ok());
+}
+
+TEST(ScoredAccuracyTest, RewardsFastAccurateAnswers) {
+  const Duration half_life = Duration::Seconds(5.0);
+  const double fast_good = ScoredAccuracy(0.0, Duration::Seconds(1), half_life);
+  const double slow_good = ScoredAccuracy(0.0, Duration::Seconds(20), half_life);
+  const double fast_bad = ScoredAccuracy(0.5, Duration::Seconds(1), half_life);
+  EXPECT_GT(fast_good, slow_good);
+  EXPECT_GT(fast_good, fast_bad);
+  EXPECT_GT(fast_good, 0.0);
+  EXPECT_LE(fast_good, 1.0);
+}
+
+TEST(QueryToStringTest, RendersSqlishText) {
+  SelectQuery s;
+  s.table = "imdb";
+  s.columns = {"title", "rating"};
+  s.limit = 100;
+  s.offset = 100;
+  const std::string sql = QueryToString(Query(s));
+  EXPECT_NE(sql.find("SELECT title, rating FROM imdb"), std::string::npos);
+  EXPECT_NE(sql.find("LIMIT 100"), std::string::npos);
+  EXPECT_NE(sql.find("OFFSET 100"), std::string::npos);
+
+  HistogramQuery h;
+  h.table = "dataroad";
+  h.bin_column = "y";
+  h.bin_lo = 56.582;
+  h.bin_hi = 57.774;
+  h.bins = 20;
+  h.predicates = {RangePredicate{"x", 8.146, 11.26}};
+  const std::string hsql = QueryToString(Query(h));
+  EXPECT_NE(hsql.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(hsql.find("GROUP BY 1"), std::string::npos);
+  EXPECT_NE(hsql.find("WHERE x >= 8.146"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ideval

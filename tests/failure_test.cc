@@ -1,0 +1,274 @@
+/// Failure-injection tests: every module's error paths return clean
+/// Status/Result errors (never crash, never silently succeed) for
+/// malformed inputs, degenerate data, and misuse.
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "engine/engine.h"
+#include "engine/progressive.h"
+#include "opt/kl_filter.h"
+#include "prefetch/scroll_loader.h"
+#include "sim/query_scheduler.h"
+#include "widget/crossfilter.h"
+#include "workload/crossfilter_task.h"
+#include "workload/explore_task.h"
+
+namespace ideval {
+namespace {
+
+TablePtr TinyTable() {
+  Schema schema({{"v", DataType::kDouble}, {"s", DataType::kString}});
+  TableBuilder b("tiny", schema);
+  b.MustAppendRow({Value(1.0), Value("x")});
+  b.MustAppendRow({Value(2.0), Value("y")});
+  return std::move(b).Finish().ValueOrDie();
+}
+
+TablePtr ConstantColumnTable() {
+  Schema schema({{"c", DataType::kDouble}, {"v", DataType::kDouble}});
+  TableBuilder b("constant", schema);
+  for (int i = 0; i < 10; ++i) {
+    b.MustAppendRow({Value(5.0), Value(static_cast<double>(i))});
+  }
+  return std::move(b).Finish().ValueOrDie();
+}
+
+// --------------------------------- Engine ---------------------------------
+
+TEST(FailureTest, EngineRejectsUnknownTables) {
+  Engine engine(EngineOptions{});
+  SelectQuery s;
+  s.table = "ghost";
+  EXPECT_EQ(engine.Execute(Query(s)).status().code(), StatusCode::kNotFound);
+  HistogramQuery h;
+  h.table = "ghost";
+  h.bin_column = "v";
+  EXPECT_FALSE(engine.Execute(Query(h)).ok());
+  JoinPageQuery j;
+  j.left_table = "ghost";
+  j.right_table = "ghost2";
+  j.join_column = "id";
+  EXPECT_FALSE(engine.Execute(Query(j)).ok());
+}
+
+TEST(FailureTest, EngineRejectsTypeMisuse) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  // Range predicate over a string column.
+  SelectQuery s;
+  s.table = "tiny";
+  s.predicates = {RangePredicate{"s", 0.0, 1.0}};
+  EXPECT_FALSE(engine.Execute(Query(s)).ok());
+  // String predicate over a numeric column.
+  s.predicates = {StringEqPredicate{"v", "x"}};
+  EXPECT_FALSE(engine.Execute(Query(s)).ok());
+  // Histogram over a string column.
+  HistogramQuery h;
+  h.table = "tiny";
+  h.bin_column = "s";
+  h.bin_lo = 0.0;
+  h.bin_hi = 1.0;
+  EXPECT_FALSE(engine.Execute(Query(h)).ok());
+  // Join on a non-int64 key.
+  Engine engine2(EngineOptions{});
+  ASSERT_TRUE(engine2.RegisterTable(TinyTable()).ok());
+  auto tiny2 = TinyTable();
+  // Same schema under a second name.
+  Schema schema2 = tiny2->schema();
+  TableBuilder b2("tiny2", schema2);
+  b2.MustAppendRow({Value(1.0), Value("x")});
+  ASSERT_TRUE(engine2.RegisterTable(std::move(b2).Finish().ValueOrDie()).ok());
+  JoinPageQuery j;
+  j.left_table = "tiny";
+  j.right_table = "tiny2";
+  j.join_column = "v";  // Double, not int64.
+  EXPECT_FALSE(engine2.Execute(Query(j)).ok());
+}
+
+TEST(FailureTest, JoinPageRejectsNegativeBounds) {
+  Engine engine(EngineOptions{});
+  MoviesOptions mo;
+  mo.num_rows = 10;
+  auto movies = MakeMoviesTable(mo).ValueOrDie();
+  auto split = SplitMoviesForJoin(movies).ValueOrDie();
+  ASSERT_TRUE(engine.RegisterTable(split.ratings).ok());
+  ASSERT_TRUE(engine.RegisterTable(split.movies).ok());
+  JoinPageQuery j;
+  j.left_table = "imdbrating";
+  j.right_table = "movie";
+  j.join_column = "id";
+  j.limit = -1;
+  EXPECT_FALSE(engine.Execute(Query(j)).ok());
+  j.limit = 5;
+  j.offset = -2;
+  EXPECT_FALSE(engine.Execute(Query(j)).ok());
+}
+
+TEST(FailureTest, SelectBeyondTableIsEmptyNotError) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  SelectQuery s;
+  s.table = "tiny";
+  s.limit = 10;
+  s.offset = 100;
+  auto r = engine.Execute(Query(s));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::get<RowSet>(r->data).rows.empty());
+}
+
+TEST(FailureTest, EmptyPredicateListIsFine) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  HistogramQuery h;
+  h.table = "tiny";
+  h.bin_column = "v";
+  h.bin_lo = 0.0;
+  h.bin_hi = 3.0;
+  h.bins = 3;
+  auto r = engine.Execute(Query(h));
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(std::get<FixedHistogram>(r->data).total(), 2.0);
+}
+
+// --------------------------------- Widgets ---------------------------------
+
+TEST(FailureTest, CrossfilterRejectsDegenerateDomains) {
+  // A constant column has lo == hi: no slider can be built on it.
+  auto view = CrossfilterView::Make(ConstantColumnTable(), {"c", "v"});
+  EXPECT_FALSE(view.ok());
+  // But other numeric columns work.
+  auto ok = CrossfilterView::Make(ConstantColumnTable(), {"v", "v"});
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(FailureTest, CrossfilterTraceOnDegenerateViewFails) {
+  auto view = CrossfilterView::Make(ConstantColumnTable(), {"v", "v"});
+  ASSERT_TRUE(view.ok());
+  CrossfilterUserParams p;
+  p.num_moves = -3;
+  EXPECT_FALSE(GenerateCrossfilterTrace(p, &*view).ok());
+}
+
+// ------------------------------- Scheduler -------------------------------
+
+TEST(FailureTest, SchedulerPropagatesEngineErrors) {
+  Engine engine(EngineOptions{});  // No tables registered.
+  QueryScheduler scheduler(&engine, SchedulerOptions{});
+  HistogramQuery h;
+  h.table = "ghost";
+  h.bin_column = "v";
+  h.bin_lo = 0.0;
+  h.bin_hi = 1.0;
+  QueryGroup g;
+  g.issue_time = SimTime::Origin();
+  g.queries.push_back(h);
+  EXPECT_FALSE(scheduler.Run({g}).ok());
+}
+
+TEST(FailureTest, SchedulerHandlesEmptyGroups) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  QueryScheduler scheduler(&engine, SchedulerOptions{});
+  QueryGroup empty;
+  empty.issue_time = SimTime::FromMillis(5);
+  auto run = scheduler.Run({empty});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->timelines.empty());
+  EXPECT_EQ(run->groups_executed, 1);
+}
+
+TEST(FailureTest, SchedulerClampsConnections) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  SchedulerOptions opts;
+  opts.num_connections = -5;  // Clamped to 1 internally.
+  QueryScheduler scheduler(&engine, opts);
+  SelectQuery s;
+  s.table = "tiny";
+  QueryGroup g;
+  g.queries.push_back(s);
+  g.queries.push_back(s);
+  auto run = scheduler.Run({g});
+  ASSERT_TRUE(run.ok());
+  // Serialized on the single clamped connection.
+  EXPECT_GT(run->timelines[1].exec_start, run->timelines[0].exec_start);
+}
+
+// ------------------------------ Scroll loader ------------------------------
+
+TEST(FailureTest, ScrollLoaderEmptyTraceIsCleanNoOp) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  ScrollTrace empty;
+  ScrollLoadOptions opts;
+  opts.table = "tiny";
+  auto report = SimulateScrollLoading(empty, &engine, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->scroll_events, 0);
+  EXPECT_EQ(report->violations, 0);
+}
+
+TEST(FailureTest, ScrollLoaderRejectsMissingJoinTables) {
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
+  ScrollTrace trace;
+  ScrollEvent e;
+  e.time = SimTime::FromMillis(1);
+  e.top_tuple = 0;
+  trace.events.push_back(e);
+  ScrollLoadOptions opts;
+  opts.query_shape = ScrollQueryShape::kJoinPage;
+  opts.join_left = "nope";
+  EXPECT_FALSE(SimulateScrollLoading(trace, &engine, opts).ok());
+}
+
+// ------------------------------- KL filter -------------------------------
+
+TEST(FailureTest, KlFilterPropagatesBadQueries) {
+  auto table = TinyTable();
+  auto filter = KlQueryFilter::Make(table, 0.0);
+  ASSERT_TRUE(filter.ok());
+  HistogramQuery h;
+  h.table = "tiny";
+  h.bin_column = "missing";
+  h.bin_lo = 0.0;
+  h.bin_hi = 1.0;
+  QueryGroup g;
+  g.queries.push_back(h);
+  EXPECT_FALSE(filter->ShouldIssue(g).ok());
+}
+
+// ------------------------------ Explore task ------------------------------
+
+TEST(FailureTest, ExploreTaskValidatesMapState) {
+  CompositeInterface::Options opts;
+  opts.destinations = {{"A", 30.0, -80.0, 12}};
+  // max_zoom clamps the start zoom to a valid value, so even extreme
+  // constructor input yields a working interface.
+  CompositeInterface ui(MapWidget(30.0, -80.0, 99), std::move(opts));
+  ExploreUserParams p;
+  p.min_session = Duration::Seconds(60);
+  p.seed = 77;
+  auto trace = GenerateExploreTrace(p, &ui);
+  EXPECT_TRUE(trace.ok());
+}
+
+// ------------------------------ Progressive ------------------------------
+
+TEST(FailureTest, ProgressiveOnEmptyishTables) {
+  // Two-row table: every fraction still yields a valid (if coarse) result.
+  auto table = TinyTable();
+  HistogramQuery q;
+  q.table = "tiny";
+  q.bin_column = "v";
+  q.bin_lo = 0.0;
+  q.bin_hi = 3.0;
+  q.bins = 3;
+  auto steps = RunProgressiveHistogram(table, q, ProgressiveOptions{});
+  ASSERT_TRUE(steps.ok());
+  EXPECT_DOUBLE_EQ(steps->back().estimate.total(), 2.0);
+}
+
+}  // namespace
+}  // namespace ideval

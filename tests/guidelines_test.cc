@@ -1,0 +1,364 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "guidelines/advisor.h"
+#include "guidelines/bias_catalog.h"
+#include "guidelines/metric_catalog.h"
+#include "guidelines/plan_validator.h"
+
+namespace ideval {
+namespace {
+
+// ------------------------------ Metric catalog ------------------------------
+
+TEST(MetricCatalogTest, AllSixteenMetricsDocumented) {
+  EXPECT_EQ(AllMetricInfo().size(), 16u);
+  std::set<Metric> seen;
+  for (const auto& info : AllMetricInfo()) {
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_FALSE(info.when_to_use.empty());
+    EXPECT_TRUE(seen.insert(info.metric).second) << "duplicate entry";
+  }
+}
+
+TEST(MetricCatalogTest, NovelMetricsAreFrontend) {
+  EXPECT_EQ(InfoFor(Metric::kLatencyConstraintViolation).category,
+            MetricCategory::kSystemFrontend);
+  EXPECT_EQ(InfoFor(Metric::kQueryIssuingFrequency).category,
+            MetricCategory::kSystemFrontend);
+  EXPECT_EQ(InfoFor(Metric::kLatency).category,
+            MetricCategory::kSystemBackend);
+  EXPECT_EQ(InfoFor(Metric::kUserFeedback).category,
+            MetricCategory::kHumanQualitative);
+}
+
+TEST(MetricCatalogTest, SurveyTablesPopulated) {
+  EXPECT_GE(SurveyTable1().size(), 30u);  // Table 1 has 31 rows.
+  EXPECT_GE(SurveyTable2().size(), 33u);  // Table 2 has 34 rows.
+  for (const auto* table : {&SurveyTable1(), &SurveyTable2()}) {
+    for (const auto& sys : *table) {
+      EXPECT_FALSE(sys.name.empty());
+      EXPECT_FALSE(sys.metrics.empty()) << sys.name;
+    }
+  }
+}
+
+TEST(MetricCatalogTest, UsageCountsMatchKnownEntries) {
+  // GestureDB reports learnability and discoverability; they are rare.
+  EXPECT_GE(SurveyUsageCount(Metric::kLearnability), 1);
+  EXPECT_GE(SurveyUsageCount(Metric::kDiscoverability), 1);
+  // User feedback and latency are the workhorses of both eras.
+  EXPECT_GT(SurveyUsageCount(Metric::kUserFeedback), 15);
+  EXPECT_GT(SurveyUsageCount(Metric::kLatency), 10);
+  // Nothing in the surveyed literature reports the two novel metrics —
+  // that gap is the paper's motivation.
+  EXPECT_EQ(SurveyUsageCount(Metric::kLatencyConstraintViolation), 0);
+  EXPECT_EQ(SurveyUsageCount(Metric::kQueryIssuingFrequency), 0);
+}
+
+// -------------------------------- Advisor --------------------------------
+
+std::set<Metric> Recommended(const SystemProfile& p) {
+  std::set<Metric> out;
+  for (const auto& r : RecommendMetrics(p)) out.insert(r.metric);
+  return out;
+}
+
+TEST(AdvisorTest, AlwaysRecommendsFeedbackAndLatency) {
+  const auto recs = Recommended(SystemProfile{});
+  EXPECT_TRUE(recs.count(Metric::kUserFeedback));
+  EXPECT_TRUE(recs.count(Metric::kLatency));
+  // Best practice 1: at least one human and one system factor — satisfied
+  // by the two always-on metrics.
+}
+
+TEST(AdvisorTest, Table3RulesFire) {
+  SystemProfile p;
+  p.exploratory = true;
+  p.approximate = true;
+  p.distributed = true;
+  p.large_data = true;
+  p.task_based = true;
+  p.reduces_user_effort = true;
+  p.targets_experts = true;
+  p.targets_novices = true;
+  p.domain_specific = true;
+  p.speculative_prefetching = true;
+  p.high_frame_rate_device = true;
+  p.consecutive_query_bursts = true;
+  const auto recs = Recommended(p);
+  // Every metric in the taxonomy applies to this kitchen-sink system.
+  EXPECT_EQ(recs.size(), AllMetricInfo().size());
+}
+
+TEST(AdvisorTest, FrontendMetricsOnlyForBurstyOrHighFrameRate) {
+  SystemProfile p;
+  auto recs = Recommended(p);
+  EXPECT_FALSE(recs.count(Metric::kLatencyConstraintViolation));
+  EXPECT_FALSE(recs.count(Metric::kQueryIssuingFrequency));
+  p.consecutive_query_bursts = true;
+  recs = Recommended(p);
+  EXPECT_TRUE(recs.count(Metric::kLatencyConstraintViolation));
+  EXPECT_FALSE(recs.count(Metric::kQueryIssuingFrequency));
+  p.high_frame_rate_device = true;
+  recs = Recommended(p);
+  EXPECT_TRUE(recs.count(Metric::kQueryIssuingFrequency));
+}
+
+TEST(AdvisorTest, EveryRecommendationHasAReason) {
+  SystemProfile p;
+  p.exploratory = true;
+  p.speculative_prefetching = true;
+  for (const auto& r : RecommendMetrics(p)) {
+    EXPECT_FALSE(r.reason.empty()) << MetricToString(r.metric);
+  }
+}
+
+TEST(AdvisorTest, BestPracticesAndPrinciplesComplete) {
+  EXPECT_EQ(MetricSelectionBestPractices().size(), 8u);
+  EXPECT_EQ(EvaluationPrinciples().size(), 8u);
+}
+
+// ----------------------------- Study designer -----------------------------
+
+TEST(StudyDesignTest, Fig4DecisionTree) {
+  StudySettingInputs i;
+  EXPECT_EQ(RecommendStudySetting(i).setting, StudySetting::kRemote);
+  i.think_aloud_protocol = true;
+  EXPECT_EQ(RecommendStudySetting(i).setting, StudySetting::kInPerson);
+  i = StudySettingInputs{};
+  i.device_dependent = true;
+  EXPECT_EQ(RecommendStudySetting(i).setting, StudySetting::kInPerson);
+  i = StudySettingInputs{};
+  i.comparison_against_control = true;
+  EXPECT_EQ(RecommendStudySetting(i).setting, StudySetting::kInPerson);
+}
+
+TEST(StudyDesignTest, Fig5DecisionTree) {
+  StudyStructureInputs i;
+  EXPECT_EQ(RecommendStudyStructure(i).structure,
+            StudyStructure::kBetweenSubject);
+  i.task_depends_on_inherent_ability = true;
+  auto within = RecommendStudyStructure(i);
+  EXPECT_EQ(within.structure, StudyStructure::kWithinSubject);
+  EXPECT_FALSE(within.cautions.empty());  // Randomize, fatigue, ...
+  i = StudyStructureInputs{};
+  i.interactions_definitive = true;
+  i.all_navigation_patterns_testable = true;
+  EXPECT_EQ(RecommendStudyStructure(i).structure,
+            StudyStructure::kSimulation);
+  // Simulation needs BOTH conditions.
+  i.all_navigation_patterns_testable = false;
+  EXPECT_EQ(RecommendStudyStructure(i).structure,
+            StudyStructure::kBetweenSubject);
+}
+
+TEST(StudyDesignTest, MinParticipants) {
+  EXPECT_EQ(kRecommendedMinParticipants, 10);
+}
+
+// ------------------------------ Bias catalog ------------------------------
+
+TEST(BiasCatalogTest, AllSevenBiasesDocumented) {
+  EXPECT_EQ(AllBiases().size(), 7u);
+  int participant = 0, experimenter = 0;
+  for (const auto& b : AllBiases()) {
+    EXPECT_FALSE(b.description.empty());
+    EXPECT_FALSE(b.mitigation.empty());
+    (b.side == BiasSide::kParticipant ? participant : experimenter)++;
+  }
+  // Table 4: four participant biases, three experimenter biases.
+  EXPECT_EQ(participant, 4);
+  EXPECT_EQ(experimenter, 3);
+}
+
+TEST(BiasCatalogTest, LookupBySide) {
+  EXPECT_EQ(InfoFor(CognitiveBias::kFraming).side, BiasSide::kExperimenter);
+  EXPECT_EQ(InfoFor(CognitiveBias::kAnchoring).side, BiasSide::kParticipant);
+}
+
+TEST(BiasCatalogTest, ValidityThreatsAndChecklist) {
+  EXPECT_EQ(ExternalValidityThreats().size(), 3u);
+  const auto checklist = StudyProcedureChecklist();
+  // 7 biases + 3 threats + 2 design lines.
+  EXPECT_EQ(checklist.size(), 12u);
+  for (const auto& line : checklist) EXPECT_FALSE(line.empty());
+}
+
+// ----------------------------- Plan validator -----------------------------
+
+EvaluationPlan SoundPlan() {
+  EvaluationPlan plan;
+  plan.profile.exploratory = true;
+  plan.profile.high_frame_rate_device = true;
+  plan.metrics = {Metric::kUserFeedback, Metric::kLatency,
+                  Metric::kQueryIssuingFrequency,
+                  Metric::kLatencyConstraintViolation,
+                  Metric::kNumInsights};
+  plan.structure = StudyStructure::kWithinSubject;
+  plan.participants = 12;
+  plan.randomized_or_counterbalanced = true;
+  plan.breaks_between_tasks = true;
+  plan.tasks_externally_reviewed = true;
+  plan.uses_real_datasets = true;
+  return plan;
+}
+
+TEST(PlanValidatorTest, SoundPlanPasses) {
+  const auto issues = ValidateEvaluationPlan(SoundPlan());
+  for (const auto& i : issues) {
+    ADD_FAILURE() << SeverityToString(i.severity) << " [" << i.guideline
+                  << "] " << i.message;
+  }
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(PlanValidatorTest, MissingHumanFactorIsError) {
+  EvaluationPlan plan = SoundPlan();
+  plan.metrics = {Metric::kLatency, Metric::kThroughput};
+  const auto issues = ValidateEvaluationPlan(plan);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().severity, PlanIssue::Severity::kError);
+  EXPECT_EQ(issues.front().guideline, "best practice 1");
+}
+
+TEST(PlanValidatorTest, WithinSubjectNeedsCounterbalancing) {
+  EvaluationPlan plan = SoundPlan();
+  plan.randomized_or_counterbalanced = false;
+  const auto issues = ValidateEvaluationPlan(plan);
+  bool found = false;
+  for (const auto& i : issues) {
+    found |= (i.severity == PlanIssue::Severity::kError &&
+              i.guideline.find("learning") != std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanValidatorTest, DisclosedHypothesisIsError) {
+  EvaluationPlan plan = SoundPlan();
+  plan.hypothesis_disclosed_to_participants = true;
+  const auto issues = ValidateEvaluationPlan(plan);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().severity, PlanIssue::Severity::kError);
+}
+
+TEST(PlanValidatorTest, ProfileConditionalWarnings) {
+  EvaluationPlan plan = SoundPlan();
+  plan.profile.approximate = true;
+  plan.profile.distributed = true;
+  auto issues = ValidateEvaluationPlan(plan);
+  int warnings = 0;
+  for (const auto& i : issues) {
+    warnings += (i.severity == PlanIssue::Severity::kWarning);
+  }
+  EXPECT_GE(warnings, 2);  // Missing accuracy and throughput.
+}
+
+TEST(PlanValidatorTest, LearnabilityDiscoverabilityUserOverlap) {
+  EvaluationPlan plan = SoundPlan();
+  plan.metrics.push_back(Metric::kLearnability);
+  plan.metrics.push_back(Metric::kDiscoverability);
+  plan.same_users_for_learnability_and_discoverability = true;
+  const auto issues = ValidateEvaluationPlan(plan);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues.front().severity, PlanIssue::Severity::kError);
+}
+
+TEST(PlanValidatorTest, SimulationSkipsHumanChecks) {
+  EvaluationPlan plan = SoundPlan();
+  plan.structure = StudyStructure::kSimulation;
+  plan.participants = 0;
+  plan.tasks_externally_reviewed = false;
+  plan.breaks_between_tasks = false;
+  plan.uses_real_datasets = false;
+  plan.randomized_or_counterbalanced = false;
+  EXPECT_TRUE(ValidateEvaluationPlan(plan).empty());
+}
+
+TEST(PlanValidatorTest, ErrorsSortBeforeWarnings) {
+  EvaluationPlan plan = SoundPlan();
+  plan.metrics = {Metric::kLatency};  // No human factor (error) + missing
+                                      // feedback / QIF / LCV (warnings).
+  const auto issues = ValidateEvaluationPlan(plan);
+  ASSERT_GE(issues.size(), 2u);
+  for (size_t i = 1; i < issues.size(); ++i) {
+    EXPECT_LE(static_cast<int>(issues[i - 1].severity),
+              static_cast<int>(issues[i].severity));
+  }
+}
+
+// --------------------------- Counterbalancing ---------------------------
+
+TEST(CounterbalanceTest, RejectsBadInputs) {
+  EXPECT_FALSE(CounterbalancedOrders(0, 5).ok());
+  EXPECT_FALSE(CounterbalancedOrders(3, 0).ok());
+}
+
+TEST(CounterbalanceTest, EvenSquareIsBalanced) {
+  const int n = 4;
+  auto orders = CounterbalancedOrders(n, n);
+  ASSERT_TRUE(orders.ok());
+  ASSERT_EQ(orders->size(), 4u);
+  // Each row is a permutation.
+  for (const auto& row : *orders) {
+    std::set<int> seen(row.begin(), row.end());
+    EXPECT_EQ(seen.size(), static_cast<size_t>(n));
+  }
+  // Position balance: every condition appears once per position.
+  for (int pos = 0; pos < n; ++pos) {
+    std::set<int> at_pos;
+    for (const auto& row : *orders) at_pos.insert(row[static_cast<size_t>(pos)]);
+    EXPECT_EQ(at_pos.size(), static_cast<size_t>(n)) << "position " << pos;
+  }
+  // First-order carryover balance: each ordered adjacency appears once.
+  std::map<std::pair<int, int>, int> adjacency;
+  for (const auto& row : *orders) {
+    for (size_t i = 1; i < row.size(); ++i) {
+      ++adjacency[{row[i - 1], row[i]}];
+    }
+  }
+  for (const auto& [pair, count] : adjacency) {
+    EXPECT_EQ(count, 1) << pair.first << "->" << pair.second;
+  }
+}
+
+TEST(CounterbalanceTest, OddSquareUsesReversedRows) {
+  auto orders = CounterbalancedOrders(3, 6);
+  ASSERT_TRUE(orders.ok());
+  ASSERT_EQ(orders->size(), 6u);
+  for (const auto& row : *orders) {
+    std::set<int> seen(row.begin(), row.end());
+    EXPECT_EQ(seen.size(), 3u);
+  }
+  // Over the full 2n rows, carryover is balanced: each ordered pair twice.
+  std::map<std::pair<int, int>, int> adjacency;
+  for (const auto& row : *orders) {
+    for (size_t i = 1; i < row.size(); ++i) {
+      ++adjacency[{row[i - 1], row[i]}];
+    }
+  }
+  for (const auto& [pair, count] : adjacency) {
+    EXPECT_EQ(count, 2) << pair.first << "->" << pair.second;
+  }
+}
+
+TEST(CounterbalanceTest, CyclesRowsAcrossParticipants) {
+  auto orders = CounterbalancedOrders(4, 10);
+  ASSERT_TRUE(orders.ok());
+  ASSERT_EQ(orders->size(), 10u);
+  EXPECT_EQ((*orders)[0], (*orders)[4]);  // Row cycle of length 4.
+  EXPECT_EQ((*orders)[1], (*orders)[5]);
+}
+
+TEST(CounterbalanceTest, SingleCondition) {
+  auto orders = CounterbalancedOrders(1, 3);
+  ASSERT_TRUE(orders.ok());
+  for (const auto& row : *orders) {
+    ASSERT_EQ(row.size(), 1u);
+    EXPECT_EQ(row[0], 0);
+  }
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "metrics/frame_model.h"
+#include "metrics/frontend_metrics.h"
+#include "metrics/human_factors.h"
+#include "metrics/thresholds.h"
+
+namespace ideval {
+namespace {
+
+QueryTimeline MakeTimeline(int64_t group, double issue_ms, double receive_ms,
+                           double render_ms_after = 5.0,
+                           bool skipped = false) {
+  QueryTimeline t;
+  t.group_id = group;
+  t.skipped = skipped;
+  t.issue_time = SimTime::FromMillis(issue_ms);
+  t.backend_arrival = t.issue_time + Duration::MillisF(0.2);
+  t.exec_start = t.backend_arrival;
+  t.exec_end = SimTime::FromMillis(receive_ms) - Duration::MillisF(0.2);
+  t.client_receive = SimTime::FromMillis(receive_ms);
+  t.render_end = t.client_receive + Duration::MillisF(render_ms_after);
+  t.network_latency = Duration::MillisF(0.4);
+  t.scheduling_latency = Duration::Zero();
+  t.execution_latency = t.exec_end - t.exec_start;
+  t.post_aggregation_latency = Duration::Zero();
+  t.rendering_latency = Duration::MillisF(render_ms_after);
+  return t;
+}
+
+// --------------------------------- QIF ---------------------------------
+
+TEST(QifTest, ComputesRateAndIntervals) {
+  std::vector<SimTime> times;
+  for (int i = 0; i <= 50; ++i) times.push_back(SimTime::FromMillis(i * 20));
+  auto qif = ComputeQif(times);
+  ASSERT_TRUE(qif.ok());
+  EXPECT_EQ(qif->queries, 51);
+  EXPECT_NEAR(qif->qif, 51.0, 1.5);  // ~50 queries per second (§2.2).
+  ASSERT_EQ(qif->intervals_ms.size(), 50u);
+  EXPECT_DOUBLE_EQ(qif->intervals_ms[0], 20.0);
+}
+
+TEST(QifTest, RejectsUnsorted) {
+  EXPECT_FALSE(ComputeQif({SimTime::FromMillis(10), SimTime::FromMillis(5)})
+                   .ok());
+}
+
+TEST(QifTest, EmptyAndSingle) {
+  auto empty = ComputeQif({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->queries, 0);
+  auto one = ComputeQif({SimTime::FromMillis(5)});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->queries, 1);
+  EXPECT_DOUBLE_EQ(one->qif, 0.0);
+}
+
+TEST(QifTest, IssueTimesSkipsSkipped) {
+  std::vector<QueryTimeline> timelines = {
+      MakeTimeline(0, 0.0, 10.0),
+      MakeTimeline(1, 20.0, 30.0, 5.0, /*skipped=*/true),
+      MakeTimeline(2, 40.0, 50.0)};
+  EXPECT_EQ(IssueTimes(timelines).size(), 2u);
+}
+
+// --------------------------------- LCV ---------------------------------
+
+TEST(LcvTest, ViolationWhenResultsArriveAfterNextInteraction) {
+  // Group 0 issued at 0 ms, next interaction at 20 ms:
+  //   - results at 15 ms: fine.
+  //   - results at 120 ms: violation (Fig. 2).
+  std::vector<QueryTimeline> fine = {MakeTimeline(0, 0.0, 15.0),
+                                     MakeTimeline(1, 20.0, 35.0)};
+  LcvStats s1 = ComputeCrossfilterLcv(fine);
+  EXPECT_EQ(s1.queries_considered, 1);  // Last group has no successor.
+  EXPECT_EQ(s1.violations, 0);
+
+  std::vector<QueryTimeline> late = {MakeTimeline(0, 0.0, 120.0),
+                                     MakeTimeline(1, 20.0, 140.0)};
+  LcvStats s2 = ComputeCrossfilterLcv(late);
+  EXPECT_EQ(s2.violations, 1);
+  ASSERT_EQ(s2.overshoot_ms.size(), 1u);
+  EXPECT_NEAR(s2.overshoot_ms[0], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s2.ViolationFraction(), 1.0);
+}
+
+TEST(LcvTest, SkippedQueriesExcludedButStillCountAsInteractions) {
+  // Group 1 was skipped, but the user *did* interact at 20 ms, so group 0
+  // is judged against that moment.
+  std::vector<QueryTimeline> timelines = {
+      MakeTimeline(0, 0.0, 120.0),
+      MakeTimeline(1, 20.0, 0.0, 0.0, /*skipped=*/true),
+      MakeTimeline(2, 40.0, 160.0)};
+  LcvStats s = ComputeCrossfilterLcv(timelines);
+  // Only group 0 is considered (group 2 has no successor interaction and
+  // group 1 was never executed), and it violates against the 20 ms issue.
+  EXPECT_EQ(s.queries_considered, 1);
+  EXPECT_EQ(s.violations, 1);
+}
+
+TEST(LcvTest, MultiQueryGroupsCountPerQuery) {
+  std::vector<QueryTimeline> timelines;
+  QueryTimeline a = MakeTimeline(0, 0.0, 30.0);
+  QueryTimeline b = MakeTimeline(0, 0.0, 15.0);
+  b.query_index = 1;
+  timelines.push_back(a);
+  timelines.push_back(b);
+  timelines.push_back(MakeTimeline(1, 20.0, 50.0));
+  LcvStats s = ComputeCrossfilterLcv(timelines);
+  EXPECT_EQ(s.queries_considered, 2);
+  EXPECT_EQ(s.violations, 1);  // Only the 30 ms query misses the 20 ms mark.
+}
+
+TEST(LcvTest, EmptyInput) {
+  LcvStats s = ComputeCrossfilterLcv({});
+  EXPECT_EQ(s.queries_considered, 0);
+  EXPECT_DOUBLE_EQ(s.ViolationFraction(), 0.0);
+}
+
+// ------------------------- Breakdown / throughput -------------------------
+
+TEST(BreakdownTest, MeansOverExecutedQueries) {
+  std::vector<QueryTimeline> timelines = {
+      MakeTimeline(0, 0.0, 10.0, 4.0),
+      MakeTimeline(1, 20.0, 40.0, 8.0),
+      MakeTimeline(2, 50.0, 60.0, 6.0, /*skipped=*/true)};
+  auto means = MeanLatencyBreakdown(timelines);
+  EXPECT_DOUBLE_EQ(means.rendering.millis(), 6.0);
+  EXPECT_GT(means.perceived, Duration::Zero());
+  EXPECT_DOUBLE_EQ(means.network.millis(), 0.4);
+}
+
+TEST(BreakdownTest, EmptyIsZero) {
+  auto means = MeanLatencyBreakdown({});
+  EXPECT_EQ(means.perceived, Duration::Zero());
+}
+
+TEST(PerceivedSummaryTest, ExcludesSkipped) {
+  std::vector<QueryTimeline> timelines = {
+      MakeTimeline(0, 0.0, 10.0, 5.0),
+      MakeTimeline(1, 0.0, 10.0, 5.0, /*skipped=*/true)};
+  Summary s = PerceivedLatencySummary(timelines);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+}
+
+TEST(ThroughputTest, QueriesPerSecond) {
+  std::vector<QueryTimeline> timelines;
+  for (int i = 0; i < 10; ++i) {
+    timelines.push_back(MakeTimeline(i, i * 100.0, i * 100.0 + 50.0));
+  }
+  // 10 queries, last exec_end ≈ 949.8 ms.
+  EXPECT_NEAR(ComputeThroughput(timelines), 10.0 / 0.9498, 0.2);
+  EXPECT_DOUBLE_EQ(ComputeThroughput({}), 0.0);
+}
+
+// ----------------------------- Human factors -----------------------------
+
+TEST(HumanFactorsTest, ScrollSessionMetrics) {
+  ScrollUserParams user;
+  user.seed = 404;
+  ScrollTaskOptions opts;
+  opts.scroller.total_tuples = 1500;
+  auto trace = GenerateScrollTrace(user, opts);
+  ASSERT_TRUE(trace.ok());
+  const HumanFactors hf = ComputeScrollHumanFactors(*trace);
+  EXPECT_EQ(hf.task_completion_time, trace->session_duration);
+  // Interactions = glide bursts: more than selections, fewer than raw
+  // events.
+  EXPECT_GT(hf.num_interactions,
+            static_cast<int64_t>(trace->selections.size()));
+  EXPECT_LT(hf.num_interactions,
+            static_cast<int64_t>(trace->events.size()));
+  EXPECT_EQ(hf.task_outputs,
+            static_cast<int64_t>(trace->selections.size()));
+  if (hf.task_outputs > 0) {
+    EXPECT_GT(hf.InteractionsPerOutput(), 1.0);
+  }
+}
+
+TEST(HumanFactorsTest, ExploreSessionMetrics) {
+  CompositeInterface::Options copts;
+  copts.destinations = {{"A", 33.5, -86.8, 12}, {"B", 33.7, -84.4, 12}};
+  CompositeInterface ui(MapWidget(32.0, -86.0, 11), std::move(copts));
+  ExploreUserParams user;
+  user.seed = 405;
+  user.min_session = Duration::Seconds(300);
+  auto trace = GenerateExploreTrace(user, &ui);
+  ASSERT_TRUE(trace.ok());
+  const HumanFactors hf = ComputeExploreHumanFactors(*trace);
+  EXPECT_EQ(hf.num_interactions,
+            static_cast<int64_t>(trace->phases.size()));
+  EXPECT_GT(hf.task_outputs, 0);
+  EXPECT_LE(hf.task_outputs, hf.num_interactions);
+}
+
+TEST(HumanFactorsTest, EmptyTraceIsZero) {
+  ScrollTrace empty;
+  const HumanFactors hf = ComputeScrollHumanFactors(empty);
+  EXPECT_EQ(hf.num_interactions, 0);
+  EXPECT_EQ(hf.task_outputs, 0);
+  EXPECT_DOUBLE_EQ(hf.InteractionsPerOutput(), 0.0);
+}
+
+// ------------------------------ Frame model ------------------------------
+
+TEST(FrameModelTest, CoalescesResultsWithinOneFrame) {
+  // Three results inside one 60 Hz frame (16.67 ms), one in the next.
+  std::vector<QueryTimeline> timelines = {
+      MakeTimeline(0, 0.0, 2.0), MakeTimeline(1, 0.0, 5.0),
+      MakeTimeline(2, 0.0, 9.0), MakeTimeline(3, 0.0, 20.0)};
+  FrameModelOptions opts;
+  auto report = AnalyzeFrames(timelines, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->results_arrived, 4);
+  EXPECT_EQ(report->frames_with_updates, 2);
+  EXPECT_EQ(report->coalesced_results, 3);
+  EXPECT_NEAR(report->RenderSavings(), 0.5, 1e-9);
+  // Every result waits for its frame tick: delay in (0, 16.7] ms.
+  EXPECT_GT(report->mean_display_delay, Duration::Zero());
+  EXPECT_LE(report->mean_display_delay, Duration::MillisF(16.7));
+}
+
+TEST(FrameModelTest, HigherFpsReducesDelayAndCoalescing) {
+  std::vector<QueryTimeline> timelines;
+  for (int i = 0; i < 50; ++i) {
+    timelines.push_back(MakeTimeline(i, i * 8.0, i * 8.0 + 5.0));
+  }
+  FrameModelOptions slow;
+  slow.fps = 30.0;
+  FrameModelOptions fast;
+  fast.fps = 120.0;
+  auto slow_report = AnalyzeFrames(timelines, slow);
+  auto fast_report = AnalyzeFrames(timelines, fast);
+  ASSERT_TRUE(slow_report.ok());
+  ASSERT_TRUE(fast_report.ok());
+  EXPECT_GT(slow_report->coalesced_results, fast_report->coalesced_results);
+  EXPECT_GT(slow_report->mean_display_delay,
+            fast_report->mean_display_delay);
+  EXPECT_GE(slow_report->RenderSavings(), fast_report->RenderSavings());
+}
+
+TEST(FrameModelTest, SkippedAndEmptyInputs) {
+  FrameModelOptions opts;
+  auto empty = AnalyzeFrames({}, opts);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->results_arrived, 0);
+  EXPECT_DOUBLE_EQ(empty->RenderSavings(), 0.0);
+
+  std::vector<QueryTimeline> skipped = {
+      MakeTimeline(0, 0.0, 5.0, 5.0, /*skipped=*/true)};
+  auto only_skipped = AnalyzeFrames(skipped, opts);
+  ASSERT_TRUE(only_skipped.ok());
+  EXPECT_EQ(only_skipped->results_arrived, 0);
+
+  opts.fps = 0.0;
+  EXPECT_FALSE(AnalyzeFrames({}, opts).ok());
+}
+
+// ------------------------------- Thresholds -------------------------------
+
+TEST(ThresholdsTest, OrderingSane) {
+  EXPECT_LT(kTouchPerceivableDifference, kTargetAcquisitionLatencyLimit);
+  EXPECT_LT(kTargetAcquisitionLatencyLimit, kTargetTrackingLatencyLimit);
+  EXPECT_LT(kTargetTrackingLatencyLimit, kVisualAnalysisNoticeableDelay);
+  EXPECT_LT(kVisualAnalysisNoticeableDelay, kInteractiveLatencyBudget);
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "opt/kl_filter.h"
+#include "opt/session_cache.h"
+#include "opt/throttle.h"
+#include "widget/crossfilter.h"
+
+namespace ideval {
+namespace {
+
+// ------------------------------ KlQueryFilter ------------------------------
+
+class KlFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RoadNetworkOptions opts;
+    opts.num_rows = 20000;
+    road_ = MakeRoadNetworkTable(opts).ValueOrDie();
+    view_ = std::make_unique<CrossfilterView>(
+        CrossfilterView::Make(road_, {"x", "y", "z"}).ValueOrDie());
+  }
+
+  QueryGroup GroupAt(double hi_fraction, SimTime t) {
+    // Brush x's upper handle to `hi_fraction` of the domain.
+    const RangeSlider& sx = view_->slider(0);
+    SliderEvent e;
+    e.time = t;
+    e.slider_index = 0;
+    e.min_val = sx.domain_lo();
+    e.max_val = sx.domain_lo() +
+                (sx.domain_hi() - sx.domain_lo()) * hi_fraction;
+    return view_->ApplySliderEvent(e).ValueOrDie();
+  }
+
+  TablePtr road_;
+  std::unique_ptr<CrossfilterView> view_;
+};
+
+TEST_F(KlFilterTest, MakeValidates) {
+  EXPECT_FALSE(KlQueryFilter::Make(nullptr, 0.0).ok());
+  EXPECT_FALSE(KlQueryFilter::Make(road_, -1.0).ok());
+  KlQueryFilter::Options opts;
+  opts.sample_size = 0;
+  EXPECT_FALSE(KlQueryFilter::Make(road_, 0.0, opts).ok());
+  EXPECT_TRUE(KlQueryFilter::Make(road_, 0.0).ok());
+}
+
+TEST_F(KlFilterTest, FirstGroupAlwaysIssues) {
+  auto filter = KlQueryFilter::Make(road_, 0.0);
+  ASSERT_TRUE(filter.ok());
+  auto issue = filter->ShouldIssue(GroupAt(1.0, SimTime::Origin()));
+  ASSERT_TRUE(issue.ok());
+  EXPECT_TRUE(*issue);
+}
+
+TEST_F(KlFilterTest, IdenticalGroupSuppressedAtZeroThreshold) {
+  auto filter = KlQueryFilter::Make(road_, 0.0);
+  ASSERT_TRUE(filter.ok());
+  QueryGroup g = GroupAt(1.0, SimTime::Origin());
+  ASSERT_TRUE(*filter->ShouldIssue(g));
+  // Identical selection again: approximate result set cannot change.
+  auto again = filter->ShouldIssue(g);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_DOUBLE_EQ(filter->last_divergence(), 0.0);
+}
+
+TEST_F(KlFilterTest, LargeBrushChangeIssues) {
+  auto filter = KlQueryFilter::Make(road_, 0.2);
+  ASSERT_TRUE(filter.ok());
+  ASSERT_TRUE(*filter->ShouldIssue(GroupAt(1.0, SimTime::Origin())));
+  // Cutting the x range in half changes y/z histograms a lot.
+  auto issue = filter->ShouldIssue(GroupAt(0.3, SimTime::FromMillis(20)));
+  ASSERT_TRUE(issue.ok());
+  EXPECT_TRUE(*issue);
+  EXPECT_GT(filter->last_divergence(), 0.2);
+}
+
+TEST_F(KlFilterTest, HigherThresholdSuppressesMore) {
+  // Sweep a fine brush; count how many groups each threshold lets through.
+  auto count_issued = [&](double threshold) {
+    auto view = CrossfilterView::Make(road_, {"x", "y", "z"}).ValueOrDie();
+    auto filter = KlQueryFilter::Make(road_, threshold).ValueOrDie();
+    int64_t issued = 0;
+    const RangeSlider& sx = view.slider(0);
+    for (int i = 0; i < 60; ++i) {
+      SliderEvent e;
+      e.time = SimTime::FromMillis(i * 20.0);
+      e.slider_index = 0;
+      e.min_val = sx.domain_lo();
+      e.max_val = sx.domain_hi() -
+                  (sx.domain_hi() - sx.domain_lo()) * 0.008 * i;
+      QueryGroup g = view.ApplySliderEvent(e).ValueOrDie();
+      if (*filter.ShouldIssue(g)) ++issued;
+    }
+    return issued;
+  };
+  const int64_t kl0 = count_issued(0.0);
+  const int64_t kl02 = count_issued(0.2);
+  const int64_t kl1 = count_issued(1.0);
+  EXPECT_GE(kl0, kl02);
+  EXPECT_GT(kl02, 0);
+  EXPECT_GE(kl02, kl1);
+  EXPECT_LT(kl1, 10);
+}
+
+TEST_F(KlFilterTest, FilterQueryGroupsCountsSuppressed) {
+  auto filter = KlQueryFilter::Make(road_, 0.0);
+  ASSERT_TRUE(filter.ok());
+  QueryGroup g = GroupAt(1.0, SimTime::Origin());
+  std::vector<QueryGroup> groups = {g, g, g};
+  int64_t suppressed = 0;
+  auto out = FilterQueryGroups(&*filter, groups, &suppressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ(suppressed, 2);
+  EXPECT_FALSE(FilterQueryGroups(nullptr, groups).ok());
+}
+
+TEST_F(KlFilterTest, NonHistogramGroupsPassThrough) {
+  auto filter = KlQueryFilter::Make(road_, 10.0);
+  ASSERT_TRUE(filter.ok());
+  QueryGroup g;
+  SelectQuery s;
+  s.table = "dataroad";
+  g.queries.push_back(s);
+  auto issue = filter->ShouldIssue(g);
+  ASSERT_TRUE(issue.ok());
+  EXPECT_TRUE(*issue);
+}
+
+// ------------------------------- Throttler -------------------------------
+
+TEST(ThrottlerTest, EnforcesMinInterval) {
+  QifThrottler throttler(Duration::Millis(100));
+  EXPECT_TRUE(throttler.Admit(SimTime::FromMillis(0)));
+  EXPECT_FALSE(throttler.Admit(SimTime::FromMillis(50)));
+  EXPECT_FALSE(throttler.Admit(SimTime::FromMillis(99)));
+  EXPECT_TRUE(throttler.Admit(SimTime::FromMillis(100)));
+  EXPECT_TRUE(throttler.Admit(SimTime::FromMillis(250)));
+  throttler.Reset();
+  EXPECT_TRUE(throttler.Admit(SimTime::FromMillis(251)));
+}
+
+TEST(ThrottlerTest, ThrottleQueryGroupsCapsRate) {
+  std::vector<QueryGroup> groups;
+  for (int i = 0; i < 100; ++i) {
+    QueryGroup g;
+    g.issue_time = SimTime::FromMillis(i * 20.0);  // 50 Hz.
+    groups.push_back(g);
+  }
+  QifThrottler throttler(Duration::Millis(100));  // Cap at 10 Hz.
+  auto kept = ThrottleQueryGroups(&throttler, groups);
+  EXPECT_EQ(kept.size(), 20u);
+  for (size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_GE(kept[i].issue_time - kept[i - 1].issue_time,
+              Duration::Millis(100));
+  }
+  EXPECT_TRUE(ThrottleQueryGroups(nullptr, groups).empty());
+}
+
+// ------------------------------- Debouncer -------------------------------
+
+TEST(DebounceTest, KeepsOnlyPauses) {
+  // Bursts at 0,10,20ms then a pause, then 200,210ms then end.
+  std::vector<SimTime> times = {
+      SimTime::FromMillis(0),   SimTime::FromMillis(10),
+      SimTime::FromMillis(20),  SimTime::FromMillis(200),
+      SimTime::FromMillis(210)};
+  auto out = DebounceEventTimes(times, Duration::Millis(50));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].source_index, 2u);  // Last event before the pause.
+  EXPECT_EQ(out[0].fire_time, SimTime::FromMillis(70));
+  EXPECT_EQ(out[1].source_index, 4u);  // Final event always fires.
+  EXPECT_EQ(out[1].fire_time, SimTime::FromMillis(260));
+}
+
+TEST(DebounceTest, EmptyInput) {
+  EXPECT_TRUE(DebounceEventTimes({}, Duration::Millis(50)).empty());
+}
+
+TEST(DebounceTest, SingleEventFires) {
+  auto out = DebounceEventTimes({SimTime::FromMillis(5)},
+                                Duration::Millis(50));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].fire_time, SimTime::FromMillis(55));
+}
+
+// ------------------------------ SessionCache ------------------------------
+
+class SessionCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RoadNetworkOptions opts;
+    opts.num_rows = 20000;
+    road_ = MakeRoadNetworkTable(opts).ValueOrDie();
+    EngineOptions eopts;
+    eopts.profile = EngineProfile::kDiskRowStore;
+    engine_ = std::make_unique<Engine>(eopts);
+    ASSERT_TRUE(engine_->RegisterTable(road_).ok());
+  }
+
+  Query Hist(double x_hi) {
+    HistogramQuery q;
+    q.table = "dataroad";
+    q.bin_column = "y";
+    q.bin_lo = 56.582;
+    q.bin_hi = 57.774;
+    q.bins = 20;
+    q.predicates = {RangePredicate{"x", 8.146, x_hi}};
+    return q;
+  }
+
+  TablePtr road_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SessionCacheTest, RepeatedQueryHitsAndSavesTime) {
+  SessionCache cache(engine_.get());
+  auto first = cache.Execute(Hist(10.0));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  auto second = cache.Execute(Hist(10.0));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // Sesame-style gain: the hit is orders of magnitude cheaper.
+  EXPECT_LT(second->effective_time.micros(),
+            first->effective_time.micros() / 10);
+  EXPECT_GT(cache.TimeSaved(), Duration::Zero());
+  // And returns identical data.
+  EXPECT_EQ(std::get<FixedHistogram>(first->response.data),
+            std::get<FixedHistogram>(second->response.data));
+  EXPECT_NEAR(cache.HitRate(), 0.5, 1e-12);
+}
+
+TEST_F(SessionCacheTest, DifferentPredicatesMiss) {
+  SessionCache cache(engine_.get());
+  ASSERT_TRUE(cache.Execute(Hist(10.0)).ok());
+  auto other = cache.Execute(Hist(9.0));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->cache_hit);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST_F(SessionCacheTest, CapacityEvicts) {
+  SessionCache::Options opts;
+  opts.capacity = 2;
+  SessionCache cache(engine_.get(), opts);
+  ASSERT_TRUE(cache.Execute(Hist(9.0)).ok());
+  ASSERT_TRUE(cache.Execute(Hist(9.5)).ok());
+  ASSERT_TRUE(cache.Execute(Hist(10.0)).ok());  // Evicts Hist(9.0).
+  auto evicted = cache.Execute(Hist(9.0));
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_FALSE(evicted->cache_hit);
+}
+
+TEST_F(SessionCacheTest, ClearAndNullEngine) {
+  SessionCache cache(engine_.get());
+  ASSERT_TRUE(cache.Execute(Hist(10.0)).ok());
+  cache.Clear();
+  auto after = cache.Execute(Hist(10.0));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+
+  SessionCache broken(nullptr);
+  EXPECT_FALSE(broken.Execute(Hist(10.0)).ok());
+}
+
+TEST_F(SessionCacheTest, CrossfilterJitterBenefitsFromReuse) {
+  // A user wiggling a slider back and forth re-issues earlier queries;
+  // the session cache should convert a meaningful share into hits.
+  SessionCache cache(engine_.get());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (double hi : {9.0, 9.5, 10.0, 9.5, 9.0}) {
+      ASSERT_TRUE(cache.Execute(Hist(hi)).ok());
+    }
+  }
+  EXPECT_GT(cache.HitRate(), 0.7);
+}
+
+}  // namespace
+}  // namespace ideval

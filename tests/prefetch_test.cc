@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "prefetch/content_prefetcher.h"
+#include "prefetch/scroll_loader.h"
+#include "prefetch/tile_cache.h"
+
+namespace ideval {
+namespace {
+
+// ----------------------------- Scroll loader -----------------------------
+
+class ScrollLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesOptions mopts;
+    mopts.num_rows = 4000;
+    movies_ = MakeMoviesTable(mopts).ValueOrDie();
+    auto split = SplitMoviesForJoin(movies_);
+    ASSERT_TRUE(split.ok());
+    EngineOptions eopts;
+    eopts.profile = EngineProfile::kDiskRowStore;
+    engine_ = std::make_unique<Engine>(eopts);
+    ASSERT_TRUE(engine_->RegisterTable(movies_).ok());
+    ASSERT_TRUE(engine_->RegisterTable(split->ratings).ok());
+    ASSERT_TRUE(engine_->RegisterTable(split->movies).ok());
+
+    ScrollUserParams fast;
+    fast.user_id = 0;
+    fast.peak_velocity_px_s = 25000.0;  // A fast skimmer.
+    fast.interest_prob = 0.01;
+    fast.seed = 5;
+    ScrollTaskOptions topts;
+    topts.scroller.total_tuples = 4000;
+    fast_trace_ = GenerateScrollTrace(fast, topts).ValueOrDie();
+
+    ScrollUserParams slow = fast;
+    slow.peak_velocity_px_s = 2500.0;
+    slow.dwell_mean_s = 1.4;
+    slow.seed = 6;
+    slow_trace_ = GenerateScrollTrace(slow, topts).ValueOrDie();
+  }
+
+  ScrollLoadReport Run(ScrollLoadStrategy strategy, int64_t tuples,
+                       const ScrollTrace& trace,
+                       ScrollQueryShape shape = ScrollQueryShape::kSelect) {
+    ScrollLoadOptions opts;
+    opts.strategy = strategy;
+    opts.tuples_per_fetch = tuples;
+    opts.query_shape = shape;
+    engine_->ClearCaches();
+    auto report = SimulateScrollLoading(trace, engine_.get(), opts);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return *report;
+  }
+
+  TablePtr movies_;
+  std::unique_ptr<Engine> engine_;
+  ScrollTrace fast_trace_;
+  ScrollTrace slow_trace_;
+};
+
+TEST_F(ScrollLoaderTest, ValidatesArguments) {
+  ScrollLoadOptions opts;
+  EXPECT_FALSE(SimulateScrollLoading(fast_trace_, nullptr, opts).ok());
+  opts.tuples_per_fetch = 0;
+  EXPECT_FALSE(
+      SimulateScrollLoading(fast_trace_, engine_.get(), opts).ok());
+  opts.tuples_per_fetch = 10;
+  opts.table = "missing";
+  EXPECT_FALSE(
+      SimulateScrollLoading(fast_trace_, engine_.get(), opts).ok());
+}
+
+TEST_F(ScrollLoaderTest, TimerAtHighRateEliminatesViolations) {
+  // Table 8: timer fetch at 80 tuples/s has zero violations.
+  const auto report =
+      Run(ScrollLoadStrategy::kTimerFetch, 80, slow_trace_);
+  EXPECT_EQ(report.violations, 0);
+  EXPECT_EQ(report.MeanWait(), Duration::Zero());
+}
+
+TEST_F(ScrollLoaderTest, TimerViolationsDropWithFetchSize) {
+  const auto r12 = Run(ScrollLoadStrategy::kTimerFetch, 12, fast_trace_);
+  const auto r80 = Run(ScrollLoadStrategy::kTimerFetch, 80, fast_trace_);
+  EXPECT_GT(r12.violations, r80.violations);
+  EXPECT_GT(r12.MeanWait(), r80.MeanWait());
+}
+
+TEST_F(ScrollLoaderTest, EventFetchViolatesButWaitsStayShort) {
+  // Table 8 / Fig. 10: event fetch violates at every size, yet each wait is
+  // roughly one fetch round trip (~80 ms), insensitive to fetch size.
+  const auto r12 = Run(ScrollLoadStrategy::kEventFetch, 12, fast_trace_);
+  const auto r80 = Run(ScrollLoadStrategy::kEventFetch, 80, fast_trace_);
+  EXPECT_GT(r12.violations, 0);
+  EXPECT_GT(r80.violations, 0);
+  EXPECT_GT(r12.MeanWait(), Duration::Millis(10));
+  EXPECT_LT(r12.MeanWait(), Duration::Millis(1500));
+  EXPECT_LT(r80.MeanWait(), Duration::Millis(1500));
+}
+
+TEST_F(ScrollLoaderTest, LazyLoadingWorstUnderInertia) {
+  // §6.1: lazy loading does not work with inertial scrolling.
+  const auto lazy = Run(ScrollLoadStrategy::kLazyLoad, 58, fast_trace_);
+  const auto event = Run(ScrollLoadStrategy::kEventFetch, 58, fast_trace_);
+  EXPECT_GE(lazy.violations, event.violations);
+}
+
+TEST_F(ScrollLoaderTest, JoinQueryShapeWorks) {
+  const auto report = Run(ScrollLoadStrategy::kTimerFetch, 58, slow_trace_,
+                          ScrollQueryShape::kJoinPage);
+  EXPECT_GT(report.fetches_issued, 0);
+}
+
+TEST_F(ScrollLoaderTest, ReportAccounting) {
+  const auto report = Run(ScrollLoadStrategy::kTimerFetch, 30, fast_trace_);
+  EXPECT_EQ(report.scroll_events,
+            static_cast<int64_t>(fast_trace_.events.size()));
+  EXPECT_EQ(report.violations, static_cast<int64_t>(report.waits.size()));
+  EXPECT_GE(report.MaxWait(), report.MeanWait());
+}
+
+// ------------------------------- TileCache -------------------------------
+
+TEST(TileCacheTest, LruVsFifoSemantics) {
+  TileCache lru(2, EvictionPolicy::kLru);
+  EXPECT_FALSE(lru.Request({11, 1, 1}));
+  EXPECT_FALSE(lru.Request({11, 2, 2}));
+  EXPECT_TRUE(lru.Request({11, 1, 1}));   // Refresh 1.
+  lru.Prefetch({11, 3, 3});               // Evicts 2 (LRU).
+  EXPECT_TRUE(lru.Contains({11, 1, 1}));
+  EXPECT_FALSE(lru.Contains({11, 2, 2}));
+
+  TileCache fifo(2, EvictionPolicy::kFifo);
+  EXPECT_FALSE(fifo.Request({11, 1, 1}));
+  EXPECT_FALSE(fifo.Request({11, 2, 2}));
+  EXPECT_TRUE(fifo.Request({11, 1, 1}));  // Hit but order unchanged.
+  fifo.Prefetch({11, 3, 3});              // Evicts 1 (oldest).
+  EXPECT_FALSE(fifo.Contains({11, 1, 1}));
+  EXPECT_TRUE(fifo.Contains({11, 2, 2}));
+}
+
+TEST(TileCacheTest, HitRateAccounting) {
+  TileCache cache(8, EvictionPolicy::kLru);
+  cache.Request({11, 1, 1});
+  cache.Request({11, 1, 1});
+  cache.Request({11, 2, 2});
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_NEAR(cache.HitRate(), 1.0 / 3.0, 1e-12);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(TileCacheTest, PrefetchDoesNotCountAsHit) {
+  TileCache cache(8, EvictionPolicy::kLru);
+  cache.Prefetch({11, 5, 5});
+  EXPECT_EQ(cache.hits() + cache.misses(), 0);
+  EXPECT_TRUE(cache.Request({11, 5, 5}));  // Prefetched tile now hits.
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+// --------------------------- MarkovTilePrefetcher ---------------------------
+
+TEST(ClassifyMoveTest, Directions) {
+  GeoBounds a{30.0, -90.0, 31.0, -89.0};
+  GeoBounds north = a;
+  north.sw_lat += 0.5;
+  north.ne_lat += 0.5;
+  EXPECT_EQ(*ClassifyMove(a, 11, north, 11), MapMove::kNorth);
+  GeoBounds east = a;
+  east.sw_lng += 0.5;
+  east.ne_lng += 0.5;
+  EXPECT_EQ(*ClassifyMove(a, 11, east, 11), MapMove::kEast);
+  EXPECT_EQ(*ClassifyMove(a, 11, a, 12), MapMove::kZoomIn);
+  EXPECT_EQ(*ClassifyMove(a, 12, a, 11), MapMove::kZoomOut);
+  EXPECT_FALSE(ClassifyMove(a, 11, a, 11).ok());  // No movement.
+}
+
+TEST(MarkovPrefetcherTest, LearnsRepeatedPattern) {
+  MarkovTilePrefetcher p;
+  // A user who always pans east.
+  for (int i = 0; i < 20; ++i) p.Observe(MapMove::kEast);
+  EXPECT_GT(p.TransitionProb(MapMove::kEast), 0.8);
+  EXPECT_LT(p.TransitionProb(MapMove::kWest), 0.1);
+}
+
+TEST(MarkovPrefetcherTest, CandidatesRankPredictedDirectionFirst) {
+  MarkovTilePrefetcher::Options opts;
+  opts.fan_out = 3;
+  MarkovTilePrefetcher p(opts);
+  for (int i = 0; i < 20; ++i) p.Observe(MapMove::kEast);
+  GeoBounds b{31.9, -86.2, 32.1, -85.8};
+  const TileId center = MapWidget::TileAt(32.0, -86.0, 12);
+  auto tiles = p.PrefetchCandidates(b, 12);
+  ASSERT_EQ(tiles.size(), 3u);
+  // Top candidate is the eastern neighbor.
+  EXPECT_EQ(tiles[0].tx, center.tx + 1);
+  EXPECT_EQ(tiles[0].ty, center.ty);
+  EXPECT_EQ(tiles[0].zoom, 12);
+}
+
+TEST(MarkovPrefetcherTest, ZoomBandWeighting) {
+  // With no directional signal, useful-band zoom-in beats out-of-band.
+  MarkovTilePrefetcher::Options opts;
+  opts.fan_out = 12;
+  opts.min_useful_zoom = 11;
+  opts.max_useful_zoom = 14;
+  MarkovTilePrefetcher p(opts);
+  GeoBounds b{31.9, -86.2, 32.1, -85.8};
+  auto in_band = p.PrefetchCandidates(b, 12);
+  EXPECT_FALSE(in_band.empty());
+  // All candidates exist at valid zooms.
+  for (const auto& t : in_band) {
+    EXPECT_GE(t.zoom, 11);
+    EXPECT_LE(t.zoom, 13);
+  }
+}
+
+// -------------------------- ContentAwarePrefetcher --------------------------
+
+class ContentPrefetcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ListingsOptions opts;
+    opts.num_rows = 20000;
+    opts.num_cities = 4;
+    listings_ = MakeListingsTable(opts).ValueOrDie();
+  }
+  TablePtr listings_;
+};
+
+TEST_F(ContentPrefetcherTest, MakeValidates) {
+  ContentAwarePrefetcher::Options opts;
+  EXPECT_FALSE(
+      ContentAwarePrefetcher::Make(nullptr, "lat", "lng", opts).ok());
+  EXPECT_FALSE(
+      ContentAwarePrefetcher::Make(listings_, "nope", "lng", opts).ok());
+  EXPECT_FALSE(ContentAwarePrefetcher::Make(listings_, "room_type", "lng",
+                                            opts)
+                   .ok());
+  opts.min_useful_zoom = 14;
+  opts.max_useful_zoom = 11;
+  EXPECT_FALSE(
+      ContentAwarePrefetcher::Make(listings_, "lat", "lng", opts).ok());
+}
+
+TEST_F(ContentPrefetcherTest, DensityNormalizedAndLocalized) {
+  auto prefetcher = ContentAwarePrefetcher::Make(
+      listings_, "lat", "lng", ContentAwarePrefetcher::Options{});
+  ASSERT_TRUE(prefetcher.ok());
+  // The densest cluster's tile has density near 1; far-away ocean is 0.
+  auto clusters = FindListingClusters(listings_, 1).ValueOrDie();
+  ASSERT_EQ(clusters.size(), 1u);
+  const TileId dense =
+      MapWidget::TileAt(clusters[0].lat, clusters[0].lng, 12);
+  EXPECT_GT(prefetcher->DensityAt(dense), 0.3);
+  EXPECT_DOUBLE_EQ(prefetcher->DensityAt(MapWidget::TileAt(0.0, 0.0, 12)),
+                   0.0);
+}
+
+TEST_F(ContentPrefetcherTest, ContentWeightPullsTowardDenseTiles) {
+  auto clusters = FindListingClusters(listings_, 1).ValueOrDie();
+  // Viewport just WEST of the dense cluster: the eastern neighbor holds
+  // the content.
+  const double lat = clusters[0].lat;
+  const double lng = clusters[0].lng - 360.0 / (1 << 12);  // One tile west.
+  GeoBounds b{lat - 0.02, lng - 0.04, lat + 0.02, lng + 0.04};
+
+  ContentAwarePrefetcher::Options content_only;
+  content_only.fan_out = 1;
+  content_only.direction_weight = 0.0;
+  content_only.content_weight = 1.0;
+  auto prefetcher = ContentAwarePrefetcher::Make(listings_, "lat", "lng",
+                                                 content_only);
+  ASSERT_TRUE(prefetcher.ok());
+  auto tiles = prefetcher->PrefetchCandidates(b, 12);
+  ASSERT_EQ(tiles.size(), 1u);
+  const TileId center = MapWidget::TileAt(lat, lng, 12);
+  // Top candidate is the content-bearing eastern neighbor (same zoom).
+  EXPECT_EQ(tiles[0].zoom, 12);
+  EXPECT_EQ(tiles[0].tx, center.tx + 1);
+}
+
+TEST_F(ContentPrefetcherTest, FindListingClustersValidates) {
+  EXPECT_FALSE(FindListingClusters(nullptr, 3).ok());
+  EXPECT_FALSE(FindListingClusters(listings_, 0).ok());
+  EXPECT_FALSE(FindListingClusters(listings_, 3, -1.0).ok());
+  auto clusters = FindListingClusters(listings_, 3);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_LE(clusters->size(), 3u);
+  // Densest first.
+  for (size_t i = 1; i < clusters->size(); ++i) {
+    EXPECT_GE((*clusters)[i - 1].count, (*clusters)[i].count);
+  }
+}
+
+TEST(MarkovPrefetcherTest, PredictiveBeatsEvictionOnlyOnDirectionalWalk) {
+  // Ablation A1's mechanism in miniature: a long eastward walk.
+  TileCache plain(64, EvictionPolicy::kLru);
+  TileCache assisted(64, EvictionPolicy::kLru);
+  MarkovTilePrefetcher predictor;
+  double lng = -86.0;
+  int prev_zoom = 12;
+  GeoBounds prev{31.9, lng - 0.2, 32.1, lng + 0.2};
+  for (int step = 0; step < 60; ++step) {
+    lng += 0.12;
+    GeoBounds now{31.9, lng - 0.2, 32.1, lng + 0.2};
+    const TileId tile = MapWidget::TileAt(32.0, lng, 12);
+    plain.Request(tile);
+    assisted.Request(tile);
+    auto move = ClassifyMove(prev, prev_zoom, now, 12);
+    if (move.ok()) predictor.Observe(*move);
+    for (const auto& t : predictor.PrefetchCandidates(now, 12)) {
+      assisted.Prefetch(t);
+    }
+    prev = now;
+  }
+  EXPECT_GT(assisted.HitRate(), plain.HitRate() + 0.3);
+}
+
+}  // namespace
+}  // namespace ideval

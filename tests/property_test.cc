@@ -1,0 +1,306 @@
+/// Property-based tests: randomized sweeps checking invariants that must
+/// hold for *every* input, with brute-force reference implementations
+/// where applicable.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/progressive.h"
+#include "opt/throttle.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+namespace {
+
+/// Builds a random numeric table with `rows` rows and two columns.
+TablePtr RandomTable(Rng* rng, int64_t rows) {
+  Schema schema({{"a", DataType::kDouble}, {"b", DataType::kInt64}});
+  TableBuilder builder("rand", schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    builder.MustAppendRow({Value(rng->Uniform(-100.0, 100.0)),
+                           Value(rng->UniformInt(-50, 50))});
+  }
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+// ---------------------- Engine vs brute-force oracle ----------------------
+
+class EngineOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineOracleTest, HistogramMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 11);
+  TablePtr table = RandomTable(&rng, rng.UniformInt(50, 800));
+  EngineOptions eopts;
+  eopts.profile = rng.Bernoulli(0.5) ? EngineProfile::kDiskRowStore
+                                     : EngineProfile::kInMemoryColumnStore;
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+
+  HistogramQuery q;
+  q.table = "rand";
+  q.bin_column = "a";
+  q.bin_lo = -100.0;
+  q.bin_hi = 100.0;
+  q.bins = rng.UniformInt(1, 30);
+  const double lo_a = rng.Uniform(-120.0, 80.0);
+  const double hi_a = lo_a + rng.Uniform(0.0, 150.0);
+  const double lo_b = static_cast<double>(rng.UniformInt(-60, 40));
+  const double hi_b = lo_b + static_cast<double>(rng.UniformInt(0, 80));
+  q.predicates = {RangePredicate{"a", lo_a, hi_a},
+                  RangePredicate{"b", lo_b, hi_b}};
+
+  auto response = engine.Execute(Query(q));
+  ASSERT_TRUE(response.ok());
+  const auto& hist = std::get<FixedHistogram>(response->data);
+
+  // Brute force.
+  auto expected =
+      FixedHistogram::Make(q.bin_lo, q.bin_hi,
+                           static_cast<size_t>(q.bins))
+          .ValueOrDie();
+  const auto& a = (*table->ColumnByName("a"))->double_data();
+  const auto& b = (*table->ColumnByName("b"))->int64_data();
+  int64_t matched = 0;
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    if (a[i] < lo_a || a[i] > hi_a) continue;
+    const double bv = static_cast<double>(b[i]);
+    if (bv < lo_b || bv > hi_b) continue;
+    expected.Add(a[i]);
+    ++matched;
+  }
+  EXPECT_EQ(hist, expected);
+  EXPECT_EQ(response->stats.tuples_matched, matched);
+  EXPECT_EQ(response->stats.tuples_scanned,
+            static_cast<int64_t>(table->num_rows()));
+}
+
+TEST_P(EngineOracleTest, PaginationReconstructsTable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7877 + 5);
+  TablePtr table = RandomTable(&rng, rng.UniformInt(20, 300));
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+
+  const int64_t page = rng.UniformInt(1, 50);
+  std::vector<double> collected;
+  for (int64_t offset = 0;; offset += page) {
+    SelectQuery q;
+    q.table = "rand";
+    q.columns = {"a"};
+    q.limit = page;
+    q.offset = offset;
+    auto r = engine.Execute(Query(q));
+    ASSERT_TRUE(r.ok());
+    const auto& rows = std::get<RowSet>(r->data).rows;
+    for (const auto& row : rows) collected.push_back(row[0].dbl());
+    if (static_cast<int64_t>(rows.size()) < page) break;
+  }
+  const auto& expected = (*table->ColumnByName("a"))->double_data();
+  ASSERT_EQ(collected.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(collected[i], expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, EngineOracleTest,
+                         ::testing::Range(0, 20));
+
+// ----------------------- Buffer pool vs reference -----------------------
+
+class BufferPoolOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferPoolOracleTest, MatchesReferenceLru) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3571 + 9);
+  const int64_t capacity = rng.UniformInt(1, 8);
+  BufferPool pool(capacity);
+  // Reference: vector-based LRU.
+  std::vector<int64_t> reference;  // Front = most recent.
+  int64_t ref_hits = 0;
+  for (int step = 0; step < 500; ++step) {
+    const int64_t pageno = rng.UniformInt(0, 12);
+    const bool hit = pool.Access(PageId{"t", pageno});
+    auto it = std::find(reference.begin(), reference.end(), pageno);
+    const bool ref_hit = it != reference.end();
+    if (ref_hit) {
+      reference.erase(it);
+      ++ref_hits;
+    } else if (static_cast<int64_t>(reference.size()) >= capacity) {
+      reference.pop_back();
+    }
+    reference.insert(reference.begin(), pageno);
+    ASSERT_EQ(hit, ref_hit) << "step " << step;
+  }
+  EXPECT_EQ(pool.hits(), ref_hits);
+  EXPECT_LE(pool.resident_pages(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, BufferPoolOracleTest,
+                         ::testing::Range(0, 10));
+
+// ------------------------- Scheduler invariants -------------------------
+
+class SchedulerInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerInvariantTest, TimelinesAreCausal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9973 + 3);
+  TablePtr table = RandomTable(&rng, 5000);
+  EngineOptions eopts;
+  eopts.profile = rng.Bernoulli(0.5) ? EngineProfile::kDiskRowStore
+                                     : EngineProfile::kInMemoryColumnStore;
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+
+  HistogramQuery hq;
+  hq.table = "rand";
+  hq.bin_column = "a";
+  hq.bin_lo = -100.0;
+  hq.bin_hi = 100.0;
+  hq.bins = 10;
+
+  std::vector<QueryGroup> groups;
+  SimTime t;
+  const int n = static_cast<int>(rng.UniformInt(1, 40));
+  for (int i = 0; i < n; ++i) {
+    t += Duration::MillisF(rng.Uniform(0.0, 40.0));
+    QueryGroup g;
+    g.issue_time = t;
+    const int queries = static_cast<int>(rng.UniformInt(1, 3));
+    for (int k = 0; k < queries; ++k) g.queries.push_back(hq);
+    groups.push_back(g);
+  }
+
+  SchedulerOptions sopts;
+  sopts.policy = rng.Bernoulli(0.5) ? SchedulingPolicy::kFifo
+                                    : SchedulingPolicy::kSkipStale;
+  sopts.num_connections = static_cast<int>(rng.UniformInt(1, 4));
+  QueryScheduler scheduler(&engine, sopts);
+  auto run = scheduler.Run(groups);
+  ASSERT_TRUE(run.ok());
+
+  // Conservation: every group accounted for.
+  EXPECT_EQ(run->groups_executed + run->groups_skipped,
+            run->groups_submitted);
+  std::map<int64_t, int> group_sizes;
+  for (const auto& tl : run->timelines) {
+    ++group_sizes[tl.group_id];
+    if (tl.skipped) {
+      EXPECT_FALSE(tl.data.has_value());
+      continue;
+    }
+    // Causality chain.
+    EXPECT_GE(tl.backend_arrival, tl.issue_time);
+    EXPECT_GE(tl.exec_start, tl.backend_arrival);
+    EXPECT_GE(tl.exec_end, tl.exec_start);
+    EXPECT_GE(tl.client_receive, tl.exec_end);
+    EXPECT_GE(tl.render_end, tl.client_receive);
+    // Durations are nonnegative and consistent.
+    EXPECT_GE(tl.scheduling_latency, Duration::Zero());
+    EXPECT_EQ(tl.exec_start - tl.backend_arrival, tl.scheduling_latency);
+    EXPECT_GE(tl.PerceivedLatency(), Duration::Zero());
+    ASSERT_TRUE(tl.data.has_value());
+  }
+  for (size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(group_sizes[static_cast<int64_t>(i)],
+              static_cast<int>(groups[i].queries.size()))
+        << "group " << i;
+  }
+  // Backend serves groups serially: executed groups' exec windows do not
+  // interleave across groups.
+  SimTime prev_group_end;
+  int64_t prev_group = -1;
+  for (const auto& tl : run->timelines) {
+    if (tl.skipped) continue;
+    if (tl.group_id != prev_group) {
+      EXPECT_GE(tl.exec_start, prev_group_end) << "group " << tl.group_id;
+      prev_group = tl.group_id;
+    }
+    prev_group_end = std::max(prev_group_end, tl.exec_end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSessions, SchedulerInvariantTest,
+                         ::testing::Range(0, 15));
+
+// -------------------------- Throttler property --------------------------
+
+class ThrottlerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThrottlerPropertyTest, OutputRespectsMinInterval) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  const Duration min_interval = Duration::MillisF(rng.Uniform(5.0, 200.0));
+  QifThrottler throttler(min_interval);
+  SimTime t;
+  std::vector<SimTime> admitted;
+  for (int i = 0; i < 300; ++i) {
+    t += Duration::MillisF(rng.Uniform(0.1, 60.0));
+    if (throttler.Admit(t)) admitted.push_back(t);
+  }
+  ASSERT_FALSE(admitted.empty());
+  for (size_t i = 1; i < admitted.size(); ++i) {
+    EXPECT_GE(admitted[i] - admitted[i - 1], min_interval);
+  }
+}
+
+TEST_P(ThrottlerPropertyTest, DebounceOutputsDelayedSubset) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 191 + 23);
+  const Duration quiet = Duration::MillisF(rng.Uniform(10.0, 150.0));
+  std::vector<SimTime> times;
+  SimTime t;
+  for (int i = 0; i < 100; ++i) {
+    t += Duration::MillisF(rng.Uniform(1.0, 120.0));
+    times.push_back(t);
+  }
+  const auto fired = DebounceEventTimes(times, quiet);
+  ASSERT_FALSE(fired.empty());
+  EXPECT_LE(fired.size(), times.size());
+  for (size_t i = 0; i < fired.size(); ++i) {
+    // Every fired event references a real source and fires exactly one
+    // quiet period after it.
+    ASSERT_LT(fired[i].source_index, times.size());
+    EXPECT_EQ(fired[i].fire_time, times[fired[i].source_index] + quiet);
+    if (i > 0) {
+      EXPECT_GT(fired[i].source_index, fired[i - 1].source_index);
+    }
+  }
+  // The final event always fires.
+  EXPECT_EQ(fired.back().source_index, times.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, ThrottlerPropertyTest,
+                         ::testing::Range(0, 10));
+
+// ----------------------- Progressive sampling property -----------------------
+
+class ProgressivePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgressivePropertyTest, PrefixSamplingIsUnbiasedEnough) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 433 + 7);
+  TablePtr table = RandomTable(&rng, 20000);
+  HistogramQuery q;
+  q.table = "rand";
+  q.bin_column = "a";
+  q.bin_lo = -100.0;
+  q.bin_hi = 100.0;
+  q.bins = 10;
+  ProgressiveOptions opts;
+  opts.fractions = {0.05, 0.25, 1.0};
+  auto steps = RunProgressiveHistogram(table, q, opts);
+  ASSERT_TRUE(steps.ok());
+  // A 5% uniform sample of 20k rows estimates a 10-bin distribution to
+  // within a small MSE; 25% must not be worse than 4x the 5% error.
+  EXPECT_LT((*steps)[0].mse_vs_exact, 5e-4);
+  EXPECT_LE((*steps)[1].mse_vs_exact, (*steps)[0].mse_vs_exact * 4.0 + 1e-9);
+  EXPECT_DOUBLE_EQ((*steps)[2].mse_vs_exact, 0.0);
+  // Sample totals track the fractions.
+  EXPECT_NEAR((*steps)[0].estimate.total() / (*steps)[2].estimate.total(),
+              0.05, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTables, ProgressivePropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ideval

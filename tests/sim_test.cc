@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "sim/query_scheduler.h"
+#include "sim/sim_clock.h"
+
+namespace ideval {
+namespace {
+
+TEST(SimClockTest, MonotonicAdvance) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), SimTime::Origin());
+  EXPECT_TRUE(clock.Advance(Duration::Millis(10)).ok());
+  EXPECT_EQ(clock.now().millis(), 10.0);
+  EXPECT_FALSE(clock.AdvanceTo(SimTime::FromMillis(5)).ok());
+  EXPECT_EQ(clock.now().millis(), 10.0);  // Unchanged after rejection.
+  clock.Reset();
+  EXPECT_EQ(clock.now(), SimTime::Origin());
+}
+
+TablePtr MakeTable(int64_t rows) {
+  Schema schema({{"v", DataType::kDouble}});
+  TableBuilder b("t", schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    b.MustAppendRow({Value(static_cast<double>(i))});
+  }
+  return std::move(b).Finish().ValueOrDie();
+}
+
+Query HistQuery(int64_t rows) {
+  HistogramQuery q;
+  q.table = "t";
+  q.bin_column = "v";
+  q.bin_lo = 0.0;
+  q.bin_hi = static_cast<double>(rows);
+  q.bins = 20;
+  return q;
+}
+
+std::vector<QueryGroup> UniformGroups(int n, Duration spacing, Query query,
+                                      int queries_per_group = 1) {
+  std::vector<QueryGroup> groups;
+  for (int i = 0; i < n; ++i) {
+    QueryGroup g;
+    g.issue_time = SimTime::Origin() + spacing * static_cast<double>(i);
+    for (int k = 0; k < queries_per_group; ++k) g.queries.push_back(query);
+    groups.push_back(g);
+  }
+  return groups;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions opts;
+    opts.profile = EngineProfile::kDiskRowStore;  // Slow backend.
+    engine_ = std::make_unique<Engine>(opts);
+    ASSERT_TRUE(engine_->RegisterTable(MakeTable(kRows)).ok());
+  }
+  static constexpr int64_t kRows = 200000;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SchedulerTest, RejectsUnsortedGroups) {
+  QueryScheduler sched(engine_.get(), SchedulerOptions{});
+  std::vector<QueryGroup> groups = UniformGroups(2, Duration::Millis(20),
+                                                 HistQuery(kRows));
+  std::swap(groups[0].issue_time, groups[1].issue_time);
+  EXPECT_FALSE(sched.Run(groups).ok());
+}
+
+TEST_F(SchedulerTest, FifoCascadesDelay) {
+  // Queries issued every 20 ms against a backend needing ~100 ms each:
+  // scheduling delay must grow monotonically (Fig. 2).
+  QueryScheduler sched(engine_.get(), SchedulerOptions{});
+  auto run = sched.Run(UniformGroups(10, Duration::Millis(20),
+                                     HistQuery(kRows)));
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->timelines.size(), 10u);
+  EXPECT_EQ(run->groups_executed, 10);
+  EXPECT_EQ(run->groups_skipped, 0);
+  Duration prev_sched = run->timelines[0].scheduling_latency;
+  for (size_t i = 1; i < run->timelines.size(); ++i) {
+    EXPECT_GE(run->timelines[i].scheduling_latency, prev_sched);
+    prev_sched = run->timelines[i].scheduling_latency;
+  }
+  // Later queries perceive far more latency than the first.
+  EXPECT_GT(run->timelines.back().PerceivedLatency(),
+            run->timelines.front().PerceivedLatency() * 3.0);
+}
+
+TEST_F(SchedulerTest, SkipStaleShedsBacklog) {
+  SchedulerOptions opts;
+  opts.policy = SchedulingPolicy::kSkipStale;
+  QueryScheduler sched(engine_.get(), opts);
+  auto run = sched.Run(UniformGroups(50, Duration::Millis(10),
+                                     HistQuery(kRows)));
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->groups_skipped, 10);
+  EXPECT_EQ(run->groups_executed + run->groups_skipped, 50);
+  // Executed queries keep bounded scheduling delay: the backend always
+  // jumps to the freshest pending group.
+  for (const auto& t : run->timelines) {
+    if (t.skipped) {
+      EXPECT_FALSE(t.data.has_value());
+      continue;
+    }
+    EXPECT_LT(t.scheduling_latency, Duration::Millis(200));
+  }
+}
+
+TEST_F(SchedulerTest, GroupQueriesRunConcurrently) {
+  SchedulerOptions opts;
+  opts.num_connections = 2;
+  QueryScheduler sched(engine_.get(), opts);
+  auto run2 =
+      sched.Run(UniformGroups(1, Duration::Millis(20), HistQuery(kRows), 2));
+  ASSERT_TRUE(run2.ok());
+  ASSERT_EQ(run2->timelines.size(), 2u);
+  // Both queries of the group start together on separate connections.
+  EXPECT_EQ(run2->timelines[0].exec_start, run2->timelines[1].exec_start);
+
+  opts.num_connections = 1;
+  QueryScheduler serial(engine_.get(), opts);
+  auto run1 =
+      serial.Run(UniformGroups(1, Duration::Millis(20), HistQuery(kRows), 2));
+  ASSERT_TRUE(run1.ok());
+  EXPECT_GT(run1->timelines[1].exec_start, run1->timelines[0].exec_start);
+}
+
+TEST_F(SchedulerTest, TimelineComponentsAddUp) {
+  QueryScheduler sched(engine_.get(), SchedulerOptions{});
+  auto run = sched.Run(UniformGroups(1, Duration::Millis(20),
+                                     HistQuery(kRows)));
+  ASSERT_TRUE(run.ok());
+  const QueryTimeline& t = run->timelines[0];
+  EXPECT_EQ(t.backend_arrival - t.issue_time +
+                (t.client_receive - t.exec_end),
+            t.network_latency);
+  EXPECT_EQ(t.exec_start - t.backend_arrival, t.scheduling_latency);
+  EXPECT_EQ(t.exec_end - t.exec_start,
+            t.execution_latency + t.post_aggregation_latency);
+  EXPECT_EQ(t.render_end - t.client_receive, t.rendering_latency);
+  EXPECT_EQ(t.PerceivedLatency(), t.render_end - t.issue_time);
+  ASSERT_TRUE(t.data.has_value());
+}
+
+TEST_F(SchedulerTest, NoEngineFails) {
+  QueryScheduler sched(nullptr, SchedulerOptions{});
+  EXPECT_FALSE(sched.Run({}).ok());
+}
+
+TEST_F(SchedulerTest, EmptySessionSucceeds) {
+  QueryScheduler sched(engine_.get(), SchedulerOptions{});
+  auto run = sched.Run({});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->timelines.empty());
+  EXPECT_EQ(run->groups_submitted, 0);
+}
+
+TEST(MergeSessionsTest, ProducesSortedStableMerge) {
+  auto group_at = [](double ms) {
+    QueryGroup g;
+    g.issue_time = SimTime::FromMillis(ms);
+    return g;
+  };
+  std::vector<std::vector<QueryGroup>> sessions = {
+      {group_at(0), group_at(50), group_at(100)},
+      {group_at(25), group_at(50), group_at(75)},
+  };
+  auto merged = MergeSessions(sessions);
+  ASSERT_EQ(merged.size(), 6u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].issue_time, merged[i - 1].issue_time);
+  }
+  // Stability: user 0's 50 ms group precedes user 1's.
+  EXPECT_EQ(merged[2].issue_time.millis(), 50.0);
+  EXPECT_EQ(merged[3].issue_time.millis(), 50.0);
+  EXPECT_TRUE(MergeSessions({}).empty());
+  EXPECT_EQ(MergeSessions({{group_at(5)}}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace ideval {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(3.5);
+  Value s(std::string("hi"));
+  EXPECT_EQ(i.type(), DataType::kInt64);
+  EXPECT_EQ(d.type(), DataType::kDouble);
+  EXPECT_EQ(s.type(), DataType::kString);
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_DOUBLE_EQ(d.dbl(), 3.5);
+  EXPECT_EQ(s.str(), "hi");
+  EXPECT_DOUBLE_EQ(i.AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 3.5);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // Different types differ.
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  auto idx = s.FieldIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(s.FieldIndex("zzz").ok());
+  EXPECT_TRUE(s.HasField("a"));
+  EXPECT_FALSE(s.HasField("c"));
+  EXPECT_EQ(s.ToString(), "a:int64, b:double");
+}
+
+TEST(ColumnTest, TypedAppendAndGet) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendDouble(-2.5);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.Get(1).dbl(), -2.5);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 1.5);
+}
+
+TEST(ColumnTest, AppendTypeMismatch) {
+  Column c(DataType::kInt64);
+  EXPECT_TRUE(c.Append(Value(int64_t{1})).ok());
+  EXPECT_FALSE(c.Append(Value(1.0)).ok());
+  EXPECT_FALSE(c.Append(Value("x")).ok());
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ColumnTest, NumericMinMax) {
+  Column c(DataType::kInt64);
+  for (int64_t v : {5, -3, 9, 0}) c.AppendInt64(v);
+  EXPECT_DOUBLE_EQ(*c.NumericMin(), -3.0);
+  EXPECT_DOUBLE_EQ(*c.NumericMax(), 9.0);
+
+  Column s(DataType::kString);
+  s.AppendString("a");
+  EXPECT_FALSE(s.NumericMin().ok());
+
+  Column empty(DataType::kDouble);
+  EXPECT_FALSE(empty.NumericMax().ok());
+}
+
+TEST(ColumnTest, AvgCellBytes) {
+  Column i(DataType::kInt64);
+  EXPECT_DOUBLE_EQ(i.AvgCellBytes(), 8.0);
+  Column s(DataType::kString);
+  s.AppendString("abcd");       // 4 bytes payload + 16 header.
+  s.AppendString("abcdefgh");   // 8 bytes payload + 16 header.
+  EXPECT_DOUBLE_EQ(s.AvgCellBytes(), 6.0 + 16.0);
+}
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+}
+
+TEST(TableBuilderTest, BuildsTable) {
+  TableBuilder b("t", TwoColSchema());
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{1}), Value("one")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{2}), Value("two")}).ok());
+  auto t = std::move(b).Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "t");
+  EXPECT_EQ((*t)->num_rows(), 2u);
+  EXPECT_EQ((*t)->num_columns(), 2u);
+  EXPECT_EQ((*t)->At(1, 1).str(), "two");
+}
+
+TEST(TableBuilderTest, RejectsBadRows) {
+  TableBuilder b("t", TwoColSchema());
+  EXPECT_FALSE(b.AppendRow({Value(int64_t{1})}).ok());  // Arity.
+  EXPECT_FALSE(b.AppendRow({Value("x"), Value("y")}).ok());  // Type.
+  EXPECT_EQ(b.num_rows(), 0u);
+}
+
+TEST(TableTest, ColumnByName) {
+  TableBuilder b("t", TwoColSchema());
+  b.MustAppendRow({Value(int64_t{5}), Value("five")});
+  auto t = std::move(b).Finish();
+  ASSERT_TRUE(t.ok());
+  auto col = (*t)->ColumnByName("name");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->string_data()[0], "five");
+  EXPECT_FALSE((*t)->ColumnByName("missing").ok());
+}
+
+TEST(TableTest, AvgRowBytesSumsColumns) {
+  TableBuilder b("t", TwoColSchema());
+  b.MustAppendRow({Value(int64_t{1}), Value("abcd")});
+  auto t = std::move(b).Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)->AvgRowBytes(), 8.0 + 20.0);
+}
+
+TEST(TableTest, RowsToString) {
+  TableBuilder b("t", TwoColSchema());
+  b.MustAppendRow({Value(int64_t{1}), Value("one")});
+  b.MustAppendRow({Value(int64_t{2}), Value("two")});
+  auto t = std::move(b).Finish();
+  ASSERT_TRUE(t.ok());
+  const std::string s = (*t)->RowsToString(0, 99);
+  EXPECT_NE(s.find("1 | one"), std::string::npos);
+  EXPECT_NE(s.find("2 | two"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,151 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/streaming_stats.h"
+
+namespace ideval {
+namespace {
+
+// ----------------------------- StreamingMeanVar -----------------------------
+
+TEST(StreamingMeanVarTest, MatchesBatchStatistics) {
+  Rng rng(71);
+  std::vector<double> values;
+  StreamingMeanVar acc;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.Gaussian(42.0, 7.0);
+    values.push_back(v);
+    acc.Add(v);
+  }
+  Summary batch(values);
+  EXPECT_EQ(acc.count(), 5000);
+  EXPECT_NEAR(acc.mean(), batch.mean(), 1e-9);
+  EXPECT_NEAR(acc.stddev(), batch.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min());
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max());
+}
+
+TEST(StreamingMeanVarTest, EmptyAndSingle) {
+  StreamingMeanVar acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+}
+
+TEST(StreamingMeanVarTest, MergeEqualsSinglePass) {
+  Rng rng(73);
+  StreamingMeanVar a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Exponential(3.0);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+
+  // Merging into/from empty is identity.
+  StreamingMeanVar empty;
+  all.Merge(empty);
+  EXPECT_EQ(all.count(), 1000);
+  empty.Merge(all);
+  EXPECT_EQ(empty.count(), 1000);
+  EXPECT_NEAR(empty.mean(), all.mean(), 1e-12);
+}
+
+// -------------------------------- P2Quantile --------------------------------
+
+class P2QuantileTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2QuantileTest, TracksGaussianQuantiles) {
+  const double q = GetParam();
+  Rng rng(79);
+  P2Quantile estimator(q);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Gaussian(100.0, 15.0);
+    estimator.Add(v);
+    values.push_back(v);
+  }
+  Summary exact(values);
+  // P² should land within a small fraction of the exact quantile.
+  EXPECT_NEAR(estimator.Estimate(), exact.Quantile(q),
+              std::abs(exact.Quantile(q)) * 0.02 + 1.0);
+}
+
+TEST_P(P2QuantileTest, TracksSkewedDistribution) {
+  const double q = GetParam();
+  Rng rng(83);
+  P2Quantile estimator(q);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.LogNormal(0.0, 1.0);
+    estimator.Add(v);
+    values.push_back(v);
+  }
+  Summary exact(values);
+  const double truth = exact.Quantile(q);
+  EXPECT_NEAR(estimator.Estimate(), truth, truth * 0.15 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileTest,
+                         ::testing::Values(0.5, 0.9, 0.95));
+
+TEST(P2QuantileTest, ExactDuringWarmup) {
+  P2Quantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 0.0);  // Empty.
+  median.Add(3.0);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 3.0);
+  median.Add(1.0);
+  median.Add(2.0);
+  EXPECT_DOUBLE_EQ(median.Estimate(), 2.0);
+  EXPECT_EQ(median.count(), 3);
+}
+
+// ------------------------------ ReservoirSampler ------------------------------
+
+TEST(ReservoirSamplerTest, KeepsEverythingBelowCapacity) {
+  ReservoirSampler sampler(10, Rng(5));
+  for (int i = 0; i < 7; ++i) sampler.Add(static_cast<double>(i));
+  EXPECT_EQ(sampler.seen(), 7);
+  EXPECT_EQ(sampler.sample().size(), 7u);
+}
+
+TEST(ReservoirSamplerTest, UniformInclusionProbability) {
+  // Each of 1000 items should land in a 100-slot reservoir with p = 0.1;
+  // check the first and last deciles' inclusion frequencies over trials.
+  int first_decile = 0, last_decile = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler sampler(100, Rng(1000 + static_cast<uint64_t>(t)));
+    for (int i = 0; i < 1000; ++i) sampler.Add(static_cast<double>(i));
+    for (double v : sampler.sample()) {
+      if (v < 100.0) ++first_decile;
+      if (v >= 900.0) ++last_decile;
+    }
+  }
+  // Expected ~10 per trial per decile.
+  EXPECT_NEAR(static_cast<double>(first_decile) / trials, 10.0, 1.5);
+  EXPECT_NEAR(static_cast<double>(last_decile) / trials, 10.0, 1.5);
+}
+
+TEST(ReservoirSamplerTest, ZeroCapacityClamped) {
+  ReservoirSampler sampler(0, Rng(9));
+  sampler.Add(1.0);
+  sampler.Add(2.0);
+  EXPECT_EQ(sampler.sample().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,299 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "widget/composite_interface.h"
+#include "widget/crossfilter.h"
+#include "widget/inertial_scroller.h"
+#include "widget/map_widget.h"
+
+namespace ideval {
+namespace {
+
+// --------------------------- InertialScroller ---------------------------
+
+ScrollerOptions DefaultScroller() {
+  ScrollerOptions o;
+  o.total_tuples = 4000;
+  return o;
+}
+
+TEST(InertialScrollerTest, FlickGlidesAndDecays) {
+  InertialScroller s(DefaultScroller());
+  auto events = s.Flick(SimTime::Origin(), 8000.0);
+  ASSERT_GT(events.size(), 10u);
+  // Deltas decay monotonically (exponential glide).
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i].wheel_delta_px, events[i - 1].wheel_delta_px + 1e-9);
+    EXPECT_GT(events[i].time, events[i - 1].time);
+  }
+  // Total distance approx v0/decay.
+  EXPECT_NEAR(s.scroll_top_px(), 8000.0 / DefaultScroller().inertia_decay,
+              400.0);
+}
+
+TEST(InertialScrollerTest, InertialDeltasDwarfPlainScroll) {
+  // Fig. 7: y-axis scale 400 vs 4.
+  InertialScroller inertial(DefaultScroller());
+  auto big = inertial.Flick(SimTime::Origin(), 20000.0);
+  double max_inertial = 0.0;
+  for (const auto& e : big) max_inertial = std::max(max_inertial,
+                                                    e.wheel_delta_px);
+  ScrollerOptions plain_opts = DefaultScroller();
+  plain_opts.inertial = false;
+  InertialScroller plain(plain_opts);
+  auto small = plain.Flick(SimTime::Origin(), 20000.0);
+  double max_plain = 0.0;
+  for (const auto& e : small) max_plain = std::max(max_plain,
+                                                   e.wheel_delta_px);
+  EXPECT_GT(max_inertial, 300.0);
+  EXPECT_LE(max_plain, 4.0);
+  EXPECT_GT(max_inertial / max_plain, 50.0);
+}
+
+TEST(InertialScrollerTest, ClampsAtBounds) {
+  InertialScroller s(DefaultScroller());
+  s.Flick(SimTime::Origin(), -5000.0);  // Back from the top: stays at 0.
+  EXPECT_DOUBLE_EQ(s.scroll_top_px(), 0.0);
+  s.JumpTo(1e12);
+  EXPECT_DOUBLE_EQ(s.scroll_top_px(), s.MaxScrollTopPx());
+  (void)s.Flick(SimTime::FromSeconds(1), 9000.0);
+  EXPECT_DOUBLE_EQ(s.scroll_top_px(), s.MaxScrollTopPx());
+}
+
+TEST(InertialScrollerTest, TopTupleTracksPixels) {
+  InertialScroller s(DefaultScroller());
+  s.JumpTo(157.0 * 10.0 + 1.0);
+  EXPECT_EQ(s.top_tuple(), 10);
+  ScrollEvent e = s.WheelNotch(SimTime::Origin(), 157.0);
+  EXPECT_EQ(e.top_tuple, 11);
+  EXPECT_NEAR(e.tuples_delta, 1.0, 1e-9);
+}
+
+// ------------------------------ RangeSlider ------------------------------
+
+TEST(RangeSliderTest, PixelValueRoundTrip) {
+  RangeSlider s(10.0, 20.0, 400.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(400.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(200.0), 15.0);
+  EXPECT_DOUBLE_EQ(s.PixelAt(15.0), 200.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(-50.0), 10.0);   // Clamped.
+  EXPECT_DOUBLE_EQ(s.ValueAt(900.0), 20.0);   // Clamped.
+}
+
+TEST(RangeSliderTest, HandlesKeepOrder) {
+  RangeSlider s(0.0, 100.0, 100.0);
+  s.MoveHandlePx(false, 60.0);  // hi = 60.
+  s.MoveHandlePx(true, 80.0);   // lo clamps to hi.
+  EXPECT_DOUBLE_EQ(s.selected_lo(), 60.0);
+  EXPECT_DOUBLE_EQ(s.selected_hi(), 60.0);
+  s.Reset();
+  EXPECT_DOUBLE_EQ(s.selected_lo(), 0.0);
+  EXPECT_DOUBLE_EQ(s.selected_hi(), 100.0);
+}
+
+// ---------------------------- CrossfilterView ----------------------------
+
+TablePtr RoadTable() {
+  RoadNetworkOptions opts;
+  opts.num_rows = 5000;
+  return MakeRoadNetworkTable(opts).ValueOrDie();
+}
+
+TEST(CrossfilterViewTest, MakeValidates) {
+  TablePtr road = RoadTable();
+  EXPECT_FALSE(CrossfilterView::Make(nullptr, {"x", "y"}).ok());
+  EXPECT_FALSE(CrossfilterView::Make(road, {"x"}).ok());
+  EXPECT_FALSE(CrossfilterView::Make(road, {"x", "missing"}).ok());
+  EXPECT_TRUE(CrossfilterView::Make(road, {"x", "y", "z"}).ok());
+}
+
+TEST(CrossfilterViewTest, SliderEventTriggersCoordinatedGroup) {
+  TablePtr road = RoadTable();
+  auto view = CrossfilterView::Make(road, {"x", "y", "z"});
+  ASSERT_TRUE(view.ok());
+  SliderEvent e;
+  e.time = SimTime::FromMillis(100);
+  e.slider_index = 0;
+  const RangeSlider& sx = view->slider(0);
+  e.min_val = sx.domain_lo();
+  e.max_val = (sx.domain_lo() + sx.domain_hi()) / 2.0;
+  auto group = view->ApplySliderEvent(e);
+  ASSERT_TRUE(group.ok());
+  // n-1 = 2 coordinated histogram queries, none over the moved attribute.
+  ASSERT_EQ(group->queries.size(), 2u);
+  for (const auto& q : group->queries) {
+    const auto& h = std::get<HistogramQuery>(q);
+    EXPECT_NE(h.bin_column, "x");
+    // WHERE carries all three selections (as the §7 SQL does).
+    EXPECT_EQ(h.predicates.size(), 3u);
+  }
+  // The view recorded the brush.
+  EXPECT_NEAR(view->slider(0).selected_hi(), e.max_val, 1e-6);
+}
+
+TEST(CrossfilterViewTest, RejectsBadEvents) {
+  auto view = CrossfilterView::Make(RoadTable(), {"x", "y", "z"});
+  ASSERT_TRUE(view.ok());
+  SliderEvent e;
+  e.slider_index = 9;
+  EXPECT_FALSE(view->ApplySliderEvent(e).ok());
+  e.slider_index = 0;
+  e.min_val = 2.0;
+  e.max_val = 1.0;
+  EXPECT_FALSE(view->ApplySliderEvent(e).ok());
+}
+
+TEST(CrossfilterViewTest, FullRefreshCoversAllAttributes) {
+  auto view = CrossfilterView::Make(RoadTable(), {"x", "y", "z"});
+  ASSERT_TRUE(view.ok());
+  QueryGroup g = view->FullRefresh(SimTime::Origin());
+  EXPECT_EQ(g.queries.size(), 3u);
+}
+
+// ------------------------------- MapWidget -------------------------------
+
+TEST(MapWidgetTest, ZoomHalvesViewportSpan) {
+  MapWidget map(32.0, -86.0, 11);
+  const GeoBounds before = map.Viewport();
+  ASSERT_TRUE(map.ZoomIn());
+  const GeoBounds after = map.Viewport();
+  EXPECT_NEAR(after.LngSpan(), before.LngSpan() / 2.0, 1e-9);
+  EXPECT_NEAR(after.LatSpan(), before.LatSpan() / 2.0, 1e-9);
+  EXPECT_NEAR(after.CenterLat(), before.CenterLat(), 1e-9);
+}
+
+TEST(MapWidgetTest, ZoomClampsAtLimits) {
+  MapWidget::Options opts;
+  opts.min_zoom = 3;
+  opts.max_zoom = 5;
+  MapWidget map(0.0, 0.0, 5, opts);
+  EXPECT_FALSE(map.ZoomIn());
+  EXPECT_TRUE(map.ZoomOut());
+  EXPECT_TRUE(map.ZoomOut());
+  EXPECT_FALSE(map.ZoomOut());
+  EXPECT_EQ(map.zoom(), 3);
+}
+
+TEST(MapWidgetTest, DragMovesCenter) {
+  MapWidget map(32.0, -86.0, 11);
+  map.DragBy(0.05, -0.1);
+  EXPECT_NEAR(map.center_lat(), 32.05, 1e-12);
+  EXPECT_NEAR(map.center_lng(), -86.1, 1e-12);
+}
+
+TEST(MapWidgetTest, BuildQueryUsesViewportBounds) {
+  MapWidget map(32.0, -86.0, 11);
+  SelectQuery q = map.BuildQuery(
+      "listings", {RangePredicate{"price", 10.0, 56.0}});
+  ASSERT_EQ(q.predicates.size(), 3u);
+  const auto& lat = std::get<RangePredicate>(q.predicates[0]);
+  EXPECT_EQ(lat.column, "lat");
+  const GeoBounds b = map.Viewport();
+  EXPECT_DOUBLE_EQ(lat.lo, b.sw_lat);
+  EXPECT_DOUBLE_EQ(lat.hi, b.ne_lat);
+  EXPECT_EQ(q.limit, 18);
+}
+
+TEST(MapWidgetTest, TileMathConsistent) {
+  const TileId t = MapWidget::TileAt(32.0, -86.0, 11);
+  EXPECT_EQ(t.zoom, 11);
+  // Same point, deeper zoom => child tile indices roughly double.
+  const TileId deeper = MapWidget::TileAt(32.0, -86.0, 12);
+  EXPECT_GE(deeper.tx, t.tx * 2);
+  EXPECT_LE(deeper.tx, t.tx * 2 + 1);
+  EXPECT_GE(deeper.ty, t.ty * 2);
+  EXPECT_LE(deeper.ty, t.ty * 2 + 1);
+}
+
+TEST(MapWidgetTest, VisibleTilesCoverViewport) {
+  MapWidget map(32.0, -86.0, 11);
+  const auto tiles = map.VisibleTiles();
+  EXPECT_GE(tiles.size(), 2u);
+  EXPECT_LE(tiles.size(), 12u);
+  for (const auto& t : tiles) EXPECT_EQ(t.zoom, 11);
+}
+
+// -------------------------- CompositeInterface --------------------------
+
+CompositeInterface MakeUi() {
+  CompositeInterface::Options opts;
+  opts.destinations = {{"Birmingham", 33.5, -86.8, 12},
+                       {"Atlanta", 33.7, -84.4, 12},
+                       {"Nashville", 36.1, -86.8, 11}};
+  return CompositeInterface(MapWidget(32.0, -86.0, 11), std::move(opts));
+}
+
+TEST(CompositeInterfaceTest, WidgetKindsTagged) {
+  CompositeInterface ui = MakeUi();
+  EXPECT_EQ(ui.ZoomIn(SimTime::Origin()).widget, WidgetKind::kMap);
+  EXPECT_EQ(ui.Drag(SimTime::Origin(), 0.01, 0.01).widget, WidgetKind::kMap);
+  EXPECT_EQ(ui.SetPriceRange(SimTime::Origin(), 10, 56).widget,
+            WidgetKind::kSlider);
+  EXPECT_EQ(ui.ToggleRoomType(SimTime::Origin(), "Private room").widget,
+            WidgetKind::kCheckbox);
+  EXPECT_EQ(ui.SetGuests(SimTime::Origin(), 3).widget, WidgetKind::kButton);
+  auto r = ui.SearchDestination(SimTime::Origin(), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->widget, WidgetKind::kTextBox);
+  EXPECT_NEAR(ui.map().center_lat(), 33.7, 1e-9);
+}
+
+TEST(CompositeInterfaceTest, FilterConditionCounting) {
+  CompositeInterface ui = MakeUi();
+  // Attribute filters only; the viewport bounds are reported separately.
+  EXPECT_EQ(ui.ActiveFilterConditions(), 0);
+  ui.SetPriceRange(SimTime::Origin(), 10, 56);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 2);
+  ui.SetGuests(SimTime::Origin(), 3);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 3);
+  ui.SetDates(SimTime::Origin(), 100, 4);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 5);
+  ui.ToggleRoomType(SimTime::Origin(), "Private room");
+  EXPECT_EQ(ui.ActiveFilterConditions(), 6);
+  ui.ToggleRoomType(SimTime::Origin(), "Shared room");
+  EXPECT_EQ(ui.ActiveFilterConditions(), 7);
+  ui.SetMinRating(SimTime::Origin(), 4.0);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 8);
+  ui.SetMaxMinNights(SimTime::Origin(), 3);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 9);
+  // Toggling a room type off removes its condition; clearing works too.
+  ui.ToggleRoomType(SimTime::Origin(), "Private room");
+  EXPECT_EQ(ui.ActiveFilterConditions(), 8);
+  ui.SetDates(SimTime::Origin(), 0, 0);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 6);
+  ui.SetMinRating(SimTime::Origin(), 0.0);
+  ui.SetMaxMinNights(SimTime::Origin(), 0);
+  EXPECT_EQ(ui.ActiveFilterConditions(), 4);
+}
+
+TEST(CompositeInterfaceTest, QueriesCarryMergedFilters) {
+  CompositeInterface ui = MakeUi();
+  ui.SetPriceRange(SimTime::Origin(), 10, 56);
+  CompositeRequest r = ui.ToggleRoomType(SimTime::Origin(), "Shared room");
+  // lat + lng + price + room_type (single selection -> equality).
+  EXPECT_EQ(r.query.predicates.size(), 4u);
+  EXPECT_EQ(r.num_filter_conditions, 3);
+  EXPECT_EQ(r.zoom_level, ui.map().zoom());
+  // A second room type upgrades the predicate to set membership.
+  r = ui.ToggleRoomType(SimTime::Origin(), "Private room");
+  EXPECT_EQ(r.query.predicates.size(), 4u);
+  bool found_in = false;
+  for (const auto& p : r.query.predicates) {
+    if (const auto* in = std::get_if<StringInPredicate>(&p)) {
+      EXPECT_EQ(in->values.size(), 2u);
+      found_in = true;
+    }
+  }
+  EXPECT_TRUE(found_in);
+}
+
+TEST(CompositeInterfaceTest, SearchDestinationOutOfRange) {
+  CompositeInterface ui = MakeUi();
+  EXPECT_FALSE(ui.SearchDestination(SimTime::Origin(), 99).ok());
+}
+
+}  // namespace
+}  // namespace ideval

@@ -1,0 +1,307 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "workload/crossfilter_task.h"
+#include "workload/explore_task.h"
+#include "workload/scroll_task.h"
+#include "workload/trace_io.h"
+
+namespace ideval {
+namespace {
+
+// ------------------------------ Scroll task ------------------------------
+
+ScrollTaskOptions DefaultScrollTask() {
+  ScrollTaskOptions o;
+  o.scroller.total_tuples = 4000;
+  return o;
+}
+
+ScrollUserParams MedianUser() {
+  ScrollUserParams p;
+  p.user_id = 0;
+  p.peak_velocity_px_s = 8741.0;
+  p.interest_prob = 0.02;
+  p.seed = 1234;
+  return p;
+}
+
+TEST(ScrollTaskTest, SkimsEntireList) {
+  auto trace = GenerateScrollTrace(MedianUser(), DefaultScrollTask());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace->events.size(), 500u);
+  // User reached the end of the 4000-tuple list.
+  int64_t max_tuple = 0;
+  for (const auto& e : trace->events) {
+    max_tuple = std::max(max_tuple, e.top_tuple);
+  }
+  EXPECT_GT(max_tuple, 3900);
+  // Timestamps nondecreasing.
+  for (size_t i = 1; i < trace->events.size(); ++i) {
+    EXPECT_GE(trace->events[i].time, trace->events[i - 1].time);
+  }
+}
+
+TEST(ScrollTaskTest, SelectsAndBackscrolls) {
+  auto trace = GenerateScrollTrace(MedianUser(), DefaultScrollTask());
+  ASSERT_TRUE(trace.ok());
+  // ~0.02 * 4000 = ~80 selections expected.
+  EXPECT_GT(trace->selections.size(), 30u);
+  EXPECT_LT(trace->selections.size(), 200u);
+  // Momentum forces corrective backscrolls for a solid share of them.
+  EXPECT_GT(trace->total_backscrolls, 0);
+  int64_t with_backscroll = 0;
+  for (const auto& s : trace->selections) {
+    with_backscroll += (s.backscrolls > 0);
+  }
+  EXPECT_GT(with_backscroll, static_cast<int64_t>(
+                                 trace->selections.size() / 4));
+}
+
+TEST(ScrollTaskTest, SpeedsMatchTable7Regime) {
+  auto trace = GenerateScrollTrace(MedianUser(), DefaultScrollTask());
+  ASSERT_TRUE(trace.ok());
+  ScrollSpeeds speeds = ComputeScrollSpeeds(*trace, 157.0);
+  ASSERT_FALSE(speeds.px_per_s.empty());
+  Summary px(speeds.px_per_s);
+  Summary tuples(speeds.tuples_per_s);
+  // Median user's peak ~8741 px/s ≈ 56 tuples/s (Table 7 median of max 58).
+  EXPECT_NEAR(px.max(), 8741.0, 2500.0);
+  EXPECT_NEAR(tuples.max(), 8741.0 / 157.0, 16.0);
+  // Average speed well below the peak (glide decay + Table 7's avg band).
+  EXPECT_LT(px.mean(), px.max() / 2.0);
+}
+
+TEST(ScrollTaskTest, ValidatesParams) {
+  ScrollUserParams p = MedianUser();
+  p.peak_velocity_px_s = -1.0;
+  EXPECT_FALSE(GenerateScrollTrace(p, DefaultScrollTask()).ok());
+  p = MedianUser();
+  p.interest_prob = 2.0;
+  EXPECT_FALSE(GenerateScrollTrace(p, DefaultScrollTask()).ok());
+}
+
+TEST(ScrollTaskTest, PopulationSpansTable7Ranges) {
+  Rng rng(61);
+  auto users = SampleScrollUsers(15, &rng);
+  ASSERT_EQ(users.size(), 15u);
+  for (const auto& u : users) {
+    EXPECT_GE(u.peak_velocity_px_s, 1824.0);
+    EXPECT_LE(u.peak_velocity_px_s, 31517.0);
+  }
+}
+
+TEST(ScrollTaskTest, DeterministicGivenSeed) {
+  auto a = GenerateScrollTrace(MedianUser(), DefaultScrollTask());
+  auto b = GenerateScrollTrace(MedianUser(), DefaultScrollTask());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->events.size(), b->events.size());
+  EXPECT_EQ(a->selections.size(), b->selections.size());
+  EXPECT_DOUBLE_EQ(a->events.back().scroll_top_px,
+                   b->events.back().scroll_top_px);
+}
+
+// ---------------------------- Crossfilter task ----------------------------
+
+class CrossfilterTaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RoadNetworkOptions opts;
+    opts.num_rows = 5000;
+    road_ = MakeRoadNetworkTable(opts).ValueOrDie();
+  }
+  CrossfilterTrace MakeTrace(DeviceType device) {
+    auto view = CrossfilterView::Make(road_, {"x", "y", "z"});
+    EXPECT_TRUE(view.ok());
+    CrossfilterUserParams p;
+    p.device = device;
+    p.num_moves = 20;
+    p.seed = 77;
+    auto trace = GenerateCrossfilterTrace(p, &*view);
+    EXPECT_TRUE(trace.ok());
+    return *trace;
+  }
+  TablePtr road_;
+};
+
+TEST_F(CrossfilterTaskTest, LeapGeneratesFarMoreEvents) {
+  const auto mouse = MakeTrace(DeviceType::kMouse);
+  const auto leap = MakeTrace(DeviceType::kLeapMotion);
+  // Fig. 14: leap event counts dwarf mouse (scale 2500 vs 120): the
+  // frictionless device keeps firing during dwells.
+  EXPECT_GT(leap.events.size(), mouse.events.size() * 2);
+  EXPECT_GT(mouse.events.size(), 100u);
+}
+
+TEST_F(CrossfilterTaskTest, EventsMonotoneAndInDomain) {
+  const auto trace = MakeTrace(DeviceType::kTouchTablet);
+  auto view = CrossfilterView::Make(road_, {"x", "y", "z"});
+  ASSERT_TRUE(view.ok());
+  for (size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_GE(trace.events[i].time, trace.events[i - 1].time);
+  }
+  for (const auto& e : trace.events) {
+    ASSERT_GE(e.slider_index, 0);
+    ASSERT_LT(e.slider_index, 3);
+    const RangeSlider& s =
+        view->slider(static_cast<size_t>(e.slider_index));
+    EXPECT_GE(e.min_val, s.domain_lo() - 1e-9);
+    EXPECT_LE(e.max_val, s.domain_hi() + 1e-9);
+    EXPECT_LE(e.min_val, e.max_val + 1e-9);
+  }
+}
+
+TEST_F(CrossfilterTaskTest, BuildQueryGroupsCoordinates) {
+  const auto trace = MakeTrace(DeviceType::kMouse);
+  auto view = CrossfilterView::Make(road_, {"x", "y", "z"});
+  ASSERT_TRUE(view.ok());
+  auto groups = BuildQueryGroups(&*view, trace.events);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), trace.events.size());
+  for (const auto& g : *groups) {
+    EXPECT_EQ(g.queries.size(), 2u);  // n-1 coordinated views.
+  }
+}
+
+TEST_F(CrossfilterTaskTest, ValidatesInputs) {
+  CrossfilterUserParams p;
+  EXPECT_FALSE(GenerateCrossfilterTrace(p, nullptr).ok());
+  auto view = CrossfilterView::Make(road_, {"x", "y"});
+  ASSERT_TRUE(view.ok());
+  p.num_moves = 0;
+  EXPECT_FALSE(GenerateCrossfilterTrace(p, &*view).ok());
+  EXPECT_FALSE(BuildQueryGroups(nullptr, {}).ok());
+}
+
+// ------------------------------ Explore task ------------------------------
+
+CompositeInterface MakeUi() {
+  CompositeInterface::Options opts;
+  opts.destinations = {{"Birmingham", 33.5, -86.8, 12},
+                       {"Atlanta", 33.7, -84.4, 12},
+                       {"Nashville", 36.1, -86.8, 11},
+                       {"Memphis", 35.1, -90.0, 12}};
+  return CompositeInterface(MapWidget(32.0, -86.0, 11), std::move(opts));
+}
+
+TEST(ExploreTaskTest, SessionLastsAtLeastTwentyMinutes) {
+  CompositeInterface ui = MakeUi();
+  ExploreUserParams p;
+  p.seed = 11;
+  auto trace = GenerateExploreTrace(p, &ui);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace->session_duration, Duration::Seconds(20 * 60));
+  EXPECT_GT(trace->phases.size(), 20u);
+}
+
+TEST(ExploreTaskTest, WidgetMixResemblesTable9) {
+  // Aggregate several users so shares stabilize.
+  std::map<WidgetKind, int> counts;
+  int total = 0;
+  Rng rng(81);
+  auto users = SampleExploreUsers(8, &rng);
+  for (const auto& u : users) {
+    CompositeInterface ui = MakeUi();
+    auto trace = GenerateExploreTrace(u, &ui);
+    ASSERT_TRUE(trace.ok());
+    for (const auto& phase : trace->phases) {
+      ++counts[phase.request.widget];
+      ++total;
+    }
+  }
+  const double map_share =
+      static_cast<double>(counts[WidgetKind::kMap]) / total;
+  const double filter_share =
+      static_cast<double>(counts[WidgetKind::kSlider] +
+                          counts[WidgetKind::kCheckbox]) /
+      total;
+  // Table 9: map 62.8%, slider+checkbox 29.9%, button 3.6%, text 3.6%.
+  EXPECT_NEAR(map_share, 0.628, 0.06);
+  EXPECT_NEAR(filter_share, 0.299, 0.06);
+  EXPECT_GT(counts[WidgetKind::kButton], 0);
+  EXPECT_GT(counts[WidgetKind::kTextBox], 0);
+}
+
+TEST(ExploreTaskTest, ZoomWalkStaysNearStart) {
+  Rng rng(82);
+  auto users = SampleExploreUsers(6, &rng);
+  int beyond_three = 0, within = 0;
+  for (const auto& u : users) {
+    CompositeInterface ui = MakeUi();
+    auto trace = GenerateExploreTrace(u, &ui);
+    ASSERT_TRUE(trace.ok());
+    for (const auto& phase : trace->phases) {
+      const int depth = phase.request.zoom_level - u.start_zoom;
+      if (depth > 3 || depth < -1) {
+        ++beyond_three;
+      } else {
+        ++within;
+      }
+      // Fig. 18's band.
+      EXPECT_GE(phase.request.zoom_level, 8);
+      EXPECT_LE(phase.request.zoom_level, 17);
+    }
+  }
+  // Fig. 18: all but (rarely) one user stay within 3 levels of start.
+  EXPECT_GT(within, beyond_three * 20);
+}
+
+TEST(ExploreTaskTest, TimesMatchFig21Regime) {
+  CompositeInterface ui = MakeUi();
+  ExploreUserParams p;
+  p.seed = 13;
+  auto trace = GenerateExploreTrace(p, &ui);
+  ASSERT_TRUE(trace.ok());
+  std::vector<double> explore_s, request_s;
+  for (const auto& phase : trace->phases) {
+    explore_s.push_back(phase.exploration_time.seconds());
+    request_s.push_back(phase.request_time.seconds());
+  }
+  Summary explore(explore_s), request(request_s);
+  // Fig. 21: ~80% of exploration > 1 s; ~80% of requests < 1 s.
+  EXPECT_LT(explore.CdfAt(1.0), 0.35);
+  EXPECT_GT(request.CdfAt(1.0), 0.6);
+  EXPECT_GT(explore.mean(), request.mean() * 4.0);
+}
+
+TEST(ExploreTaskTest, ValidatesInputs) {
+  ExploreUserParams p;
+  EXPECT_FALSE(GenerateExploreTrace(p, nullptr).ok());
+  CompositeInterface no_dest(MapWidget(0, 0, 10),
+                             CompositeInterface::Options{});
+  EXPECT_FALSE(GenerateExploreTrace(p, &no_dest).ok());
+}
+
+// -------------------------------- Trace IO --------------------------------
+
+TEST(TraceIoTest, CsvHeadersAndRows) {
+  auto scroll = GenerateScrollTrace(MedianUser(), DefaultScrollTask());
+  ASSERT_TRUE(scroll.ok());
+  const std::string csv = ScrollTraceToCsv(*scroll);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "timestamp_ms,scroll_top_px,top_tuple,delta_px");
+  // One line per event plus header.
+  EXPECT_EQ(static_cast<size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            scroll->events.size() + 1);
+}
+
+TEST(TraceIoTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ideval_trace.csv";
+  ASSERT_TRUE(WriteFile(path, "a,b\n1,2\n").ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "a,b\n1,2\n");
+}
+
+TEST(TraceIoTest, WriteFileBadPathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent-dir/zz/file.csv", "x").ok());
+}
+
+}  // namespace
+}  // namespace ideval
