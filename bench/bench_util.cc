@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "common/text_table.h"
 #include "opt/kl_filter.h"
@@ -33,6 +35,28 @@ T MustOk(Result<T> result, const char* what) {
 }
 
 }  // namespace
+
+int WorkerThreads(int argc, char** argv) {
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    }
+  }
+  if (value == nullptr) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1 || parsed > 4096) {
+    std::fprintf(stderr, "usage: --threads N (N >= 1), got '%s'\n", value);
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
+}
 
 TablePtr Movies() {
   MoviesOptions opts;

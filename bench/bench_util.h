@@ -21,6 +21,12 @@ namespace bench {
 void PrintHeader(const std::string& experiment_id, const std::string& title,
                  const std::string& paper_claim);
 
+/// Worker-thread count for wall-clock benches: `--threads N` (or
+/// `--threads=N`) on the command line, else the machine's
+/// `std::thread::hardware_concurrency()` (at least 1). Exits with a usage
+/// message on a malformed value.
+int WorkerThreads(int argc, char** argv);
+
 /// Seeds shared by all benches so figures/tables are cross-consistent.
 /// The scroll seed is chosen so the 15 sampled users' peak speeds land on
 /// Table 7's published population (min 12, median ~58, max 200 tuples/s).

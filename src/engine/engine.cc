@@ -49,15 +49,17 @@ Result<TablePtr> Engine::GetTable(const std::string& name) const {
 }
 
 void Engine::ClearCaches() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (buffer_pool_ != nullptr) buffer_pool_->Clear();
 }
 
 void Engine::ChargePages(const Table& table, int64_t first_row,
-                         int64_t tuples, QueryWorkStats* stats) {
+                         int64_t tuples, QueryWorkStats* stats) const {
   if (buffer_pool_ == nullptr || tuples <= 0) return;
   const int64_t per_page = cost_model_.TuplesPerPage(table.AvgRowBytes());
   const int64_t first_page = first_row / per_page;
   const int64_t last_page = (first_row + tuples - 1) / per_page;
+  std::lock_guard<std::mutex> lock(pool_mu_);
   for (int64_t p = first_page; p <= last_page; ++p) {
     ++stats->pages_requested;
     if (!buffer_pool_->Access(PageId{table.name(), p})) {
@@ -72,7 +74,7 @@ void Engine::FinalizeTimes(QueryResponse* response) const {
       cost_model_.PostAggregationTime(response->stats);
 }
 
-Result<QueryResponse> Engine::Execute(const Query& query) {
+Result<QueryResponse> Engine::Execute(const Query& query) const {
   if (const auto* s = std::get_if<SelectQuery>(&query)) {
     return ExecuteSelect(*s);
   }
@@ -82,7 +84,7 @@ Result<QueryResponse> Engine::Execute(const Query& query) {
   return ExecuteJoinPage(std::get<JoinPageQuery>(query));
 }
 
-Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) {
+Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) const {
   IDEVAL_ASSIGN_OR_RETURN(TablePtr table, GetTable(query.table));
   IDEVAL_ASSIGN_OR_RETURN(
       CompiledPredicates preds,
@@ -143,7 +145,8 @@ Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) {
   return response;
 }
 
-Result<QueryResponse> Engine::ExecuteHistogram(const HistogramQuery& query) {
+Result<QueryResponse> Engine::ExecuteHistogram(
+    const HistogramQuery& query) const {
   IDEVAL_ASSIGN_OR_RETURN(TablePtr table, GetTable(query.table));
   IDEVAL_ASSIGN_OR_RETURN(
       CompiledPredicates preds,
@@ -190,7 +193,8 @@ Result<QueryResponse> Engine::ExecuteHistogram(const HistogramQuery& query) {
   return response;
 }
 
-Result<QueryResponse> Engine::ExecuteJoinPage(const JoinPageQuery& query) {
+Result<QueryResponse> Engine::ExecuteJoinPage(
+    const JoinPageQuery& query) const {
   IDEVAL_ASSIGN_OR_RETURN(TablePtr left, GetTable(query.left_table));
   IDEVAL_ASSIGN_OR_RETURN(TablePtr right, GetTable(query.right_table));
   IDEVAL_ASSIGN_OR_RETURN(size_t left_key,

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -57,43 +58,55 @@ struct QueryResponse {
 /// histogram group-by, paged hash joins) so that results are real and
 /// data-dependent; simulated time comes from the `CostModel` applied to
 /// the work the operators performed. `Execute` is deterministic.
+///
+/// Thread safety: once all tables are registered, `Execute` may be called
+/// concurrently from any number of threads — tables are immutable and the
+/// only mutable execution state (the disk profile's buffer pool) is guarded
+/// internally. `RegisterTable` and `ClearCaches` must not race with
+/// `Execute`.
 class Engine {
  public:
   explicit Engine(EngineOptions options);
 
-  /// Registers a table under its own name. Errors on duplicates.
+  /// Registers a table under its own name. Errors on duplicates. Not safe
+  /// to call concurrently with `Execute`.
   Status RegisterTable(TablePtr table);
 
-  /// Executes any supported query.
-  Result<QueryResponse> Execute(const Query& query);
+  /// Executes any supported query. Safe for concurrent callers.
+  Result<QueryResponse> Execute(const Query& query) const;
 
   EngineProfile profile() const { return options_.profile; }
   const CostModel& cost_model() const { return cost_model_; }
 
-  /// Buffer pool (disk profile only; null for the memory profile).
+  /// Buffer pool (disk profile only; null for the memory profile). Reading
+  /// its counters while queries execute concurrently is racy — quiesce
+  /// first.
   const BufferPool* buffer_pool() const { return buffer_pool_.get(); }
 
-  /// Drops buffer-pool state to model a cold start.
+  /// Drops buffer-pool state to model a cold start. Not safe to call
+  /// concurrently with `Execute`.
   void ClearCaches();
 
   /// Borrows a registered table.
   Result<TablePtr> GetTable(const std::string& name) const;
 
  private:
-  Result<QueryResponse> ExecuteSelect(const SelectQuery& query);
-  Result<QueryResponse> ExecuteHistogram(const HistogramQuery& query);
-  Result<QueryResponse> ExecuteJoinPage(const JoinPageQuery& query);
+  Result<QueryResponse> ExecuteSelect(const SelectQuery& query) const;
+  Result<QueryResponse> ExecuteHistogram(const HistogramQuery& query) const;
+  Result<QueryResponse> ExecuteJoinPage(const JoinPageQuery& query) const;
 
   /// Charges buffer-pool page accesses for visiting `tuples` consecutive
-  /// tuples of `table` starting at row `first_row`.
+  /// tuples of `table` starting at row `first_row`. Serialized internally
+  /// so concurrent queries contend on the pool like real backend workers.
   void ChargePages(const Table& table, int64_t first_row, int64_t tuples,
-                   QueryWorkStats* stats);
+                   QueryWorkStats* stats) const;
 
   void FinalizeTimes(QueryResponse* response) const;
 
   EngineOptions options_;
   CostModel cost_model_;
   std::map<std::string, TablePtr> tables_;
+  mutable std::mutex pool_mu_;  ///< Guards buffer_pool_ contents.
   std::unique_ptr<BufferPool> buffer_pool_;
 };
 

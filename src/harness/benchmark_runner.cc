@@ -1,12 +1,15 @@
 #include "harness/benchmark_runner.h"
 
 #include <cmath>
+#include <set>
 
 #include "common/text_table.h"
 #include "data/datasets.h"
 #include "metrics/human_factors.h"
 #include "opt/kl_filter.h"
 #include "opt/throttle.h"
+#include "serve/load_driver.h"
+#include "serve/server.h"
 #include "widget/crossfilter.h"
 #include "workload/crossfilter_task.h"
 #include "workload/explore_task.h"
@@ -56,6 +59,20 @@ Result<ScrollLoadStrategy> ParseScrollStrategy(const std::string& v) {
   return Status::InvalidArgument("unknown scroll_strategy '" + v + "'");
 }
 
+Result<AdmissionPolicy> ParseAdmission(const std::string& v) {
+  if (v == "fifo") return AdmissionPolicy::kFifo;
+  if (v == "skip") return AdmissionPolicy::kSkipStale;
+  if (v == "debounce") return AdmissionPolicy::kDebounce;
+  if (v == "throttle") return AdmissionPolicy::kThrottle;
+  return Status::InvalidArgument("unknown admission policy '" + v + "'");
+}
+
+Result<bool> ParseBool(const std::string& key, const std::string& v) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  return Status::InvalidArgument("bad boolean value for '" + key + "': " + v);
+}
+
 std::string Trim(const std::string& s) {
   size_t b = s.find_first_not_of(" \t\r");
   size_t e = s.find_last_not_of(" \t\r");
@@ -79,6 +96,7 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
   WorkloadSpec spec;
   size_t pos = 0;
   int line_no = 0;
+  std::set<std::string> seen_keys;
   while (pos <= text.size()) {
     size_t nl = text.find('\n', pos);
     if (nl == std::string::npos) nl = text.size();
@@ -93,6 +111,12 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
     }
     const std::string key = Trim(line.substr(0, eq));
     const std::string value = Trim(line.substr(eq + 1));
+    if (!seen_keys.insert(key).second) {
+      // A spec that silently lets a later line win is ambiguous about
+      // what was benchmarked — duplicates are as fatal as unknown keys.
+      return Status::InvalidArgument(
+          StrFormat("line %d: duplicate key '%s'", line_no, key.c_str()));
+    }
 
     if (key == "name") {
       spec.name = value;
@@ -152,6 +176,33 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       if (spec.explore_session_minutes <= 0) {
         return Status::InvalidArgument("session_minutes must be > 0");
       }
+    } else if (key == "serve_threads") {
+      IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
+      if (n < 0) return Status::InvalidArgument("serve_threads must be >= 0");
+      spec.serve_threads = static_cast<int>(n);
+    } else if (key == "serve_clients") {
+      IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
+      if (n < 0) return Status::InvalidArgument("serve_clients must be >= 0");
+      spec.serve_clients = static_cast<int>(n);
+    } else if (key == "serve_queue_cap") {
+      IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
+      if (n < 1) {
+        return Status::InvalidArgument("serve_queue_cap must be >= 1");
+      }
+      spec.serve_queue_cap = static_cast<int>(n);
+    } else if (key == "admission") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.admission, ParseAdmission(value));
+    } else if (key == "adaptive_admission") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.adaptive_admission,
+                              ParseBool(key, value));
+    } else if (key == "serve_cache") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_cache, ParseBool(key, value));
+    } else if (key == "time_compression") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.time_compression,
+                              ParseNumber(key, value));
+      if (spec.time_compression <= 0) {
+        return Status::InvalidArgument("time_compression must be > 0");
+      }
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown key '%s'", line_no, key.c_str()));
@@ -199,6 +250,15 @@ std::string WorkloadSpecToText(const WorkloadSpec& spec) {
   out += StrFormat("tuples_per_fetch = %lld\n",
                    static_cast<long long>(spec.scroll_tuples_per_fetch));
   out += StrFormat("session_minutes = %g\n", spec.explore_session_minutes);
+  out += StrFormat("serve_threads = %d\n", spec.serve_threads);
+  out += StrFormat("serve_clients = %d\n", spec.serve_clients);
+  out += StrFormat("serve_queue_cap = %d\n", spec.serve_queue_cap);
+  out += StrFormat("admission = %s\n",
+                   AdmissionPolicyToString(spec.admission));
+  out += StrFormat("adaptive_admission = %s\n",
+                   spec.adaptive_admission ? "true" : "false");
+  out += StrFormat("serve_cache = %s\n", spec.serve_cache ? "true" : "false");
+  out += StrFormat("time_compression = %g\n", spec.time_compression);
   return out;
 }
 
@@ -417,11 +477,134 @@ Result<WorkloadReport> RunExploreWorkload(const WorkloadSpec& spec,
   return report;
 }
 
+/// Live-server mode: the same trace-derived interaction workload, but
+/// driven through the multi-threaded `QueryServer` by one client thread
+/// per user with trace-faithful (compressed) inter-arrival sleeps.
+Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
+                                        WorkloadReport report) {
+  if (spec.interface_kind == InterfaceKind::kInertialScroll) {
+    return Status::InvalidArgument(
+        "live-server mode (serve_threads > 0) supports the crossfilter and "
+        "explore interfaces; scroll loading is simulation-only");
+  }
+  const int clients =
+      spec.serve_clients > 0 ? spec.serve_clients : spec.num_users;
+
+  EngineOptions eopts;
+  eopts.profile = spec.engine;
+  Engine engine(eopts);
+
+  Rng rng(spec.seed);
+  std::vector<std::vector<QueryGroup>> client_groups;
+  double session_s = 0.0;
+  double interactions = 0.0;
+
+  if (spec.interface_kind == InterfaceKind::kCrossfilter) {
+    RoadNetworkOptions dopts;
+    if (spec.rows > 0) dopts.num_rows = spec.rows;
+    IDEVAL_ASSIGN_OR_RETURN(TablePtr road, MakeRoadNetworkTable(dopts));
+    IDEVAL_RETURN_NOT_OK(engine.RegisterTable(road));
+    for (int c = 0; c < clients; ++c) {
+      IDEVAL_ASSIGN_OR_RETURN(CrossfilterView view,
+                              CrossfilterView::Make(road, {"x", "y", "z"}));
+      CrossfilterUserParams params;
+      params.user_id = c;
+      params.device = spec.device;
+      params.num_moves = spec.crossfilter_moves;
+      params.seed = rng.Next();
+      IDEVAL_ASSIGN_OR_RETURN(CrossfilterTrace trace,
+                              GenerateCrossfilterTrace(params, &view));
+      IDEVAL_ASSIGN_OR_RETURN(CrossfilterView replay,
+                              CrossfilterView::Make(road, {"x", "y", "z"}));
+      IDEVAL_ASSIGN_OR_RETURN(std::vector<QueryGroup> groups,
+                              BuildQueryGroups(&replay, trace.events));
+      report.interaction_events += static_cast<int64_t>(trace.events.size());
+      session_s += trace.session_duration.seconds();
+      interactions += static_cast<double>(trace.events.size());
+      for (const auto& g : groups) {
+        report.queries_generated += static_cast<int64_t>(g.queries.size());
+      }
+      client_groups.push_back(std::move(groups));
+    }
+  } else {
+    ListingsOptions dopts;
+    if (spec.rows > 0) dopts.num_rows = spec.rows;
+    IDEVAL_ASSIGN_OR_RETURN(TablePtr listings, MakeListingsTable(dopts));
+    IDEVAL_RETURN_NOT_OK(engine.RegisterTable(listings));
+    auto users = SampleExploreUsers(clients, &rng);
+    for (auto& user : users) {
+      user.min_session =
+          Duration::Seconds(spec.explore_session_minutes * 60);
+      CompositeInterface::Options copts;
+      copts.table = listings->name();
+      copts.destinations = {{"Birmingham", 33.52, -86.80, 12},
+                            {"Atlanta", 33.75, -84.39, 12},
+                            {"Nashville", 36.16, -86.78, 11},
+                            {"Memphis", 35.15, -90.05, 12}};
+      CompositeInterface ui(MapWidget(32.0, -86.0, 11), std::move(copts));
+      IDEVAL_ASSIGN_OR_RETURN(ExploreTrace trace,
+                              GenerateExploreTrace(user, &ui));
+      session_s += trace.session_duration.seconds();
+      interactions += static_cast<double>(trace.phases.size());
+      report.interaction_events += static_cast<int64_t>(trace.phases.size());
+      std::vector<QueryGroup> groups;
+      groups.reserve(trace.phases.size());
+      for (const auto& phase : trace.phases) {
+        QueryGroup g;
+        g.issue_time = phase.request.time;
+        g.queries.push_back(phase.request.query);
+        groups.push_back(std::move(g));
+        ++report.queries_generated;
+      }
+      client_groups.push_back(std::move(groups));
+    }
+  }
+
+  ServerOptions sopts;
+  sopts.num_workers = spec.serve_threads;
+  sopts.max_queue_per_session = spec.serve_queue_cap;
+  sopts.policy = spec.admission;
+  sopts.adaptive_admission = spec.adaptive_admission;
+  sopts.enable_session_cache = spec.serve_cache;
+  if (spec.throttle_interval > Duration::Zero()) {
+    sopts.throttle_min_interval = spec.throttle_interval;
+  }
+  IDEVAL_ASSIGN_OR_RETURN(std::unique_ptr<QueryServer> server,
+                          QueryServer::Create(&engine, sopts));
+  LoadDriverOptions lopts;
+  lopts.time_compression = spec.time_compression;
+  IDEVAL_ASSIGN_OR_RETURN(LoadReport load,
+                          RunLoadDriver(server.get(), client_groups, lopts));
+  server->Stop();
+
+  const ServerStatsSnapshot& snap = load.snapshot;
+  report.queries_executed = snap.totals.queries_executed;
+  report.queries_suppressed =
+      report.queries_generated - snap.totals.queries_executed;
+  report.groups_skipped = snap.totals.GroupsShed();
+  report.groups_rejected = snap.totals.groups_rejected;
+  const double wall = std::max(1e-9, load.wall_seconds);
+  report.qif = static_cast<double>(snap.totals.groups_submitted) / wall /
+               std::max(1, clients);
+  report.lcv_fraction = snap.lcv_fraction;
+  report.median_latency_ms = snap.latency_p50_ms;
+  report.p90_latency_ms = snap.latency_p90_ms;
+  report.max_latency_ms = snap.latency_max_ms;
+  report.throughput_qps =
+      static_cast<double>(snap.totals.queries_executed) / wall;
+  report.mean_session_s = session_s / std::max(1, clients);
+  report.mean_interactions_per_user = interactions / std::max(1, clients);
+  return report;
+}
+
 }  // namespace
 
 Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec) {
   WorkloadReport report;
   report.spec = spec;
+  if (spec.serve_threads > 0) {
+    return RunServeWorkload(spec, std::move(report));
+  }
   switch (spec.interface_kind) {
     case InterfaceKind::kCrossfilter:
       return RunCrossfilterWorkload(spec, std::move(report));
@@ -453,6 +636,11 @@ std::string WorkloadReport::ToText() const {
   if (groups_skipped > 0) {
     table.AddRow({"groups skipped by backend",
                   StrFormat("%lld", static_cast<long long>(groups_skipped))});
+  }
+  if (groups_rejected > 0) {
+    table.AddRow({"groups rejected (backpressure)",
+                  StrFormat("%lld",
+                            static_cast<long long>(groups_rejected))});
   }
   table.AddRow({"QIF (per user)", StrFormat("%.1f queries/s", qif)});
   table.AddRow({"LCV fraction", StrFormat("%.3f", lcv_fraction)});

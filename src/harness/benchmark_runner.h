@@ -11,6 +11,7 @@
 #include "engine/engine.h"
 #include "metrics/frontend_metrics.h"
 #include "prefetch/scroll_loader.h"
+#include "serve/admission.h"
 #include "sim/query_scheduler.h"
 
 namespace ideval {
@@ -60,6 +61,23 @@ struct WorkloadSpec {
   int64_t scroll_tuples_per_fetch = 58;
   /// Composite: session length in minutes (§8's study required >= 20).
   double explore_session_minutes = 20.0;
+
+  // --- Live-server knobs (src/serve/). ---
+  /// Worker threads for the live `QueryServer`; 0 = replay on the
+  /// simulated scheduler instead (the default, fully deterministic mode).
+  int serve_threads = 0;
+  /// Concurrent client threads in live mode; 0 = one per user.
+  int serve_clients = 0;
+  /// Bounded per-session queue depth in live mode.
+  int serve_queue_cap = 8;
+  /// Live admission policy (§7.1 drain policies + §3.1.2 shapers).
+  AdmissionPolicy admission = AdmissionPolicy::kFifo;
+  /// Let the admission controller switch to shedding under overload.
+  bool adaptive_admission = false;
+  /// Per-session exact-match result cache in live mode.
+  bool serve_cache = false;
+  /// Trace replay speed-up for the live load driver (>= 1 recommended).
+  double time_compression = 50.0;
 };
 
 /// Parses the `key = value` format (one pair per line; '#' comments and
@@ -81,6 +99,7 @@ struct WorkloadReport {
   int64_t queries_executed = 0;    ///< After suppression/skip.
   int64_t queries_suppressed = 0;  ///< Dropped client-side (KL/throttle).
   int64_t groups_skipped = 0;      ///< Shed by the backend (skip policy).
+  int64_t groups_rejected = 0;     ///< Pushed back (live-server mode).
 
   // System factors.
   double qif = 0.0;                 ///< Queries/second issued.
@@ -106,7 +125,11 @@ struct WorkloadReport {
 /// Materializes the spec — builds the dataset, simulates the users on the
 /// device/interface, applies the client-side optimizations, replays the
 /// workload against the backend — and measures the full metric battery.
-/// Deterministic for a given spec.
+/// Deterministic for a given spec when `serve_threads == 0` (simulated
+/// scheduler). With `serve_threads > 0` the same trace-derived workload is
+/// instead driven through the live multi-threaded `QueryServer` by
+/// concurrent clients (crossfilter/explore interfaces only); timings are
+/// then wall-clock and machine-dependent, trace generation stays seeded.
 Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec);
 
 }  // namespace ideval

@@ -1,0 +1,97 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace ideval {
+
+const char* AdmissionPolicyToString(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifo:
+      return "fifo";
+    case AdmissionPolicy::kSkipStale:
+      return "skip";
+    case AdmissionPolicy::kDebounce:
+      return "debounce";
+    case AdmissionPolicy::kThrottle:
+      return "throttle";
+  }
+  return "unknown";
+}
+
+const char* LoadStateToString(LoadState state) {
+  switch (state) {
+    case LoadState::kIdle:
+      return "idle";
+    case LoadState::kUnderloaded:
+      return "underloaded";
+    case LoadState::kSaturated:
+      return "saturated";
+    case LoadState::kOverloaded:
+      return "overloaded";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(int num_workers,
+                                         AdmissionOptions options)
+    : num_workers_(std::max(1, num_workers)), options_(options) {}
+
+void AdmissionController::OnSubmit(SimTime now) {
+  submit_window_.push_back(now);
+  const SimTime horizon = now - options_.window;
+  while (!submit_window_.empty() && submit_window_.front() < horizon) {
+    submit_window_.pop_front();
+  }
+}
+
+void AdmissionController::OnComplete(SimTime now, Duration service_time) {
+  (void)now;
+  const double s = std::max(0.0, service_time.seconds());
+  if (completions_ == 0) {
+    service_ewma_s_ = s;
+  } else {
+    service_ewma_s_ = options_.service_ewma_alpha * s +
+                      (1.0 - options_.service_ewma_alpha) * service_ewma_s_;
+  }
+  ++completions_;
+}
+
+Duration AdmissionController::MeanServiceTime() const {
+  return completions_ == 0 ? Duration::Zero()
+                           : Duration::Seconds(service_ewma_s_);
+}
+
+LoadAssessment AdmissionController::Assess(SimTime now) {
+  const SimTime horizon = now - options_.window;
+  while (!submit_window_.empty() && submit_window_.front() < horizon) {
+    submit_window_.pop_front();
+  }
+
+  LoadAssessment a;
+  a.offered_qps = static_cast<double>(submit_window_.size()) /
+                  options_.window.seconds();
+  if (completions_ > 0 && service_ewma_s_ > 0.0) {
+    a.capacity_qps = static_cast<double>(num_workers_) / service_ewma_s_;
+  }
+  if (submit_window_.empty()) {
+    a.state = LoadState::kIdle;
+    return a;
+  }
+  if (a.capacity_qps <= 0.0) {
+    // No completions yet: assume the backend keeps up until proven slow.
+    a.state = LoadState::kUnderloaded;
+    return a;
+  }
+  a.load_factor = a.offered_qps / a.capacity_qps;
+  if (a.load_factor < options_.underload_factor) {
+    a.state = LoadState::kUnderloaded;
+  } else if (a.load_factor <= options_.overload_factor) {
+    a.state = LoadState::kSaturated;
+  } else {
+    a.state = LoadState::kOverloaded;
+    a.reject = a.load_factor > options_.reject_factor;
+  }
+  return a;
+}
+
+}  // namespace ideval

@@ -1,0 +1,106 @@
+#ifndef IDEVAL_SERVE_ADMISSION_H_
+#define IDEVAL_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// How a live session queue admits and drains requests when interaction
+/// outpaces execution — the paper's drain policies (§7.1) plus the
+/// client-side rate shapers of §3.1.2, applied at the server door.
+enum class AdmissionPolicy {
+  /// Every admitted group executes in arrival order; a full queue pushes
+  /// back on the client (the raw cascade of Fig. 2, bounded by the cap).
+  kFifo,
+  /// When a worker frees up it jumps to the session's *newest* pending
+  /// group; older pending groups are shed with accounting (Algorithm 1,
+  /// "Skip"). A full queue sheds the oldest instead of rejecting.
+  kSkipStale,
+  /// Trailing-edge debounce: a new group replaces the session's still
+  /// -pending one, and execution starts only after a quiet period with no
+  /// newer submission — only the interaction the user settles on runs.
+  kDebounce,
+  /// Leading-edge throttle ported from `QifThrottler` (§3.1.2): a group
+  /// arriving within `throttle_min_interval` of the last admitted one is
+  /// shed at the door.
+  kThrottle,
+};
+
+const char* AdmissionPolicyToString(AdmissionPolicy policy);
+
+/// Quadrant of Fig. 3's QIF-vs-capacity chart the server currently sits
+/// in, estimated online.
+enum class LoadState {
+  kIdle,         ///< No recent submissions.
+  kUnderloaded,  ///< Offered load well under capacity.
+  kSaturated,    ///< Offered load near capacity (the knee).
+  kOverloaded,   ///< Interaction outpaces execution ("overwhelmed").
+};
+
+const char* LoadStateToString(LoadState state);
+
+/// One admission decision's view of the control loop.
+struct LoadAssessment {
+  double offered_qps = 0.0;    ///< Live QIF × clients (sliding window).
+  double capacity_qps = 0.0;   ///< Workers / mean service time; 0 = unknown.
+  double load_factor = 0.0;    ///< offered / capacity; 0 when unknown.
+  LoadState state = LoadState::kIdle;
+  /// True when load is so far past capacity that new work should be
+  /// rejected with backpressure rather than queued or shed.
+  bool reject = false;
+};
+
+/// Tuning for the admission control loop.
+struct AdmissionOptions {
+  /// Sliding window for the offered-load (QIF) estimate.
+  Duration window = Duration::Seconds(2.0);
+  /// Offered/capacity ratio below which the server is "underloaded".
+  double underload_factor = 0.7;
+  /// Offered/capacity ratio above which the server is "overloaded".
+  double overload_factor = 1.1;
+  /// Offered/capacity ratio beyond which submissions are rejected outright.
+  double reject_factor = 8.0;
+  /// EWMA coefficient for the per-group service-time estimate.
+  double service_ewma_alpha = 0.2;
+};
+
+/// Runtime control loop over Fig. 3: estimates the live Query Issuing
+/// Frequency across all sessions and the backend's service rate, and
+/// classifies the server into a quadrant so the `QueryServer` can switch
+/// to a shedding policy (or reject with backpressure) when interaction
+/// outpaces execution.
+///
+/// Thread safety: externally synchronized — the owning `QueryServer`
+/// calls it under its own lock.
+class AdmissionController {
+ public:
+  AdmissionController(int num_workers, AdmissionOptions options);
+
+  /// Records a submission at `now` (admitted or not — the user interacted
+  /// either way, which is what QIF measures).
+  void OnSubmit(SimTime now);
+
+  /// Records a completed group and its wall service time.
+  void OnComplete(SimTime now, Duration service_time);
+
+  /// Classifies the current load (prunes the window to `now`).
+  LoadAssessment Assess(SimTime now);
+
+  /// Mean service time estimate (zero until the first completion).
+  Duration MeanServiceTime() const;
+
+ private:
+  int num_workers_;
+  AdmissionOptions options_;
+  std::deque<SimTime> submit_window_;
+  double service_ewma_s_ = 0.0;
+  int64_t completions_ = 0;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SERVE_ADMISSION_H_

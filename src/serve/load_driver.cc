@@ -1,0 +1,72 @@
+#include "serve/load_driver.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ideval {
+
+Result<LoadReport> RunLoadDriver(
+    QueryServer* server, const std::vector<std::vector<QueryGroup>>& clients,
+    LoadDriverOptions options) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("RunLoadDriver: null server");
+  }
+  if (options.time_compression <= 0.0) {
+    return Status::InvalidArgument("time_compression must be > 0");
+  }
+  for (const auto& groups : clients) {
+    for (size_t i = 1; i < groups.size(); ++i) {
+      if (groups[i].issue_time < groups[i - 1].issue_time) {
+        return Status::InvalidArgument(
+            "client groups must be sorted by issue time");
+      }
+    }
+  }
+
+  LoadReport report;
+  report.clients.resize(clients.size());
+  for (auto& c : report.clients) c.session_id = server->OpenSession();
+
+  const auto epoch = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t ci = 0; ci < clients.size(); ++ci) {
+    threads.emplace_back([&, ci] {
+      ClientLoadResult& tally = report.clients[ci];
+      for (const QueryGroup& group : clients[ci]) {
+        const auto target =
+            epoch + std::chrono::microseconds(static_cast<int64_t>(
+                        static_cast<double>(group.issue_time.micros()) /
+                        options.time_compression));
+        std::this_thread::sleep_until(target);
+        auto outcome = server->Submit(tally.session_id, group.queries);
+        ++tally.submitted;
+        if (!outcome.ok()) continue;  // Closed session etc.; keep going.
+        switch (outcome->disposition) {
+          case SubmitDisposition::kEnqueued:
+            ++tally.enqueued;
+            break;
+          case SubmitDisposition::kCoalesced:
+            ++tally.coalesced;
+            break;
+          case SubmitDisposition::kThrottled:
+            ++tally.throttled;
+            break;
+          case SubmitDisposition::kRejected:
+            ++tally.rejected;
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (options.drain) server->Drain();
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - epoch)
+          .count();
+  report.snapshot = server->Snapshot();
+  return report;
+}
+
+}  // namespace ideval

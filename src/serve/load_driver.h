@@ -1,0 +1,52 @@
+#ifndef IDEVAL_SERVE_LOAD_DRIVER_H_
+#define IDEVAL_SERVE_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/server.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+
+/// Load-driver tuning.
+struct LoadDriverOptions {
+  /// Wall time = trace time / time_compression. 1.0 replays in real time;
+  /// tests and benches compress heavily so think-time-faithful sessions
+  /// finish in milliseconds.
+  double time_compression = 1.0;
+  /// Drain the server (and include final stats) before returning.
+  bool drain = true;
+};
+
+/// One client thread's submission tally.
+struct ClientLoadResult {
+  uint64_t session_id = 0;
+  int64_t submitted = 0;
+  int64_t enqueued = 0;
+  int64_t coalesced = 0;
+  int64_t throttled = 0;
+  int64_t rejected = 0;
+};
+
+/// The whole replay: per-client tallies plus the server's final snapshot.
+struct LoadReport {
+  std::vector<ClientLoadResult> clients;
+  ServerStatsSnapshot snapshot;
+  double wall_seconds = 0.0;
+};
+
+/// Replays trace-derived query groups against a live `QueryServer` from
+/// one OS thread per client, sleeping out the trace's inter-arrival times
+/// (scaled by `time_compression`) — the think-time-driven concurrent
+/// clients IDEBench prescribes, as opposed to offline trace replay. Each
+/// client gets its own server session; `clients[i]` must be sorted by
+/// nondecreasing issue time.
+Result<LoadReport> RunLoadDriver(
+    QueryServer* server, const std::vector<std::vector<QueryGroup>>& clients,
+    LoadDriverOptions options);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SERVE_LOAD_DRIVER_H_

@@ -1,0 +1,360 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/text_table.h"
+
+namespace ideval {
+
+const char* SubmitDispositionToString(SubmitDisposition d) {
+  switch (d) {
+    case SubmitDisposition::kEnqueued:
+      return "enqueued";
+    case SubmitDisposition::kCoalesced:
+      return "coalesced";
+    case SubmitDisposition::kThrottled:
+      return "throttled";
+    case SubmitDisposition::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    const Engine* engine, ServerOptions options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("QueryServer needs an engine");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_workers must be >= 1, got %d", options.num_workers));
+  }
+  if (options.max_queue_per_session < 1) {
+    return Status::InvalidArgument(
+        StrFormat("max_queue_per_session must be >= 1, got %d",
+                  options.max_queue_per_session));
+  }
+  if (options.throttle_min_interval < Duration::Zero()) {
+    return Status::InvalidArgument("throttle_min_interval must be >= 0");
+  }
+  if (options.debounce_quiet < Duration::Zero()) {
+    return Status::InvalidArgument("debounce_quiet must be >= 0");
+  }
+  if (options.admission.window <= Duration::Zero()) {
+    return Status::InvalidArgument("admission window must be > 0");
+  }
+  if (options.enable_session_cache && options.session_cache_capacity < 1) {
+    return Status::InvalidArgument("session_cache_capacity must be >= 1");
+  }
+  auto server = std::unique_ptr<QueryServer>(
+      new QueryServer(engine, std::move(options)));
+  server->workers_.reserve(
+      static_cast<size_t>(server->options_.num_workers));
+  for (int i = 0; i < server->options_.num_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+QueryServer::QueryServer(const Engine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()),
+      controller_(options_.num_workers, options_.admission),
+      effective_policy_(options_.policy),
+      metrics_(options_.admission.window) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+SimTime QueryServer::Now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return SimTime::FromMicros(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count());
+}
+
+std::chrono::steady_clock::time_point QueryServer::ToSteady(SimTime t) const {
+  return epoch_ + std::chrono::microseconds(t.micros());
+}
+
+uint64_t QueryServer::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeSession* s = sessions_.Open(options_.admission.window);
+  if (options_.enable_session_cache) {
+    SessionCache::Options copts;
+    copts.capacity = options_.session_cache_capacity;
+    // The cache borrows the engine for misses; it never mutates tables,
+    // so the const_cast only widens access back to the read-only Execute.
+    s->set_cache(std::make_unique<SessionCache>(
+        const_cast<Engine*>(engine_), copts));
+  }
+  return s->id();
+}
+
+Status QueryServer::CloseSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeSession* s = sessions_.Get(session_id);
+  if (s == nullptr) {
+    return Status::NotFound(
+        StrFormat("no session %llu",
+                  static_cast<unsigned long long>(session_id)));
+  }
+  s->set_closed(true);
+  return Status::OK();
+}
+
+Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
+                                          std::vector<Query> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("Submit: empty query group");
+  }
+  const SimTime now = Now();
+  metrics_.RecordSubmit(now);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeSession* s = sessions_.Get(session_id);
+  if (s == nullptr) {
+    return Status::NotFound(
+        StrFormat("no session %llu",
+                  static_cast<unsigned long long>(session_id)));
+  }
+  if (s->closed()) {
+    return Status::FailedPrecondition(
+        StrFormat("session %llu is closed",
+                  static_cast<unsigned long long>(session_id)));
+  }
+
+  SubmitOutcome out;
+  out.seq = s->RecordSubmit(now);
+  controller_.OnSubmit(now);
+  out.load = controller_.Assess(now);
+  if (options_.adaptive_admission) {
+    // Fig. 3 as a control loop: shed stale work while overwhelmed, go
+    // back to the configured policy once execution catches up.
+    effective_policy_ = out.load.state == LoadState::kOverloaded
+                            ? AdmissionPolicy::kSkipStale
+                            : options_.policy;
+  }
+
+  if (out.load.reject) {
+    ++s->counters().groups_rejected;
+    out.disposition = SubmitDisposition::kRejected;
+    return out;
+  }
+
+  SessionCounters& c = s->counters();
+  const size_t cap = static_cast<size_t>(options_.max_queue_per_session);
+  switch (effective_policy_) {
+    case AdmissionPolicy::kThrottle:
+      if (s->last_admitted().has_value() &&
+          now - *s->last_admitted() < options_.throttle_min_interval) {
+        ++c.groups_shed_throttled;
+        out.disposition = SubmitDisposition::kThrottled;
+        return out;
+      }
+      if (s->queue().size() >= cap) {
+        ++c.groups_rejected;
+        out.disposition = SubmitDisposition::kRejected;
+        return out;
+      }
+      s->set_last_admitted(now);
+      break;
+    case AdmissionPolicy::kDebounce:
+      // Newest-wins coalescing: anything still pending is superseded.
+      if (!s->queue().empty()) {
+        c.groups_shed_coalesced +=
+            static_cast<int64_t>(s->queue().size());
+        s->queue().clear();
+        out.disposition = SubmitDisposition::kCoalesced;
+      }
+      break;
+    case AdmissionPolicy::kFifo:
+      if (s->queue().size() >= cap) {
+        ++c.groups_rejected;
+        out.disposition = SubmitDisposition::kRejected;
+        return out;
+      }
+      break;
+    case AdmissionPolicy::kSkipStale:
+      if (s->queue().size() >= cap) {
+        // Shed the stalest pending group instead of pushing back.
+        s->queue().pop_front();
+        ++c.groups_shed_stale;
+      }
+      break;
+  }
+
+  PendingGroup g;
+  g.seq = out.seq;
+  g.submit_time = now;
+  g.queries = std::move(queries);
+  s->queue().push_back(std::move(g));
+  work_cv_.notify_all();
+  return out;
+}
+
+ServeSession* QueryServer::PickSession(SimTime now, SimTime* deadline,
+                                       bool* has_deadline) {
+  *has_deadline = false;
+  const auto& all = sessions_.sessions();
+  const size_t n = all.size();
+  if (n == 0) return nullptr;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = (rr_cursor_ + k) % n;
+    ServeSession* s = all[i].get();
+    if (s->busy() || s->queue().empty()) continue;
+    if (effective_policy_ == AdmissionPolicy::kDebounce) {
+      const SimTime runnable_at = s->last_submit() + options_.debounce_quiet;
+      if (now < runnable_at) {
+        if (!*has_deadline || runnable_at < *deadline) {
+          *deadline = runnable_at;
+          *has_deadline = true;
+        }
+        continue;
+      }
+    }
+    rr_cursor_ = (i + 1) % n;
+    return s;
+  }
+  return nullptr;
+}
+
+PendingGroup QueryServer::PopGroup(ServeSession* session) {
+  std::deque<PendingGroup>& q = session->queue();
+  if (effective_policy_ == AdmissionPolicy::kSkipStale) {
+    // Jump to the newest pending group; everything older is stale.
+    session->counters().groups_shed_stale +=
+        static_cast<int64_t>(q.size()) - 1;
+    PendingGroup g = std::move(q.back());
+    q.clear();
+    return g;
+  }
+  PendingGroup g = std::move(q.front());
+  q.pop_front();
+  return g;
+}
+
+void QueryServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_) return;
+    SimTime deadline;
+    bool has_deadline = false;
+    ServeSession* s = PickSession(Now(), &deadline, &has_deadline);
+    if (s == nullptr) {
+      if (has_deadline) {
+        work_cv_.wait_until(lock, ToSteady(deadline));
+      } else {
+        work_cv_.wait(lock);
+      }
+      continue;
+    }
+    PendingGroup group = PopGroup(s);
+    s->set_busy(true);
+    ++in_flight_;
+    lock.unlock();
+
+    // --- Execution, outside the server lock. The busy flag serializes
+    // all access to this session's cache.
+    const SimTime start = Now();
+    int64_t executed = 0;
+    int64_t failed = 0;
+    int64_t hits = 0;
+    for (const Query& query : group.queries) {
+      if (s->cache() != nullptr) {
+        auto r = s->cache()->Execute(query);
+        if (r.ok()) {
+          ++executed;
+          hits += r->cache_hit;
+        } else {
+          ++failed;
+        }
+      } else {
+        auto r = engine_->Execute(query);
+        if (r.ok()) {
+          ++executed;
+        } else {
+          ++failed;
+        }
+      }
+    }
+    const SimTime finish = Now();
+    metrics_.RecordGroupComplete(finish - group.submit_time, finish - start);
+
+    lock.lock();
+    SessionCounters& c = s->counters();
+    ++c.groups_executed;
+    c.queries_executed += executed;
+    c.queries_failed += failed;
+    c.cache_hits += hits;
+    if (s->CheckLcvViolation(group.seq, finish)) {
+      ++c.lcv_violations;
+    }
+    controller_.OnComplete(finish, finish - start);
+    s->set_busy(false);
+    --in_flight_;
+    if (!s->queue().empty()) work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    if (in_flight_ > 0) return false;
+    for (const auto& s : sessions_.sessions()) {
+      if (!s->queue().empty()) return false;
+    }
+    return true;
+  });
+}
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ServerStatsSnapshot QueryServer::Snapshot() {
+  const SimTime now = Now();
+  ServerStatsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.num_workers = options_.num_workers;
+    snap.configured_policy = options_.policy;
+    snap.effective_policy = effective_policy_;
+    snap.sessions_open = sessions_.OpenCount();
+    snap.uptime_s = now.seconds();
+    for (const auto& s : sessions_.sessions()) {
+      SessionStatsRow row;
+      row.session_id = s->id();
+      row.counters = s->counters();
+      row.qif_qps = s->QifQps(now);
+      row.queued = static_cast<int64_t>(s->queue().size());
+      snap.totals += row.counters;
+      snap.groups_queued += row.queued;
+      snap.sessions.push_back(std::move(row));
+    }
+    snap.load = controller_.Assess(now);
+  }
+  metrics_.FillSnapshot(&snap, now);
+  snap.throughput_qps =
+      snap.uptime_s > 0.0
+          ? static_cast<double>(snap.totals.queries_executed) / snap.uptime_s
+          : 0.0;
+  snap.lcv_fraction =
+      snap.totals.groups_executed > 0
+          ? static_cast<double>(snap.totals.lcv_violations) /
+                static_cast<double>(snap.totals.groups_executed)
+          : 0.0;
+  return snap;
+}
+
+}  // namespace ideval

@@ -1,0 +1,158 @@
+#ifndef IDEVAL_SERVE_SERVER_H_
+#define IDEVAL_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/engine.h"
+#include "serve/admission.h"
+#include "serve/server_stats.h"
+#include "serve/session.h"
+
+namespace ideval {
+
+/// Construction options for `QueryServer`.
+struct ServerOptions {
+  /// Worker threads executing queries. `Create` rejects values < 1.
+  int num_workers = 4;
+  /// Bounded per-session queue; a full queue means backpressure (FIFO /
+  /// throttle) or shedding (skip-stale). `Create` rejects values < 1.
+  int max_queue_per_session = 8;
+  /// How session queues admit and drain work.
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  /// Minimum inter-group interval for `kThrottle`.
+  Duration throttle_min_interval = Duration::Millis(100);
+  /// Quiet period before a pending `kDebounce` group becomes runnable.
+  Duration debounce_quiet = Duration::Millis(50);
+  /// When true, the admission controller switches the effective policy to
+  /// `kSkipStale` while the server is overloaded (Fig. 3 as a control
+  /// loop) and rejects with backpressure past `reject_factor`.
+  bool adaptive_admission = false;
+  AdmissionOptions admission;
+  /// Per-session exact-match result reuse (§2.4).
+  bool enable_session_cache = false;
+  int64_t session_cache_capacity = 256;
+};
+
+/// What happened to one submission at the server door.
+enum class SubmitDisposition {
+  kEnqueued,   ///< Admitted into the session queue.
+  kCoalesced,  ///< Admitted, replacing older pending group(s) (debounce).
+  kThrottled,  ///< Shed at the door by the throttle policy.
+  kRejected,   ///< Backpressure: queue full or hard overload.
+};
+
+const char* SubmitDispositionToString(SubmitDisposition d);
+
+struct SubmitOutcome {
+  uint64_t seq = 0;  ///< Per-session submission sequence number.
+  SubmitDisposition disposition = SubmitDisposition::kEnqueued;
+  LoadAssessment load;  ///< Control-loop view at submission time.
+};
+
+/// A concurrent interactive query server over an `Engine`.
+///
+/// The simulated `QueryScheduler` replays the execution-delay cascade of
+/// Fig. 2 on a virtual clock; `QueryServer` is the same serving problem
+/// under genuine concurrency: a fixed worker pool executes real queries
+/// over real wall time, per-client sessions have isolated bounded queues,
+/// and the paper's drain policies (§7.1) plus throttling/debouncing
+/// (§3.1.2) act as live admission policies. An `AdmissionController`
+/// watches live QIF vs. backend service rate and — in adaptive mode —
+/// switches to shedding or rejects with backpressure when interaction
+/// outpaces execution (Fig. 3's "overwhelmed backend" quadrant).
+///
+/// Groups of one session execute one at a time in submission order
+/// (sessions model a single frontend connection), but any number of
+/// sessions execute in parallel across the worker pool.
+///
+/// All public methods are thread-safe.
+class QueryServer {
+ public:
+  /// Validates `options`, creates the server, and starts the worker pool.
+  /// `engine` must outlive the server, have all tables registered, and is
+  /// used read-only.
+  static Result<std::unique_ptr<QueryServer>> Create(const Engine* engine,
+                                                     ServerOptions options);
+
+  /// Stops the workers (queued-but-unstarted groups are abandoned; call
+  /// `Drain` first for a clean shutdown).
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Opens an isolated session and returns its id.
+  uint64_t OpenSession();
+
+  /// Marks a session closed: future submissions fail, pending work still
+  /// drains, stats are retained.
+  Status CloseSession(uint64_t session_id);
+
+  /// Submits one coordinated query group on behalf of `session_id`. The
+  /// returned outcome says whether it was admitted, shed, or pushed back.
+  /// Errors only on unknown/closed sessions or empty groups.
+  Result<SubmitOutcome> Submit(uint64_t session_id,
+                               std::vector<Query> queries);
+
+  /// Blocks until every admitted group has finished executing.
+  void Drain();
+
+  /// Stops the worker pool. Idempotent.
+  void Stop();
+
+  /// Consistent point-in-time stats (prunes sliding windows, hence
+  /// non-const).
+  ServerStatsSnapshot Snapshot();
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  QueryServer(const Engine* engine, ServerOptions options);
+
+  void WorkerLoop();
+
+  /// Wall-clock time since server start, as a `SimTime` so the metric
+  /// stack's types apply to live timestamps too.
+  SimTime Now() const;
+  std::chrono::steady_clock::time_point ToSteady(SimTime t) const;
+
+  /// Picks the next dispatchable session (round-robin, honoring per
+  /// -session serialization and debounce quiet periods). Returns null if
+  /// nothing is runnable; `*deadline` is set when work becomes runnable
+  /// at a known future time. Caller holds `mu_`.
+  ServeSession* PickSession(SimTime now, SimTime* deadline,
+                            bool* has_deadline);
+
+  /// Pops the next group of `session` per the effective policy, shedding
+  /// stale ones with accounting. Caller holds `mu_`.
+  PendingGroup PopGroup(ServeSession* session);
+
+  const Engine* engine_;
+  ServerOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Workers wait for runnable work.
+  std::condition_variable idle_cv_;   ///< Drain waits for quiescence.
+  SessionManager sessions_;           ///< Guarded by mu_.
+  AdmissionController controller_;    ///< Guarded by mu_.
+  AdmissionPolicy effective_policy_;  ///< Guarded by mu_.
+  size_t rr_cursor_ = 0;              ///< Round-robin start. Guarded by mu_.
+  int64_t in_flight_ = 0;             ///< Groups being executed right now.
+  bool stop_ = false;
+
+  OnlineMetrics metrics_;  ///< Internally synchronized.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SERVE_SERVER_H_

@@ -1,0 +1,134 @@
+#include "serve/server_stats.h"
+
+#include "common/text_table.h"
+
+namespace ideval {
+
+SessionCounters& SessionCounters::operator+=(const SessionCounters& o) {
+  groups_submitted += o.groups_submitted;
+  groups_executed += o.groups_executed;
+  groups_shed_stale += o.groups_shed_stale;
+  groups_shed_coalesced += o.groups_shed_coalesced;
+  groups_shed_throttled += o.groups_shed_throttled;
+  groups_rejected += o.groups_rejected;
+  queries_executed += o.queries_executed;
+  queries_failed += o.queries_failed;
+  cache_hits += o.cache_hits;
+  lcv_violations += o.lcv_violations;
+  return *this;
+}
+
+OnlineMetrics::OnlineMetrics(Duration qif_window)
+    : window_(qif_window), latency_p50_(0.5), latency_p90_(0.9) {}
+
+void OnlineMetrics::RecordSubmit(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  submits_.push_back(now);
+  const SimTime horizon = now - window_;
+  while (!submits_.empty() && submits_.front() < horizon) {
+    submits_.pop_front();
+  }
+}
+
+void OnlineMetrics::RecordGroupComplete(Duration latency, Duration service) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_ms_.Add(latency.millis());
+  latency_p50_.Add(latency.millis());
+  latency_p90_.Add(latency.millis());
+  service_ms_.Add(service.millis());
+}
+
+double OnlineMetrics::QifQps(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SimTime horizon = now - window_;
+  while (!submits_.empty() && submits_.front() < horizon) {
+    submits_.pop_front();
+  }
+  return static_cast<double>(submits_.size()) / window_.seconds();
+}
+
+void OnlineMetrics::FillSnapshot(ServerStatsSnapshot* snap, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SimTime horizon = now - window_;
+  while (!submits_.empty() && submits_.front() < horizon) {
+    submits_.pop_front();
+  }
+  snap->qif_qps =
+      static_cast<double>(submits_.size()) / window_.seconds();
+  snap->latency_mean_ms = latency_ms_.mean();
+  snap->latency_max_ms = latency_ms_.max();
+  snap->latency_p50_ms = latency_p50_.Estimate();
+  snap->latency_p90_ms = latency_p90_.Estimate();
+  snap->service_mean_ms = service_ms_.mean();
+}
+
+std::string ServerStatsSnapshot::ToText() const {
+  TextTable global({"metric", "value"});
+  global.AddRow({"workers", StrFormat("%d", num_workers)});
+  global.AddRow({"policy (configured / effective)",
+                 StrFormat("%s / %s",
+                           AdmissionPolicyToString(configured_policy),
+                           AdmissionPolicyToString(effective_policy))});
+  global.AddRow({"sessions", StrFormat("%lld",
+                                       static_cast<long long>(sessions_open))});
+  global.AddRow({"uptime", StrFormat("%.2f s", uptime_s)});
+  global.AddRow(
+      {"groups submitted / executed / shed / rejected / queued",
+       StrFormat("%lld / %lld / %lld / %lld / %lld",
+                 static_cast<long long>(totals.groups_submitted),
+                 static_cast<long long>(totals.groups_executed),
+                 static_cast<long long>(totals.GroupsShed()),
+                 static_cast<long long>(totals.groups_rejected),
+                 static_cast<long long>(groups_queued))});
+  global.AddRow(
+      {"shed breakdown (stale / coalesced / throttled)",
+       StrFormat("%lld / %lld / %lld",
+                 static_cast<long long>(totals.groups_shed_stale),
+                 static_cast<long long>(totals.groups_shed_coalesced),
+                 static_cast<long long>(totals.groups_shed_throttled))});
+  global.AddRow({"queries executed / failed",
+                 StrFormat("%lld / %lld",
+                           static_cast<long long>(totals.queries_executed),
+                           static_cast<long long>(totals.queries_failed))});
+  global.AddRow({"cache hits",
+                 StrFormat("%lld",
+                           static_cast<long long>(totals.cache_hits))});
+  global.AddRow({"latency mean / p50 / p90 / max (ms)",
+                 StrFormat("%.2f / %.2f / %.2f / %.2f", latency_mean_ms,
+                           latency_p50_ms, latency_p90_ms, latency_max_ms)});
+  global.AddRow({"mean service time", StrFormat("%.2f ms", service_mean_ms)});
+  global.AddRow({"QIF (live window)", StrFormat("%.1f groups/s", qif_qps)});
+  global.AddRow({"throughput", StrFormat("%.1f queries/s", throughput_qps)});
+  global.AddRow({"LCV fraction", StrFormat("%.3f", lcv_fraction)});
+  global.AddRow(
+      {"load (offered / capacity / state)",
+       StrFormat("%.1f / %.1f groups/s -> %s", load.offered_qps,
+                 load.capacity_qps, LoadStateToString(load.state))});
+
+  std::string out = global.ToString();
+  if (!sessions.empty()) {
+    TextTable per({"session", "submitted", "executed", "shed", "rejected",
+                   "cache hits", "LCV", "QIF"});
+    for (const auto& row : sessions) {
+      per.AddRow(
+          {StrFormat("%llu", static_cast<unsigned long long>(row.session_id)),
+           StrFormat("%lld",
+                     static_cast<long long>(row.counters.groups_submitted)),
+           StrFormat("%lld",
+                     static_cast<long long>(row.counters.groups_executed)),
+           StrFormat("%lld",
+                     static_cast<long long>(row.counters.GroupsShed())),
+           StrFormat("%lld",
+                     static_cast<long long>(row.counters.groups_rejected)),
+           StrFormat("%lld", static_cast<long long>(row.counters.cache_hits)),
+           StrFormat("%lld",
+                     static_cast<long long>(row.counters.lcv_violations)),
+           StrFormat("%.1f/s", row.qif_qps)});
+    }
+    out += "\n";
+    out += per.ToString();
+  }
+  return out;
+}
+
+}  // namespace ideval

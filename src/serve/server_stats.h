@@ -1,0 +1,115 @@
+#ifndef IDEVAL_SERVE_SERVER_STATS_H_
+#define IDEVAL_SERVE_SERVER_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/streaming_stats.h"
+#include "serve/admission.h"
+
+namespace ideval {
+
+/// Per-session group accounting. Every submitted group lands in exactly
+/// one terminal bucket, so after a drain
+///
+///     submitted == executed + shed_stale + shed_coalesced
+///                + shed_throttled + rejected
+///
+/// holds per session and (summed) globally.
+struct SessionCounters {
+  int64_t groups_submitted = 0;
+  int64_t groups_executed = 0;
+  int64_t groups_shed_stale = 0;      ///< Skip-stale dispatch/overflow.
+  int64_t groups_shed_coalesced = 0;  ///< Debounce replacement.
+  int64_t groups_shed_throttled = 0;  ///< Throttle door shedding.
+  int64_t groups_rejected = 0;        ///< Backpressure (queue full / load).
+  int64_t queries_executed = 0;
+  int64_t queries_failed = 0;
+  int64_t cache_hits = 0;
+  int64_t lcv_violations = 0;
+
+  int64_t GroupsShed() const {
+    return groups_shed_stale + groups_shed_coalesced + groups_shed_throttled;
+  }
+  SessionCounters& operator+=(const SessionCounters& o);
+};
+
+/// One session's row in a stats snapshot.
+struct SessionStatsRow {
+  uint64_t session_id = 0;
+  SessionCounters counters;
+  double qif_qps = 0.0;  ///< Live sliding-window QIF of this session.
+  int64_t queued = 0;    ///< Pending groups at snapshot time.
+};
+
+/// Consistent point-in-time view of a running `QueryServer`.
+struct ServerStatsSnapshot {
+  int num_workers = 0;
+  AdmissionPolicy configured_policy = AdmissionPolicy::kFifo;
+  AdmissionPolicy effective_policy = AdmissionPolicy::kFifo;
+  int64_t sessions_open = 0;
+  double uptime_s = 0.0;
+
+  /// Sum over all sessions (reconciles with the per-session rows by
+  /// construction).
+  SessionCounters totals;
+  int64_t groups_queued = 0;  ///< Still pending at snapshot time.
+
+  // Wall-clock latency of executed groups, submit -> last query done.
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_max_ms = 0.0;
+  /// Pure service time (dispatch -> done), the capacity denominator.
+  double service_mean_ms = 0.0;
+
+  double qif_qps = 0.0;         ///< Global offered load, sliding window.
+  double throughput_qps = 0.0;  ///< Executed queries / uptime.
+  double lcv_fraction = 0.0;    ///< Violations / executed groups.
+
+  LoadAssessment load;
+
+  std::vector<SessionStatsRow> sessions;
+
+  /// Renders the snapshot as aligned text tables (global battery plus a
+  /// per-session breakdown).
+  std::string ToText() const;
+};
+
+/// Thread-safe online accumulators for the server's latency/throughput
+/// battery: Welford mean/variance and P² quantiles from
+/// `common/streaming_stats` behind a mutex, plus the global QIF window.
+/// O(1) state per metric — sessions never buffer per-query history.
+class OnlineMetrics {
+ public:
+  explicit OnlineMetrics(Duration qif_window);
+
+  /// Records a submission (admitted or not) at `now`.
+  void RecordSubmit(SimTime now);
+
+  /// Records a completed group.
+  void RecordGroupComplete(Duration latency, Duration service);
+
+  /// Global sliding-window QIF at `now`.
+  double QifQps(SimTime now);
+
+  /// Copies the latency/service estimators into `snap`.
+  void FillSnapshot(ServerStatsSnapshot* snap, SimTime now);
+
+ private:
+  std::mutex mu_;
+  Duration window_;
+  std::deque<SimTime> submits_;
+  StreamingMeanVar latency_ms_;
+  P2Quantile latency_p50_;
+  P2Quantile latency_p90_;
+  StreamingMeanVar service_ms_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SERVE_SERVER_STATS_H_

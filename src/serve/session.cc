@@ -1,0 +1,69 @@
+#include "serve/session.h"
+
+namespace ideval {
+
+namespace {
+/// Cap on LCV bookkeeping entries per session; far above any plausible
+/// in-flight window, just a leak guard for sessions that shed forever.
+constexpr size_t kMaxRecentSubmits = 4096;
+}  // namespace
+
+ServeSession::ServeSession(uint64_t id, Duration qif_window)
+    : id_(id), qif_window_(qif_window) {}
+
+uint64_t ServeSession::RecordSubmit(SimTime now) {
+  const uint64_t seq = next_seq_++;
+  last_submit_ = now;
+  ++counters_.groups_submitted;
+
+  qif_submits_.push_back(now);
+  const SimTime horizon = now - qif_window_;
+  while (!qif_submits_.empty() && qif_submits_.front() < horizon) {
+    qif_submits_.pop_front();
+  }
+
+  recent_submits_.emplace_back(seq, now);
+  while (recent_submits_.size() > kMaxRecentSubmits) {
+    recent_submits_.pop_front();
+  }
+  return seq;
+}
+
+double ServeSession::QifQps(SimTime now) {
+  const SimTime horizon = now - qif_window_;
+  while (!qif_submits_.empty() && qif_submits_.front() < horizon) {
+    qif_submits_.pop_front();
+  }
+  return static_cast<double>(qif_submits_.size()) / qif_window_.seconds();
+}
+
+bool ServeSession::CheckLcvViolation(uint64_t seq, SimTime completion) {
+  while (!recent_submits_.empty() && recent_submits_.front().first <= seq) {
+    recent_submits_.pop_front();
+  }
+  // Entries are seq-ordered, so the front is the earliest newer
+  // interaction; the group violates iff that interaction was issued
+  // before this group's results came back.
+  return !recent_submits_.empty() &&
+         recent_submits_.front().second < completion;
+}
+
+ServeSession* SessionManager::Open(Duration qif_window) {
+  const uint64_t id = next_id_++;
+  sessions_.push_back(std::make_unique<ServeSession>(id, qif_window));
+  index_[id] = sessions_.size() - 1;
+  return sessions_.back().get();
+}
+
+ServeSession* SessionManager::Get(uint64_t id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : sessions_[it->second].get();
+}
+
+int64_t SessionManager::OpenCount() const {
+  int64_t n = 0;
+  for (const auto& s : sessions_) n += !s->closed();
+  return n;
+}
+
+}  // namespace ideval

@@ -1,0 +1,113 @@
+#ifndef IDEVAL_SERVE_SESSION_H_
+#define IDEVAL_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "engine/query.h"
+#include "opt/session_cache.h"
+#include "serve/server_stats.h"
+
+namespace ideval {
+
+/// A query group admitted into a session queue, waiting for a worker.
+struct PendingGroup {
+  uint64_t seq = 0;  ///< Per-session submission sequence number.
+  SimTime submit_time;
+  std::vector<Query> queries;
+};
+
+/// One client's server-side state: a bounded request queue, live QIF
+/// window, LCV bookkeeping, counters, and an optional exact-match result
+/// cache (§2.4 session reuse).
+///
+/// Thread safety: all fields except `cache` are guarded by the owning
+/// `QueryServer`'s lock. `cache` is touched only by the worker that holds
+/// this session's `busy` flag; the flag itself is flipped under the server
+/// lock, which establishes the necessary happens-before edges.
+class ServeSession {
+ public:
+  ServeSession(uint64_t id, Duration qif_window);
+
+  uint64_t id() const { return id_; }
+
+  /// Records a submission attempt at `now` and returns its sequence
+  /// number. Feeds the QIF window and the LCV successor index whether or
+  /// not the group is later admitted — the user interacted either way.
+  uint64_t RecordSubmit(SimTime now);
+
+  /// Live sliding-window QIF of this session.
+  double QifQps(SimTime now);
+
+  /// Issue-before-complete check (§7.2, live): true iff a newer
+  /// submission than `seq` happened before `completion`. Prunes
+  /// bookkeeping for sequences <= `seq`.
+  bool CheckLcvViolation(uint64_t seq, SimTime completion);
+
+  std::deque<PendingGroup>& queue() { return queue_; }
+  SessionCounters& counters() { return counters_; }
+  const SessionCounters& counters() const { return counters_; }
+
+  bool busy() const { return busy_; }
+  void set_busy(bool b) { busy_ = b; }
+  bool closed() const { return closed_; }
+  void set_closed(bool c) { closed_ = c; }
+  SimTime last_submit() const { return last_submit_; }
+  std::optional<SimTime> last_admitted() const { return last_admitted_; }
+  void set_last_admitted(SimTime t) { last_admitted_ = t; }
+
+  SessionCache* cache() { return cache_.get(); }
+  void set_cache(std::unique_ptr<SessionCache> cache) {
+    cache_ = std::move(cache);
+  }
+
+ private:
+  uint64_t id_;
+  Duration qif_window_;
+  uint64_t next_seq_ = 0;
+  std::deque<PendingGroup> queue_;
+  bool busy_ = false;
+  bool closed_ = false;
+  SimTime last_submit_;
+  std::optional<SimTime> last_admitted_;  // Throttle state.
+  std::deque<SimTime> qif_submits_;
+  /// (seq, submit time) of recent submissions, for the LCV successor
+  /// lookup. Bounded: pruned on every completion and capped.
+  std::deque<std::pair<uint64_t, SimTime>> recent_submits_;
+  SessionCounters counters_;
+  std::unique_ptr<SessionCache> cache_;
+};
+
+/// Hands out sessions with isolated queues and stable ids. Externally
+/// synchronized by the owning `QueryServer`.
+class SessionManager {
+ public:
+  /// Creates a session and returns it (owned by the manager).
+  ServeSession* Open(Duration qif_window);
+
+  /// Looks up a session; null if the id was never issued.
+  ServeSession* Get(uint64_t id);
+
+  /// All sessions in creation order (round-robin dispatch iterates this).
+  const std::vector<std::unique_ptr<ServeSession>>& sessions() const {
+    return sessions_;
+  }
+
+  int64_t OpenCount() const;
+
+ private:
+  uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<ServeSession>> sessions_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_SERVE_SESSION_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/text_table.h"
+
 namespace ideval {
 
 std::vector<QueryGroup> MergeSessions(
@@ -31,14 +33,17 @@ const char* SchedulingPolicyToString(SchedulingPolicy policy) {
 }
 
 QueryScheduler::QueryScheduler(Engine* engine, SchedulerOptions options)
-    : engine_(engine), options_(options) {
-  if (options_.num_connections < 1) options_.num_connections = 1;
-}
+    : engine_(engine), options_(options) {}
 
 Result<SessionExecution> QueryScheduler::Run(
     const std::vector<QueryGroup>& groups) {
   if (engine_ == nullptr) {
     return Status::FailedPrecondition("QueryScheduler has no engine");
+  }
+  if (options_.num_connections < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_connections must be >= 1, got %d",
+                  options_.num_connections));
   }
   for (size_t i = 1; i < groups.size(); ++i) {
     if (groups[i].issue_time < groups[i - 1].issue_time) {

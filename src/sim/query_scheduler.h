@@ -29,7 +29,7 @@ struct SchedulerOptions {
   SchedulingPolicy policy = SchedulingPolicy::kFifo;
   /// Parallel backend connections; queries inside one group run
   /// concurrently across connections (the paper forks one process per
-  /// query of a coordinated-view group).
+  /// query of a coordinated-view group). `Run` rejects values < 1.
   int num_connections = 2;
 };
 

@@ -178,21 +178,21 @@ TEST(FailureTest, SchedulerHandlesEmptyGroups) {
   EXPECT_EQ(run->groups_executed, 1);
 }
 
-TEST(FailureTest, SchedulerClampsConnections) {
+TEST(FailureTest, SchedulerRejectsNonPositiveConnections) {
   Engine engine(EngineOptions{});
   ASSERT_TRUE(engine.RegisterTable(TinyTable()).ok());
-  SchedulerOptions opts;
-  opts.num_connections = -5;  // Clamped to 1 internally.
-  QueryScheduler scheduler(&engine, opts);
   SelectQuery s;
   s.table = "tiny";
   QueryGroup g;
   g.queries.push_back(s);
-  g.queries.push_back(s);
-  auto run = scheduler.Run({g});
-  ASSERT_TRUE(run.ok());
-  // Serialized on the single clamped connection.
-  EXPECT_GT(run->timelines[1].exec_start, run->timelines[0].exec_start);
+  for (int n : {0, -5}) {
+    SchedulerOptions opts;
+    opts.num_connections = n;
+    QueryScheduler scheduler(&engine, opts);
+    auto run = scheduler.Run({g});
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 // ------------------------------ Scroll loader ------------------------------

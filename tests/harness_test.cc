@@ -51,6 +51,43 @@ TEST(WorkloadSpecTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseWorkloadSpec("throttle_ms = -5").ok());
 }
 
+TEST(WorkloadSpecTest, RejectsDuplicateKeysNamingTheLine) {
+  auto spec = ParseWorkloadSpec("users = 2\nseed = 1\nusers = 3\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  // The error points at the offending line and key.
+  EXPECT_NE(spec.status().ToString().find("line 3"), std::string::npos)
+      << spec.status().ToString();
+  EXPECT_NE(spec.status().ToString().find("users"), std::string::npos);
+}
+
+TEST(WorkloadSpecTest, ParsesServeKnobs) {
+  const std::string text = R"(
+serve_threads = 3
+serve_clients = 5
+serve_queue_cap = 16
+admission = debounce
+adaptive_admission = true
+serve_cache = true
+time_compression = 80
+)";
+  auto spec = ParseWorkloadSpec(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->serve_threads, 3);
+  EXPECT_EQ(spec->serve_clients, 5);
+  EXPECT_EQ(spec->serve_queue_cap, 16);
+  EXPECT_EQ(spec->admission, AdmissionPolicy::kDebounce);
+  EXPECT_TRUE(spec->adaptive_admission);
+  EXPECT_TRUE(spec->serve_cache);
+  EXPECT_DOUBLE_EQ(spec->time_compression, 80.0);
+
+  EXPECT_FALSE(ParseWorkloadSpec("admission = yolo").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_threads = -1").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_queue_cap = 0").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("time_compression = 0").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("adaptive_admission = maybe").ok());
+}
+
 TEST(WorkloadSpecTest, RoundTripsThroughText) {
   WorkloadSpec spec;
   spec.name = "round-trip";
@@ -62,6 +99,13 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   spec.kl_threshold = 0.1;
   spec.scroll_strategy = ScrollLoadStrategy::kEventFetch;
   spec.scroll_tuples_per_fetch = 30;
+  spec.serve_threads = 4;
+  spec.serve_clients = 6;
+  spec.serve_queue_cap = 12;
+  spec.admission = AdmissionPolicy::kSkipStale;
+  spec.adaptive_admission = true;
+  spec.serve_cache = true;
+  spec.time_compression = 25.0;
   auto parsed = ParseWorkloadSpec(WorkloadSpecToText(spec));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->name, spec.name);
@@ -72,6 +116,13 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   EXPECT_DOUBLE_EQ(parsed->kl_threshold, spec.kl_threshold);
   EXPECT_EQ(parsed->scroll_strategy, spec.scroll_strategy);
   EXPECT_EQ(parsed->scroll_tuples_per_fetch, spec.scroll_tuples_per_fetch);
+  EXPECT_EQ(parsed->serve_threads, spec.serve_threads);
+  EXPECT_EQ(parsed->serve_clients, spec.serve_clients);
+  EXPECT_EQ(parsed->serve_queue_cap, spec.serve_queue_cap);
+  EXPECT_EQ(parsed->admission, spec.admission);
+  EXPECT_EQ(parsed->adaptive_admission, spec.adaptive_admission);
+  EXPECT_EQ(parsed->serve_cache, spec.serve_cache);
+  EXPECT_DOUBLE_EQ(parsed->time_compression, spec.time_compression);
 }
 
 // ----------------------------- Runner smoke -----------------------------
@@ -156,6 +207,36 @@ TEST(RunWorkloadTest, ExploreWorkloadRuns) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->queries_executed, 0);
   EXPECT_GE(report->mean_session_s, 3.0 * 60.0);
+}
+
+TEST(RunWorkloadTest, LiveServerModeRunsCrossfilter) {
+  WorkloadSpec spec = SmallCrossfilterSpec();
+  spec.name = "live-crossfilter";
+  spec.rows = 5000;
+  spec.crossfilter_moves = 4;
+  spec.serve_threads = 2;
+  spec.serve_clients = 2;
+  spec.admission = AdmissionPolicy::kSkipStale;
+  spec.time_compression = 200.0;  // Seconds of think time -> milliseconds.
+  auto report = RunWorkload(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->queries_generated, 0);
+  EXPECT_GT(report->queries_executed, 0);
+  EXPECT_GT(report->throughput_qps, 0.0);
+  EXPECT_GT(report->qif, 0.0);
+  const std::string text = report->ToText();
+  EXPECT_NE(text.find("live-crossfilter"), std::string::npos);
+}
+
+TEST(RunWorkloadTest, LiveServerModeRejectsScroll) {
+  WorkloadSpec spec;
+  spec.interface_kind = InterfaceKind::kInertialScroll;
+  spec.device = DeviceType::kTouchTrackpad;
+  spec.rows = 1000;
+  spec.serve_threads = 2;
+  auto report = RunWorkload(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
 }
 
 // ------------------------------ GestureGate ------------------------------

@@ -272,6 +272,70 @@ TEST_P(ThrottlerPropertyTest, DebounceOutputsDelayedSubset) {
 INSTANTIATE_TEST_SUITE_P(RandomStreams, ThrottlerPropertyTest,
                          ::testing::Range(0, 10));
 
+// ----------------------- MergeSessions property -----------------------
+
+class MergeSessionsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSessionsPropertyTest, MergeIsStableAndOrderPreserving) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 31);
+  // Timestamps drawn from a handful of values so equal-time collisions
+  // across users are the common case, not the exception.
+  const int num_users = rng.UniformInt(1, 6);
+  std::vector<std::vector<QueryGroup>> sessions(
+      static_cast<size_t>(num_users));
+  size_t total = 0;
+  for (int u = 0; u < num_users; ++u) {
+    const int n = rng.UniformInt(0, 20);
+    SimTime t;
+    for (int k = 0; k < n; ++k) {
+      t += Duration::Millis(10 * rng.UniformInt(0, 3));  // Often zero.
+      QueryGroup g;
+      g.issue_time = t;
+      // Tag the group with (user, per-user sequence) so the merged
+      // stream can be audited: limit = user, offset = sequence.
+      SelectQuery tag;
+      tag.table = "tagged";
+      tag.limit = u;
+      tag.offset = k;
+      g.queries.push_back(tag);
+      sessions[static_cast<size_t>(u)].push_back(std::move(g));
+      ++total;
+    }
+  }
+
+  const auto merged = MergeSessions(sessions);
+  ASSERT_EQ(merged.size(), total);
+
+  auto tag_of = [](const QueryGroup& g) {
+    const auto& s = std::get<SelectQuery>(g.queries.at(0));
+    return std::pair<int64_t, int64_t>(s.limit, s.offset);
+  };
+
+  std::map<int64_t, int64_t> next_seq;  // Per-user expected sequence.
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const auto [user, seq] = tag_of(merged[i]);
+    // Each user's internal order survives the merge exactly.
+    EXPECT_EQ(seq, next_seq[user]) << "user " << user << " at " << i;
+    next_seq[user] = seq + 1;
+    if (i > 0) {
+      EXPECT_GE(merged[i].issue_time, merged[i - 1].issue_time);
+      // Stability: within an equal-timestamp run the concatenation
+      // order (by user, then per-user sequence) is untouched.
+      if (merged[i].issue_time == merged[i - 1].issue_time) {
+        EXPECT_GT(tag_of(merged[i]), tag_of(merged[i - 1])) << "at " << i;
+      }
+    }
+  }
+  // Nothing lost, nothing duplicated.
+  for (int u = 0; u < num_users; ++u) {
+    EXPECT_EQ(next_seq[u],
+              static_cast<int64_t>(sessions[static_cast<size_t>(u)].size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSessionSets, MergeSessionsPropertyTest,
+                         ::testing::Range(0, 20));
+
 // ----------------------- Progressive sampling property -----------------------
 
 class ProgressivePropertyTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the test suite with ThreadSanitizer (-DIDEVAL_SANITIZE=thread)
+# into build-tsan/ and runs the concurrency-heavy tests. Any data race
+# aborts the run with a nonzero exit code.
+#
+# Usage: tests/run_tsan.sh [extra gtest filter]
+#   tests/run_tsan.sh                 # serve_test + sim/engine smoke
+#   tests/run_tsan.sh 'ServeTest.*'   # narrower filter for serve_test
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+filter="${1:-*}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIDEVAL_SANITIZE=thread >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target serve_test sim_test engine_test
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+"${build_dir}/tests/serve_test" --gtest_filter="${filter}"
+# The simulated stack is single-threaded but links the same libraries;
+# run it too so TSan sees the whole tier-1 surface it can reach quickly.
+"${build_dir}/tests/sim_test" --gtest_brief=1
+"${build_dir}/tests/engine_test" --gtest_brief=1
+
+echo "tsan: all checked tests passed with no reported races"

@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/load_driver.h"
+#include "serve/server.h"
+
+namespace ideval {
+namespace {
+
+TablePtr MakeServeTable(int64_t rows) {
+  Schema schema({{"v", DataType::kDouble}});
+  TableBuilder b("t", schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    b.MustAppendRow({Value(static_cast<double>(i))});
+  }
+  return std::move(b).Finish().ValueOrDie();
+}
+
+Query HistQuery(int64_t rows, int64_t bins = 20) {
+  HistogramQuery q;
+  q.table = "t";
+  q.bin_column = "v";
+  q.bin_lo = 0.0;
+  q.bin_hi = static_cast<double>(rows);
+  q.bins = bins;
+  return q;
+}
+
+/// Engine over a `rows`-sized table; bigger tables = slower service.
+class ServeTest : public ::testing::Test {
+ protected:
+  void MakeEngine(int64_t rows) {
+    rows_ = rows;
+    engine_ = std::make_unique<Engine>(EngineOptions{});
+    ASSERT_TRUE(engine_->RegisterTable(MakeServeTable(rows)).ok());
+  }
+
+  std::unique_ptr<QueryServer> MakeServer(ServerOptions opts) {
+    auto server = QueryServer::Create(engine_.get(), opts);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).ValueOrDie();
+  }
+
+  std::vector<Query> Group(int64_t bins = 20) {
+    return {HistQuery(rows_, bins)};
+  }
+
+  int64_t rows_ = 0;
+  std::unique_ptr<Engine> engine_;
+};
+
+void ExpectReconciles(const ServerStatsSnapshot& snap) {
+  // Every submitted group must land in exactly one terminal bucket.
+  EXPECT_EQ(snap.totals.groups_submitted,
+            snap.totals.groups_executed + snap.totals.GroupsShed() +
+                snap.totals.groups_rejected + snap.groups_queued);
+  SessionCounters sum;
+  int64_t queued = 0;
+  for (const auto& row : snap.sessions) {
+    EXPECT_EQ(row.counters.groups_submitted,
+              row.counters.groups_executed + row.counters.GroupsShed() +
+                  row.counters.groups_rejected + row.queued);
+    sum += row.counters;
+    queued += row.queued;
+  }
+  EXPECT_EQ(sum.groups_submitted, snap.totals.groups_submitted);
+  EXPECT_EQ(sum.groups_executed, snap.totals.groups_executed);
+  EXPECT_EQ(queued, snap.groups_queued);
+}
+
+TEST_F(ServeTest, CreateValidatesOptions) {
+  MakeEngine(100);
+  ServerOptions opts;
+  opts.num_workers = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts.num_workers = -3;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = ServerOptions{};
+  opts.max_queue_per_session = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = ServerOptions{};
+  opts.enable_session_cache = true;
+  opts.session_cache_capacity = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryServer::Create(nullptr, ServerOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, ExecutesRealQueriesAndCounts) {
+  MakeEngine(1000);
+  auto server = MakeServer(ServerOptions{});
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 5; ++i) {
+    auto out = server->Submit(sid, Group());
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out->disposition, SubmitDisposition::kEnqueued);
+    server->Drain();
+  }
+  auto snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.groups_submitted, 5);
+  EXPECT_EQ(snap.totals.groups_executed, 5);
+  EXPECT_EQ(snap.totals.queries_executed, 5);
+  EXPECT_EQ(snap.totals.queries_failed, 0);
+  // Draining between submissions means no interaction ever outpaced
+  // execution — the zero-latency regime.
+  EXPECT_EQ(snap.totals.lcv_violations, 0);
+  EXPECT_GT(snap.latency_mean_ms, 0.0);
+  EXPECT_GE(snap.latency_p90_ms, 0.0);
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, UnknownAndClosedSessionsAreErrors) {
+  MakeEngine(100);
+  auto server = MakeServer(ServerOptions{});
+  EXPECT_EQ(server->Submit(42, Group()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server->CloseSession(42).code(), StatusCode::kNotFound);
+  const uint64_t sid = server->OpenSession();
+  ASSERT_TRUE(server->CloseSession(sid).ok());
+  EXPECT_EQ(server->Submit(sid, Group()).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server->Submit(sid, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, FifoQueueOverflowPushesBack) {
+  MakeEngine(400000);  // Slow enough that a burst outruns one worker.
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_per_session = 2;
+  opts.policy = AdmissionPolicy::kFifo;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  int64_t rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto out = server->Submit(sid, Group());
+    ASSERT_TRUE(out.ok());
+    rejected += out->disposition == SubmitDisposition::kRejected;
+  }
+  server->Drain();
+  auto snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.groups_submitted, 20);
+  EXPECT_EQ(snap.totals.groups_rejected, rejected);
+  EXPECT_GE(rejected, 1);  // Cap 2 + one in flight can't absorb 20.
+  // FIFO never sheds — whatever was admitted ran.
+  EXPECT_EQ(snap.totals.GroupsShed(), 0);
+  EXPECT_EQ(snap.totals.groups_executed, 20 - rejected);
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, SkipStaleShedsWithAccounting) {
+  MakeEngine(400000);
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_per_session = 4;
+  opts.policy = AdmissionPolicy::kSkipStale;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 20; ++i) {
+    auto out = server->Submit(sid, Group());
+    ASSERT_TRUE(out.ok());
+    // Skip-stale sheds instead of pushing back; the door always admits.
+    EXPECT_NE(out->disposition, SubmitDisposition::kRejected);
+  }
+  server->Drain();
+  auto snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.groups_submitted, 20);
+  EXPECT_GE(snap.totals.groups_shed_stale, 1);
+  EXPECT_EQ(snap.totals.groups_rejected, 0);
+  EXPECT_LT(snap.totals.groups_executed, 20);
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, ThrottleShedsAtTheDoor) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.policy = AdmissionPolicy::kThrottle;
+  opts.throttle_min_interval = Duration::Seconds(10.0);
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  int64_t throttled = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto out = server->Submit(sid, Group());
+    ASSERT_TRUE(out.ok());
+    throttled += out->disposition == SubmitDisposition::kThrottled;
+  }
+  server->Drain();
+  auto snap = server->Snapshot();
+  // The burst sits far inside one min_interval: first passes, rest shed.
+  EXPECT_EQ(throttled, 4);
+  EXPECT_EQ(snap.totals.groups_executed, 1);
+  EXPECT_EQ(snap.totals.groups_shed_throttled, 4);
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, DebounceCoalescesToTheNewest) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.policy = AdmissionPolicy::kDebounce;
+  // Far longer than the burst below, so no group becomes runnable
+  // mid-burst even on a heavily loaded machine.
+  opts.debounce_quiet = Duration::Seconds(1.0);
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  int64_t coalesced = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto out = server->Submit(sid, Group());
+    ASSERT_TRUE(out.ok());
+    coalesced += out->disposition == SubmitDisposition::kCoalesced;
+  }
+  server->Drain();
+  auto snap = server->Snapshot();
+  // Only the interaction the user settled on runs (trailing edge).
+  EXPECT_EQ(snap.totals.groups_executed, 1);
+  EXPECT_EQ(snap.totals.groups_shed_coalesced, 4);
+  EXPECT_EQ(coalesced, 4);
+  // And it ran only after the quiet period.
+  EXPECT_GE(snap.latency_mean_ms, opts.debounce_quiet.millis());
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, SessionCacheServesRepeats) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.enable_session_cache = true;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  ASSERT_TRUE(server->Submit(sid, Group()).ok());
+  server->Drain();
+  ASSERT_TRUE(server->Submit(sid, Group()).ok());  // Identical query.
+  server->Drain();
+  ASSERT_TRUE(server->Submit(sid, Group(10)).ok());  // Different bins.
+  server->Drain();
+  auto snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.queries_executed, 3);
+  EXPECT_EQ(snap.totals.cache_hits, 1);
+
+  // A second session has an isolated cache: the same query misses.
+  const uint64_t other = server->OpenSession();
+  ASSERT_TRUE(server->Submit(other, Group()).ok());
+  server->Drain();
+  snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.cache_hits, 1);
+}
+
+TEST_F(ServeTest, IssueBeforeCompleteCountsAsLcvViolation) {
+  MakeEngine(400000);  // Service time far exceeds the burst duration.
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_per_session = 16;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server->Submit(sid, Group()).ok());
+  }
+  server->Drain();
+  auto snap = server->Snapshot();
+  ASSERT_EQ(snap.totals.groups_executed, 5);
+  // Groups 0-3 completed after their successor was issued; group 4 has
+  // no successor (§7.2: completion before next interaction is fine).
+  EXPECT_EQ(snap.totals.lcv_violations, 4);
+  EXPECT_DOUBLE_EQ(snap.lcv_fraction, 4.0 / 5.0);
+}
+
+TEST_F(ServeTest, AdaptiveAdmissionShedsUnderOverload) {
+  MakeEngine(400000);
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_per_session = 4;
+  opts.policy = AdmissionPolicy::kFifo;
+  opts.adaptive_admission = true;
+  opts.admission.reject_factor = 1e12;  // Shed, never hard-reject here.
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  bool saw_overload = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto out = server->Submit(sid, Group());
+    ASSERT_TRUE(out.ok());
+    if (out->load.state == LoadState::kOverloaded) {
+      saw_overload = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_overload);
+  auto snap = server->Snapshot();
+  // The control loop flipped the effective policy to shedding.
+  EXPECT_EQ(snap.effective_policy, AdmissionPolicy::kSkipStale);
+  EXPECT_EQ(snap.configured_policy, AdmissionPolicy::kFifo);
+  server->Drain();
+  ExpectReconciles(server->Snapshot());
+}
+
+TEST_F(ServeTest, ManyClientsStressReconciles) {
+  MakeEngine(50000);
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_queue_per_session = 2;
+  opts.policy = AdmissionPolicy::kSkipStale;
+  auto server = MakeServer(opts);
+
+  constexpr int kClients = 8;
+  constexpr int kGroupsPerClient = 40;
+  std::vector<uint64_t> sids(kClients);
+  for (auto& sid : sids) sid = server->OpenSession();
+
+  std::atomic<int64_t> submitted{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kGroupsPerClient; ++i) {
+        // Two-query coordinated groups, no think time: worst case load.
+        auto out = server->Submit(sids[static_cast<size_t>(c)],
+                                  {HistQuery(rows_), HistQuery(rows_, 10)});
+        ASSERT_TRUE(out.ok());
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server->Drain();
+
+  auto snap = server->Snapshot();
+  EXPECT_EQ(submitted.load(), kClients * kGroupsPerClient);
+  EXPECT_EQ(snap.totals.groups_submitted, kClients * kGroupsPerClient);
+  EXPECT_EQ(snap.groups_queued, 0);
+  EXPECT_EQ(static_cast<int>(snap.sessions.size()), kClients);
+  EXPECT_EQ(snap.totals.queries_failed, 0);
+  // Each executed group ran both of its queries.
+  EXPECT_EQ(snap.totals.queries_executed,
+            2 * snap.totals.groups_executed);
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, DrainThenStopIsClean) {
+  MakeEngine(10000);
+  auto server = MakeServer(ServerOptions{});
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server->Submit(sid, Group()).ok());
+  }
+  server->Drain();
+  server->Stop();
+  server->Stop();  // Idempotent.
+  auto snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.groups_executed, 3);
+}
+
+TEST(AdmissionControllerTest, ClassifiesQuadrants) {
+  AdmissionOptions aopts;
+  aopts.window = Duration::Seconds(1.0);
+  AdmissionController ctl(2, aopts);
+
+  // Nothing happened yet.
+  EXPECT_EQ(ctl.Assess(SimTime::Origin()).state, LoadState::kIdle);
+
+  // Submissions but no completions: assume the backend keeps up.
+  SimTime t = SimTime::FromMillis(100);
+  ctl.OnSubmit(t);
+  EXPECT_EQ(ctl.Assess(t).state, LoadState::kUnderloaded);
+
+  // 100 ms mean service over 2 workers => capacity ~20 groups/s.
+  ctl.OnComplete(t, Duration::Millis(100));
+  EXPECT_NEAR(ctl.MeanServiceTime().seconds(), 0.1, 1e-9);
+
+  // 5 submissions in the window: offered 5/s << 20/s.
+  for (int i = 0; i < 4; ++i) ctl.OnSubmit(t);
+  auto a = ctl.Assess(t);
+  EXPECT_EQ(a.state, LoadState::kUnderloaded);
+  EXPECT_NEAR(a.capacity_qps, 20.0, 1e-6);
+
+  // Flood the window: offered far above capacity.
+  for (int i = 0; i < 200; ++i) ctl.OnSubmit(t);
+  a = ctl.Assess(t);
+  EXPECT_EQ(a.state, LoadState::kOverloaded);
+  EXPECT_TRUE(a.reject);  // 205/20 > default reject_factor 8.
+
+  // The window slides: a quiet second later the flood is forgotten.
+  EXPECT_EQ(ctl.Assess(t + Duration::Seconds(2.0)).state, LoadState::kIdle);
+}
+
+TEST(LoadDriverTest, ReplaysConcurrentClients) {
+  auto engine = std::make_unique<Engine>(EngineOptions{});
+  ASSERT_TRUE(engine->RegisterTable(MakeServeTable(1000)).ok());
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_queue_per_session = 64;
+  auto server = QueryServer::Create(engine.get(), opts);
+  ASSERT_TRUE(server.ok());
+
+  // Two clients, 10 groups each, 20 ms apart in trace time.
+  std::vector<std::vector<QueryGroup>> clients(2);
+  for (auto& groups : clients) {
+    for (int i = 0; i < 10; ++i) {
+      QueryGroup g;
+      g.issue_time = SimTime::FromMillis(20.0 * i);
+      g.queries.push_back(HistQuery(1000));
+      groups.push_back(std::move(g));
+    }
+  }
+  LoadDriverOptions lopts;
+  lopts.time_compression = 20.0;  // 20 ms spacing -> 1 ms wall.
+  auto report = RunLoadDriver(server->get(), clients, lopts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->clients.size(), 2u);
+  for (const auto& c : report->clients) {
+    EXPECT_EQ(c.submitted, 10);
+    EXPECT_EQ(c.enqueued, 10);  // Queue deep enough: nothing rejected.
+  }
+  EXPECT_EQ(report->snapshot.totals.groups_submitted, 20);
+  EXPECT_EQ(report->snapshot.totals.groups_executed, 20);
+  EXPECT_GT(report->wall_seconds, 0.0);
+}
+
+TEST(LoadDriverTest, ValidatesInput) {
+  auto engine = std::make_unique<Engine>(EngineOptions{});
+  ASSERT_TRUE(engine->RegisterTable(MakeServeTable(10)).ok());
+  auto server = QueryServer::Create(engine.get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(RunLoadDriver(nullptr, {}, LoadDriverOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+  LoadDriverOptions bad;
+  bad.time_compression = 0.0;
+  EXPECT_EQ(RunLoadDriver(server->get(), {}, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  std::vector<std::vector<QueryGroup>> unsorted(1);
+  QueryGroup g1;
+  g1.issue_time = SimTime::FromMillis(10);
+  g1.queries.push_back(HistQuery(10));
+  QueryGroup g0 = g1;
+  g0.issue_time = SimTime::FromMillis(5);
+  unsorted[0] = {g1, g0};
+  EXPECT_EQ(
+      RunLoadDriver(server->get(), unsorted, LoadDriverOptions{})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ideval
