@@ -6,16 +6,24 @@
 /// -constraint violation (§7.2) skip-stale and throttling shave off at
 /// saturation versus FIFO (the live analogue of Fig. 15).
 ///
+/// A third sweep shards the backend: the same offered load against a
+/// `ShardedEngine` of 1/2/4 `Engine` instances, reading off throughput,
+/// the scatter/execute/merge phase split, and the shard-pool capacity
+/// bound. On a multi-core host `--shards 4` should beat `--shards 1`
+/// until the merge stage (serial per group) becomes the bound.
+///
 /// Wall-clock and machine-dependent by design; trace generation stays
 /// seeded. `--threads N` caps the worker sweep (default: all hardware
-/// threads).
+/// threads); `--shards K` pins the shard sweep to a single K.
 
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/text_table.h"
+#include "engine/sharded_engine.h"
 #include "serve/load_driver.h"
 #include "serve/server.h"
 
@@ -26,11 +34,21 @@ constexpr int64_t kRows = 120000;
 constexpr double kCompression = 120.0;  // ~100 s of trace -> ~1 s wall.
 
 LoadReport MustRun(const TablePtr& road, int workers, int clients,
-                   AdmissionPolicy policy) {
+                   AdmissionPolicy policy, int shards = 1) {
   EngineOptions eopts;
   eopts.profile = EngineProfile::kInMemoryColumnStore;
   Engine engine(eopts);
-  if (!engine.RegisterTable(road).ok()) std::abort();
+  std::unique_ptr<ShardedEngine> sharded;
+  if (shards > 1) {
+    ShardedEngineOptions shopts;
+    shopts.num_shards = shards;
+    shopts.engine_options = eopts;
+    auto made = ShardedEngine::Create(shopts);
+    if (!made.ok() || !(*made)->PartitionTable(road).ok()) std::abort();
+    sharded = std::move(*made);
+  } else {
+    if (!engine.RegisterTable(road).ok()) std::abort();
+  }
 
   ServerOptions sopts;
   sopts.num_workers = workers;
@@ -40,7 +58,9 @@ LoadReport MustRun(const TablePtr& road, int workers, int clients,
   // fraction of interactions it would live.
   sopts.throttle_min_interval = Duration::Seconds(1.0 / kCompression);
   sopts.debounce_quiet = Duration::Seconds(0.3 / kCompression);
-  auto server = QueryServer::Create(&engine, sopts);
+  auto server = sharded != nullptr
+                    ? QueryServer::Create(sharded.get(), sopts)
+                    : QueryServer::Create(&engine, sopts);
   if (!server.ok()) std::abort();
 
   std::vector<std::vector<QueryGroup>> sessions;
@@ -110,7 +130,35 @@ void RunPolicySweep(const TablePtr& road) {
       "live)\n");
 }
 
-void Run(int max_workers) {
+void RunShardSweep(const TablePtr& road, int pinned_shards) {
+  std::printf("shard scaling, 2 workers, 12 clients, fifo "
+              "(scatter/execute/merge split):\n");
+  TextTable table({"shards", "throughput (q/s)", "p90 latency (ms)",
+                   "scatter (ms)", "execute (ms)", "merge (ms)",
+                   "shard-pool cap (g/s)"});
+  std::vector<int> ks = pinned_shards > 0 ? std::vector<int>{pinned_shards}
+                                          : std::vector<int>{1, 2, 4};
+  for (int k : ks) {
+    const auto r = MustRun(road, 2, 12, AdmissionPolicy::kFifo, k);
+    const auto& s = r.snapshot;
+    table.AddRow({StrFormat("%d", k), FormatDouble(s.throughput_qps, 1),
+                  FormatDouble(s.latency_p90_ms, 1),
+                  FormatDouble(s.scatter_mean_ms, 3),
+                  FormatDouble(s.execute_mean_ms, 3),
+                  FormatDouble(s.merge_mean_ms, 3),
+                  s.load.shard_exec_capacity_qps > 0.0
+                      ? FormatDouble(s.load.shard_exec_capacity_qps, 1)
+                      : std::string("-")});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "check: on a multi-core host the knee moves right as shards are "
+      "added (execute shrinks ~1/K) until the serial merge stage or the "
+      "core count caps it; on one core sharding only adds scatter/merge "
+      "overhead\n\n");
+}
+
+void Run(int max_workers, int pinned_shards) {
   bench::PrintHeader(
       "SRV", "Live query server — saturation sweep over workers x clients "
              "x admission policy",
@@ -122,6 +170,7 @@ void Run(int max_workers) {
               std::thread::hardware_concurrency());
   TablePtr road = bench::RoadScaled(kRows);
   RunWorkerSweep(road, max_workers);
+  RunShardSweep(road, pinned_shards);
   RunPolicySweep(road);
 }
 
@@ -129,6 +178,7 @@ void Run(int max_workers) {
 }  // namespace ideval
 
 int main(int argc, char** argv) {
-  ideval::Run(ideval::bench::WorkerThreads(argc, argv));
+  ideval::Run(ideval::bench::WorkerThreads(argc, argv),
+              ideval::bench::IntFlag(argc, argv, "shards", 0));
   return 0;
 }

@@ -58,6 +58,29 @@ int WorkerThreads(int argc, char** argv) {
   return static_cast<int>(parsed);
 }
 
+int IntFlag(int argc, char** argv, const char* name, int def) {
+  const std::string prefix = std::string("--") + name;
+  const std::string prefix_eq = prefix + "=";
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (prefix == argv[i] && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(argv[i], prefix_eq.c_str(),
+                            prefix_eq.size()) == 0) {
+      value = argv[i] + prefix_eq.size();
+    }
+  }
+  if (value == nullptr) return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1 || parsed > 4096) {
+    std::fprintf(stderr, "usage: %s N (N >= 1), got '%s'\n", prefix.c_str(),
+                 value);
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
+}
+
 TablePtr Movies() {
   MoviesOptions opts;
   return MustOk(MakeMoviesTable(opts), "MakeMoviesTable");

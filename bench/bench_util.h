@@ -27,6 +27,10 @@ void PrintHeader(const std::string& experiment_id, const std::string& title,
 /// message on a malformed value.
 int WorkerThreads(int argc, char** argv);
 
+/// Generic integer flag: `--<name> N` or `--<name>=N`, else `def`.
+/// Exits with a usage message on a malformed or out-of-range value.
+int IntFlag(int argc, char** argv, const char* name, int def);
+
 /// Seeds shared by all benches so figures/tables are cross-consistent.
 /// The scroll seed is chosen so the 15 sampled users' peak speeds land on
 /// Table 7's published population (min 12, median ~58, max 200 tuples/s).

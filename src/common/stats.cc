@@ -80,6 +80,27 @@ std::vector<double> FixedHistogram::Normalized() const {
   return out;
 }
 
+Result<double> HistogramQuantile(const FixedHistogram& hist, double q) {
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in [0, 1]");
+  }
+  if (hist.total() <= 0.0) {
+    return Status::InvalidArgument("quantile of an empty histogram");
+  }
+  const double target = q * hist.total();
+  double cum = 0.0;
+  for (size_t b = 0; b < hist.num_bins(); ++b) {
+    const double c = hist.count(b);
+    if (cum + c >= target && c > 0.0) {
+      // Interpolate linearly within the bin that crosses the target mass.
+      const double frac = (target - cum) / c;
+      return hist.BinLowerEdge(b) + frac * hist.bin_width();
+    }
+    cum += c;
+  }
+  return hist.hi();
+}
+
 Result<double> KlDivergence(const std::vector<double>& p,
                             const std::vector<double>& q, double epsilon) {
   if (p.size() != q.size()) {

@@ -89,6 +89,15 @@ class FixedHistogram {
   double total_ = 0.0;
 };
 
+/// The `q`-quantile read off a histogram's bucketed summary, with linear
+/// interpolation inside the quantile's bin. This is how order statistics
+/// merge across shards: exact aggregates (bin counts) combine by
+/// addition, and any percentile derived from the merged histogram agrees
+/// with the percentile of the unsharded histogram — and with the exact
+/// data quantile to within one bin width. Requires q in [0, 1]; errors on
+/// an empty histogram.
+Result<double> HistogramQuantile(const FixedHistogram& hist, double q);
+
 /// Kullback–Leibler divergence KL(p || q) between two discrete
 /// distributions given as (possibly unnormalized) nonnegative weights of
 /// equal length, with epsilon smoothing so the result is always finite.

@@ -119,7 +119,8 @@ Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) const {
   int64_t row = 0;
   const double out_bytes_per_row =
       static_cast<double>(proj.size()) * 24.0;  // Rough wire width.
-  for (; row < n; ++row) {
+  // LIMIT 0 is a shape probe: no rows, no scan.
+  for (; limit > 0 && row < n; ++row) {
     ++stats.tuples_scanned;
     stats.predicates_evaluated +=
         static_cast<int64_t>(preds.num_predicates());

@@ -5,6 +5,7 @@
 
 #include "common/text_table.h"
 #include "data/datasets.h"
+#include "engine/sharded_engine.h"
 #include "metrics/human_factors.h"
 #include "opt/kl_filter.h"
 #include "opt/throttle.h"
@@ -197,6 +198,10 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
                               ParseBool(key, value));
     } else if (key == "serve_cache") {
       IDEVAL_ASSIGN_OR_RETURN(spec.serve_cache, ParseBool(key, value));
+    } else if (key == "serve_shards") {
+      IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
+      if (n < 1) return Status::InvalidArgument("serve_shards must be >= 1");
+      spec.serve_shards = static_cast<int>(n);
     } else if (key == "time_compression") {
       IDEVAL_ASSIGN_OR_RETURN(spec.time_compression,
                               ParseNumber(key, value));
@@ -258,6 +263,7 @@ std::string WorkloadSpecToText(const WorkloadSpec& spec) {
   out += StrFormat("adaptive_admission = %s\n",
                    spec.adaptive_admission ? "true" : "false");
   out += StrFormat("serve_cache = %s\n", spec.serve_cache ? "true" : "false");
+  out += StrFormat("serve_shards = %d\n", spec.serve_shards);
   out += StrFormat("time_compression = %g\n", spec.time_compression);
   return out;
 }
@@ -493,6 +499,19 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
   EngineOptions eopts;
   eopts.profile = spec.engine;
   Engine engine(eopts);
+  std::unique_ptr<ShardedEngine> sharded;
+  if (spec.serve_shards > 1) {
+    ShardedEngineOptions shopts;
+    shopts.num_shards = spec.serve_shards;
+    shopts.engine_options = eopts;
+    IDEVAL_ASSIGN_OR_RETURN(sharded, ShardedEngine::Create(shopts));
+  }
+  // Workload tables go to the sharded backend (range-partitioned) when
+  // serve_shards > 1, to the single engine otherwise.
+  auto register_table = [&](const TablePtr& table) -> Status {
+    if (sharded != nullptr) return sharded->PartitionTable(table);
+    return engine.RegisterTable(table);
+  };
 
   Rng rng(spec.seed);
   std::vector<std::vector<QueryGroup>> client_groups;
@@ -503,7 +522,7 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
     RoadNetworkOptions dopts;
     if (spec.rows > 0) dopts.num_rows = spec.rows;
     IDEVAL_ASSIGN_OR_RETURN(TablePtr road, MakeRoadNetworkTable(dopts));
-    IDEVAL_RETURN_NOT_OK(engine.RegisterTable(road));
+    IDEVAL_RETURN_NOT_OK(register_table(road));
     for (int c = 0; c < clients; ++c) {
       IDEVAL_ASSIGN_OR_RETURN(CrossfilterView view,
                               CrossfilterView::Make(road, {"x", "y", "z"}));
@@ -530,7 +549,7 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
     ListingsOptions dopts;
     if (spec.rows > 0) dopts.num_rows = spec.rows;
     IDEVAL_ASSIGN_OR_RETURN(TablePtr listings, MakeListingsTable(dopts));
-    IDEVAL_RETURN_NOT_OK(engine.RegisterTable(listings));
+    IDEVAL_RETURN_NOT_OK(register_table(listings));
     auto users = SampleExploreUsers(clients, &rng);
     for (auto& user : users) {
       user.min_session =
@@ -570,7 +589,9 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
     sopts.throttle_min_interval = spec.throttle_interval;
   }
   IDEVAL_ASSIGN_OR_RETURN(std::unique_ptr<QueryServer> server,
-                          QueryServer::Create(&engine, sopts));
+                          sharded != nullptr
+                              ? QueryServer::Create(sharded.get(), sopts)
+                              : QueryServer::Create(&engine, sopts));
   LoadDriverOptions lopts;
   lopts.time_compression = spec.time_compression;
   IDEVAL_ASSIGN_OR_RETURN(LoadReport load,

@@ -76,6 +76,11 @@ struct WorkloadSpec {
   bool adaptive_admission = false;
   /// Per-session exact-match result cache in live mode.
   bool serve_cache = false;
+  /// Engine shards behind the live server; > 1 range-partitions the
+  /// workload table across that many `Engine` instances and every group
+  /// goes through the scatter/execute/merge pipeline. Incompatible with
+  /// `serve_cache`.
+  int serve_shards = 1;
   /// Trace replay speed-up for the live load driver (>= 1 recommended).
   double time_compression = 50.0;
 };

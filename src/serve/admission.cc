@@ -36,6 +36,14 @@ AdmissionController::AdmissionController(int num_workers,
                                          AdmissionOptions options)
     : num_workers_(std::max(1, num_workers)), options_(options) {}
 
+AdmissionController::AdmissionController(int num_workers, int num_shards,
+                                         int shard_workers,
+                                         AdmissionOptions options)
+    : num_workers_(std::max(1, num_workers)),
+      num_shards_(std::max(1, num_shards)),
+      shard_workers_(std::max(1, shard_workers)),
+      options_(options) {}
+
 void AdmissionController::OnSubmit(SimTime now) {
   submit_window_.push_back(now);
   const SimTime horizon = now - options_.window;
@@ -44,15 +52,30 @@ void AdmissionController::OnSubmit(SimTime now) {
   }
 }
 
+double AdmissionController::Ewma(double prev, double sample) const {
+  if (completions_ == 0) return sample;
+  return options_.service_ewma_alpha * sample +
+         (1.0 - options_.service_ewma_alpha) * prev;
+}
+
 void AdmissionController::OnComplete(SimTime now, Duration service_time) {
   (void)now;
   const double s = std::max(0.0, service_time.seconds());
-  if (completions_ == 0) {
-    service_ewma_s_ = s;
-  } else {
-    service_ewma_s_ = options_.service_ewma_alpha * s +
-                      (1.0 - options_.service_ewma_alpha) * service_ewma_s_;
-  }
+  service_ewma_s_ = Ewma(service_ewma_s_, s);
+  ++completions_;
+}
+
+void AdmissionController::OnCompleteSharded(SimTime now,
+                                            Duration service_time,
+                                            Duration shard_exec_mean,
+                                            Duration merge_time) {
+  (void)now;
+  const double s = std::max(0.0, service_time.seconds());
+  const double e = std::max(0.0, shard_exec_mean.seconds());
+  const double m = std::max(0.0, merge_time.seconds());
+  service_ewma_s_ = Ewma(service_ewma_s_, s);
+  shard_exec_ewma_s_ = Ewma(shard_exec_ewma_s_, e);
+  merge_ewma_s_ = Ewma(merge_ewma_s_, m);
   ++completions_;
 }
 
@@ -71,7 +94,25 @@ LoadAssessment AdmissionController::Assess(SimTime now) {
   a.offered_qps = static_cast<double>(submit_window_.size()) /
                   options_.window.seconds();
   if (completions_ > 0 && service_ewma_s_ > 0.0) {
+    // Group workers hold a group for its full scatter+execute+merge wall
+    // time, so this is the group-stage bound in both modes.
     a.capacity_qps = static_cast<double>(num_workers_) / service_ewma_s_;
+    if (num_shards_ > 1) {
+      // Each group consumes num_shards partial executions of the shard
+      // pool: capacity ≈ K × a single shard's rate, normalized per group.
+      if (shard_exec_ewma_s_ > 0.0) {
+        a.shard_exec_capacity_qps =
+            static_cast<double>(shard_workers_) /
+            (static_cast<double>(num_shards_) * shard_exec_ewma_s_);
+        a.capacity_qps = std::min(a.capacity_qps, a.shard_exec_capacity_qps);
+      }
+      // Merges run serially on the group workers — the stage that caps
+      // scale-out no matter how many shards are added.
+      if (merge_ewma_s_ > 0.0) {
+        a.merge_capacity_qps =
+            static_cast<double>(num_workers_) / merge_ewma_s_;
+      }
+    }
   }
   if (submit_window_.empty()) {
     a.state = LoadState::kIdle;

@@ -46,7 +46,17 @@ const char* LoadStateToString(LoadState state);
 /// One admission decision's view of the control loop.
 struct LoadAssessment {
   double offered_qps = 0.0;    ///< Live QIF × clients (sliding window).
-  double capacity_qps = 0.0;   ///< Workers / mean service time; 0 = unknown.
+  /// Sustainable group rate. Unsharded: workers / mean service time.
+  /// Sharded: min of the group-worker bound and the shard-pool bound
+  /// below. 0 = unknown (no completions yet).
+  double capacity_qps = 0.0;
+  /// Shard-pool execute bound: shard_workers / (num_shards × mean
+  /// per-shard partial time) — "K × per-shard rate". 0 when unsharded or
+  /// unknown.
+  double shard_exec_capacity_qps = 0.0;
+  /// Merge-stage bound: workers / mean merge time — where scatter-merge
+  /// saturates even with infinite shards. 0 when unsharded or unknown.
+  double merge_capacity_qps = 0.0;
   double load_factor = 0.0;    ///< offered / capacity; 0 when unknown.
   LoadState state = LoadState::kIdle;
   /// True when load is so far past capacity that new work should be
@@ -80,6 +90,15 @@ class AdmissionController {
  public:
   AdmissionController(int num_workers, AdmissionOptions options);
 
+  /// Shard-aware construction: the server scatters each group into
+  /// `num_shards` partials executed by `shard_workers` dedicated threads,
+  /// so capacity is no longer just workers / service time — it is capped
+  /// by the shard pool (shard_workers / (num_shards × per-shard time))
+  /// and by the merge stage (workers / merge time). Requires
+  /// num_shards >= 1 and shard_workers >= 1.
+  AdmissionController(int num_workers, int num_shards, int shard_workers,
+                      AdmissionOptions options);
+
   /// Records a submission at `now` (admitted or not — the user interacted
   /// either way, which is what QIF measures).
   void OnSubmit(SimTime now);
@@ -87,17 +106,31 @@ class AdmissionController {
   /// Records a completed group and its wall service time.
   void OnComplete(SimTime now, Duration service_time);
 
+  /// Shard-aware completion: also feeds the mean per-shard partial wall
+  /// time and the merge wall time of the group, so `Assess` can tell a
+  /// saturated shard pool from a saturated merge stage.
+  void OnCompleteSharded(SimTime now, Duration service_time,
+                         Duration shard_exec_mean, Duration merge_time);
+
   /// Classifies the current load (prunes the window to `now`).
   LoadAssessment Assess(SimTime now);
 
   /// Mean service time estimate (zero until the first completion).
   Duration MeanServiceTime() const;
 
+  int num_shards() const { return num_shards_; }
+
  private:
+  double Ewma(double prev, double sample) const;
+
   int num_workers_;
+  int num_shards_ = 1;
+  int shard_workers_ = 0;
   AdmissionOptions options_;
   std::deque<SimTime> submit_window_;
   double service_ewma_s_ = 0.0;
+  double shard_exec_ewma_s_ = 0.0;
+  double merge_ewma_s_ = 0.0;
   int64_t completions_ = 0;
 };
 

@@ -21,11 +21,7 @@ const char* SubmitDispositionToString(SubmitDisposition d) {
   return "unknown";
 }
 
-Result<std::unique_ptr<QueryServer>> QueryServer::Create(
-    const Engine* engine, ServerOptions options) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("QueryServer needs an engine");
-  }
+Status QueryServer::ValidateOptions(const ServerOptions& options) {
   if (options.num_workers < 1) {
     return Status::InvalidArgument(
         StrFormat("num_workers must be >= 1, got %d", options.num_workers));
@@ -47,8 +43,22 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Create(
   if (options.enable_session_cache && options.session_cache_capacity < 1) {
     return Status::InvalidArgument("session_cache_capacity must be >= 1");
   }
+  if (options.shard_workers < 0) {
+    return Status::InvalidArgument(
+        StrFormat("shard_workers must be >= 0, got %d",
+                  options.shard_workers));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    const Engine* engine, ServerOptions options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("QueryServer needs an engine");
+  }
+  IDEVAL_RETURN_NOT_OK(ValidateOptions(options));
   auto server = std::unique_ptr<QueryServer>(
-      new QueryServer(engine, std::move(options)));
+      new QueryServer(engine, /*sharded=*/nullptr, std::move(options)));
   server->workers_.reserve(
       static_cast<size_t>(server->options_.num_workers));
   for (int i = 0; i < server->options_.num_workers; ++i) {
@@ -57,11 +67,49 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Create(
   return server;
 }
 
-QueryServer::QueryServer(const Engine* engine, ServerOptions options)
+Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    const ShardedEngine* sharded, ServerOptions options) {
+  if (sharded == nullptr) {
+    return Status::InvalidArgument("QueryServer needs a sharded engine");
+  }
+  IDEVAL_RETURN_NOT_OK(ValidateOptions(options));
+  if (options.enable_session_cache) {
+    return Status::InvalidArgument(
+        "session cache is incompatible with a sharded backend");
+  }
+  auto server = std::unique_ptr<QueryServer>(
+      new QueryServer(/*engine=*/nullptr, sharded, std::move(options)));
+  const int shard_pool = server->options_.shard_workers > 0
+                             ? server->options_.shard_workers
+                             : sharded->num_shards();
+  server->shard_threads_.reserve(static_cast<size_t>(shard_pool));
+  for (int i = 0; i < shard_pool; ++i) {
+    server->shard_threads_.emplace_back(
+        [s = server.get()] { s->ShardWorkerLoop(); });
+  }
+  server->workers_.reserve(
+      static_cast<size_t>(server->options_.num_workers));
+  for (int i = 0; i < server->options_.num_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+QueryServer::QueryServer(const Engine* engine, const ShardedEngine* sharded,
+                         ServerOptions options)
     : engine_(engine),
+      sharded_(sharded),
       options_(std::move(options)),
       epoch_(std::chrono::steady_clock::now()),
-      controller_(options_.num_workers, options_.admission),
+      controller_(sharded == nullptr
+                      ? AdmissionController(options_.num_workers,
+                                            options_.admission)
+                      : AdmissionController(
+                            options_.num_workers, sharded->num_shards(),
+                            options_.shard_workers > 0
+                                ? options_.shard_workers
+                                : sharded->num_shards(),
+                            options_.admission)),
       effective_policy_(options_.policy),
       metrics_(options_.admission.window) {}
 
@@ -235,6 +283,137 @@ PendingGroup QueryServer::PopGroup(ServeSession* session) {
   return g;
 }
 
+void QueryServer::ShardWorkerLoop() {
+  std::unique_lock<std::mutex> lock(shard_mu_);
+  for (;;) {
+    shard_cv_.wait(lock,
+                   [this] { return shard_stop_ || !shard_queue_.empty(); });
+    // Drain before exiting so a group worker blocked on its partials is
+    // never stranded by shutdown.
+    if (shard_queue_.empty()) return;
+    ShardTask task = shard_queue_.front();
+    shard_queue_.pop_front();
+    lock.unlock();
+
+    const SimTime t0 = Now();
+    Result<QueryResponse> r = task.engine->Execute(*task.query);
+    const Duration wall = Now() - t0;
+    {
+      // Notify under the lock: the instant `remaining` hits zero the
+      // dispatching worker may wake and destroy the group state, so no
+      // touch of task.* may happen after the decrement outside done_mu.
+      std::lock_guard<std::mutex> done(*task.done_mu);
+      task.result->emplace(std::move(r));
+      *task.wall = wall;
+      if (--*task.remaining == 0) task.done_cv->notify_one();
+    }
+    lock.lock();
+  }
+}
+
+QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
+    const std::vector<Query>& queries) {
+  GroupOutcome out;
+  const SimTime t0 = Now();
+
+  // Plan every query into per-shard subtasks. Plan failures fail the
+  // query immediately; its partials never reach the shard pool.
+  struct PlannedQuery {
+    const Query* query = nullptr;
+    ShardedEngine::ShardPlan plan;
+    size_t first_slot = 0;  ///< Index of its first partial in the slots.
+  };
+  std::vector<PlannedQuery> planned;
+  planned.reserve(queries.size());
+  size_t total_subtasks = 0;
+  for (const Query& query : queries) {
+    auto plan = sharded_->Plan(query);
+    if (!plan.ok()) {
+      ++out.failed;
+      continue;
+    }
+    PlannedQuery pq;
+    pq.query = &query;
+    pq.plan = std::move(*plan);
+    pq.first_slot = total_subtasks;
+    total_subtasks += pq.plan.subtasks.size();
+    planned.push_back(std::move(pq));
+  }
+
+  // Group completion state, on this worker's stack. Shard workers hold
+  // pointers into it until the last decrement under done_mu, after which
+  // the wait below returns and the state may be destroyed.
+  std::vector<std::optional<Result<QueryResponse>>> slots(total_subtasks);
+  std::vector<Duration> walls(total_subtasks);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = static_cast<int>(total_subtasks);
+
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    for (const PlannedQuery& pq : planned) {
+      for (size_t i = 0; i < pq.plan.subtasks.size(); ++i) {
+        const auto& sub = pq.plan.subtasks[i];
+        ShardTask task;
+        task.engine = sharded_->shard(sub.shard);
+        task.query = &sub.query;
+        task.result = &slots[pq.first_slot + i];
+        task.wall = &walls[pq.first_slot + i];
+        task.done_mu = &done_mu;
+        task.done_cv = &done_cv;
+        task.remaining = &remaining;
+        shard_queue_.push_back(task);
+      }
+    }
+  }
+  shard_cv_.notify_all();
+  const SimTime t1 = Now();  // Scatter done: all partials queued.
+
+  {
+    std::unique_lock<std::mutex> done(done_mu);
+    done_cv.wait(done, [&remaining] { return remaining == 0; });
+  }
+  const SimTime t2 = Now();  // Execute done: last partial finished.
+
+  // Merge each query's partials into the response an unsharded engine
+  // would have produced.
+  for (const PlannedQuery& pq : planned) {
+    std::vector<QueryResponse> partials;
+    partials.reserve(pq.plan.subtasks.size());
+    bool partial_failed = false;
+    for (size_t i = 0; i < pq.plan.subtasks.size(); ++i) {
+      auto& slot = slots[pq.first_slot + i];
+      if (!slot->ok()) {
+        partial_failed = true;
+        break;
+      }
+      partials.push_back(std::move(**slot));
+    }
+    if (partial_failed) {
+      ++out.failed;
+      continue;
+    }
+    auto merged = sharded_->Merge(*pq.query, pq.plan, std::move(partials));
+    if (merged.ok()) {
+      ++out.executed;
+    } else {
+      ++out.failed;
+    }
+  }
+  const SimTime t3 = Now();
+
+  out.scatter = t1 - t0;
+  out.execute = t2 - t1;
+  out.merge = t3 - t2;
+  if (total_subtasks > 0) {
+    Duration sum;
+    for (const Duration& w : walls) sum = sum + w;
+    out.shard_exec_mean =
+        Duration::Micros(sum.micros() / static_cast<int64_t>(total_subtasks));
+  }
+  return out;
+}
+
 void QueryServer::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -261,26 +440,40 @@ void QueryServer::WorkerLoop() {
     int64_t executed = 0;
     int64_t failed = 0;
     int64_t hits = 0;
-    for (const Query& query : group.queries) {
-      if (s->cache() != nullptr) {
-        auto r = s->cache()->Execute(query);
-        if (r.ok()) {
-          ++executed;
-          hits += r->cache_hit;
+    GroupOutcome sharded_out;
+    if (sharded_ != nullptr) {
+      sharded_out = ExecuteGroupSharded(group.queries);
+      executed = sharded_out.executed;
+      failed = sharded_out.failed;
+    } else {
+      for (const Query& query : group.queries) {
+        if (s->cache() != nullptr) {
+          auto r = s->cache()->Execute(query);
+          if (r.ok()) {
+            ++executed;
+            hits += r->cache_hit;
+          } else {
+            ++failed;
+          }
         } else {
-          ++failed;
-        }
-      } else {
-        auto r = engine_->Execute(query);
-        if (r.ok()) {
-          ++executed;
-        } else {
-          ++failed;
+          auto r = engine_->Execute(query);
+          if (r.ok()) {
+            ++executed;
+          } else {
+            ++failed;
+          }
         }
       }
     }
     const SimTime finish = Now();
     metrics_.RecordGroupComplete(finish - group.submit_time, finish - start);
+    if (sharded_ != nullptr) {
+      metrics_.RecordPhases(sharded_out.scatter, sharded_out.execute,
+                            sharded_out.merge);
+    } else {
+      metrics_.RecordPhases(Duration::Zero(), finish - start,
+                            Duration::Zero());
+    }
 
     lock.lock();
     SessionCounters& c = s->counters();
@@ -291,7 +484,13 @@ void QueryServer::WorkerLoop() {
     if (s->CheckLcvViolation(group.seq, finish)) {
       ++c.lcv_violations;
     }
-    controller_.OnComplete(finish, finish - start);
+    if (sharded_ != nullptr) {
+      controller_.OnCompleteSharded(finish, finish - start,
+                                    sharded_out.shard_exec_mean,
+                                    sharded_out.merge);
+    } else {
+      controller_.OnComplete(finish, finish - start);
+    }
     s->set_busy(false);
     --in_flight_;
     if (!s->queue().empty()) work_cv_.notify_all();
@@ -317,7 +516,17 @@ void QueryServer::Stop() {
     stop_ = true;
   }
   work_cv_.notify_all();
+  // Group workers first: any in-flight sharded group still needs the
+  // shard pool to finish its partials before its worker can exit.
   for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    shard_stop_ = true;
+  }
+  shard_cv_.notify_all();
+  for (auto& w : shard_threads_) {
     if (w.joinable()) w.join();
   }
 }
@@ -328,6 +537,8 @@ ServerStatsSnapshot QueryServer::Snapshot() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     snap.num_workers = options_.num_workers;
+    snap.num_shards = sharded_ != nullptr ? sharded_->num_shards() : 1;
+    snap.shard_workers = static_cast<int>(shard_threads_.size());
     snap.configured_policy = options_.policy;
     snap.effective_policy = effective_policy_;
     snap.sessions_open = sessions_.OpenCount();

@@ -4,14 +4,17 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 #include "serve/admission.h"
 #include "serve/server_stats.h"
 #include "serve/session.h"
@@ -36,9 +39,14 @@ struct ServerOptions {
   /// loop) and rejects with backpressure past `reject_factor`.
   bool adaptive_admission = false;
   AdmissionOptions admission;
-  /// Per-session exact-match result reuse (§2.4).
+  /// Per-session exact-match result reuse (§2.4). Incompatible with a
+  /// sharded backend (the cache's miss path owns a single engine; see
+  /// ROADMAP's cross-session cache item).
   bool enable_session_cache = false;
   int64_t session_cache_capacity = 256;
+  /// Dedicated shard-executor threads for the sharded `Create` overload;
+  /// 0 = one per shard. Ignored for an unsharded server.
+  int shard_workers = 0;
 };
 
 /// What happened to one submission at the server door.
@@ -73,6 +81,16 @@ struct SubmitOutcome {
 /// (sessions model a single frontend connection), but any number of
 /// sessions execute in parallel across the worker pool.
 ///
+/// With a sharded backend (the `ShardedEngine` overload of `Create`), a
+/// dispatched group goes through three phases instead of one: *scatter*
+/// (each query is planned into per-shard subtasks and fanned out to a
+/// dedicated shard-worker pool), *execute* (partials run concurrently on
+/// the shards), and *merge* (the group worker combines partials into the
+/// response an unsharded engine would have produced) — only then does the
+/// session see a completion. `OnlineMetrics` attributes service time to
+/// the three phases, and the admission controller's capacity estimate
+/// accounts for the shard pool and the merge stage separately.
+///
 /// All public methods are thread-safe.
 class QueryServer {
  public:
@@ -81,6 +99,13 @@ class QueryServer {
   /// used read-only.
   static Result<std::unique_ptr<QueryServer>> Create(const Engine* engine,
                                                      ServerOptions options);
+
+  /// Sharded variant: groups scatter across `sharded`'s shards and merge
+  /// before completing. `sharded` must outlive the server, have all
+  /// tables partitioned/replicated, and is used read-only. Rejects
+  /// `enable_session_cache` (see `ServerOptions`).
+  static Result<std::unique_ptr<QueryServer>> Create(
+      const ShardedEngine* sharded, ServerOptions options);
 
   /// Stops the workers (queued-but-unstarted groups are abandoned; call
   /// `Drain` first for a clean shutdown).
@@ -115,9 +140,45 @@ class QueryServer {
   const ServerOptions& options() const { return options_; }
 
  private:
-  QueryServer(const Engine* engine, ServerOptions options);
+  QueryServer(const Engine* engine, const ShardedEngine* sharded,
+              ServerOptions options);
+
+  /// Option checks shared by both `Create` overloads.
+  static Status ValidateOptions(const ServerOptions& options);
 
   void WorkerLoop();
+
+  /// One planned partial waiting for (or being run by) a shard worker.
+  /// The pointed-to group state lives on the dispatching group worker's
+  /// stack; it stays valid until that worker has observed completion
+  /// under `done_mu`.
+  struct ShardTask {
+    const Engine* engine = nullptr;
+    const Query* query = nullptr;
+    /// Slot for the partial result and its wall execution time.
+    std::optional<Result<QueryResponse>>* result = nullptr;
+    Duration* wall = nullptr;
+    // Group-completion bookkeeping (guarded by *done_mu).
+    std::mutex* done_mu = nullptr;
+    std::condition_variable* done_cv = nullptr;
+    int* remaining = nullptr;
+  };
+
+  void ShardWorkerLoop();
+
+  /// Per-group tally of the scatter/execute/merge pipeline.
+  struct GroupOutcome {
+    int64_t executed = 0;  ///< Queries whose merged response is OK.
+    int64_t failed = 0;    ///< Plan, partial, or merge failures.
+    Duration scatter;      ///< Plan + fan-out.
+    Duration execute;      ///< Fan-out done -> last partial done.
+    Duration merge;        ///< Partial-combine wall time.
+    Duration shard_exec_mean;  ///< Mean partial wall time (capacity feed).
+  };
+
+  /// Runs one admitted group through the sharded pipeline. Called by a
+  /// group worker outside the server lock.
+  GroupOutcome ExecuteGroupSharded(const std::vector<Query>& queries);
 
   /// Wall-clock time since server start, as a `SimTime` so the metric
   /// stack's types apply to live timestamps too.
@@ -135,7 +196,8 @@ class QueryServer {
   /// stale ones with accounting. Caller holds `mu_`.
   PendingGroup PopGroup(ServeSession* session);
 
-  const Engine* engine_;
+  const Engine* engine_;            ///< Unsharded backend (or null).
+  const ShardedEngine* sharded_;    ///< Sharded backend (or null).
   ServerOptions options_;
   std::chrono::steady_clock::time_point epoch_;
 
@@ -151,6 +213,13 @@ class QueryServer {
 
   OnlineMetrics metrics_;  ///< Internally synchronized.
   std::vector<std::thread> workers_;
+
+  // --- Shard-executor pool (sharded servers only). ---
+  std::mutex shard_mu_;
+  std::condition_variable shard_cv_;
+  std::deque<ShardTask> shard_queue_;  ///< Guarded by shard_mu_.
+  bool shard_stop_ = false;            ///< Guarded by shard_mu_.
+  std::vector<std::thread> shard_threads_;
 };
 
 }  // namespace ideval

@@ -38,6 +38,14 @@ void OnlineMetrics::RecordGroupComplete(Duration latency, Duration service) {
   service_ms_.Add(service.millis());
 }
 
+void OnlineMetrics::RecordPhases(Duration scatter, Duration execute,
+                                 Duration merge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scatter_ms_.Add(scatter.millis());
+  execute_ms_.Add(execute.millis());
+  merge_ms_.Add(merge.millis());
+}
+
 double OnlineMetrics::QifQps(SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
   const SimTime horizon = now - window_;
@@ -60,11 +68,19 @@ void OnlineMetrics::FillSnapshot(ServerStatsSnapshot* snap, SimTime now) {
   snap->latency_p50_ms = latency_p50_.Estimate();
   snap->latency_p90_ms = latency_p90_.Estimate();
   snap->service_mean_ms = service_ms_.mean();
+  snap->scatter_mean_ms = scatter_ms_.mean();
+  snap->execute_mean_ms = execute_ms_.mean();
+  snap->merge_mean_ms = merge_ms_.mean();
+  snap->merge_max_ms = merge_ms_.max();
 }
 
 std::string ServerStatsSnapshot::ToText() const {
   TextTable global({"metric", "value"});
   global.AddRow({"workers", StrFormat("%d", num_workers)});
+  if (num_shards > 1) {
+    global.AddRow({"shards / shard workers",
+                   StrFormat("%d / %d", num_shards, shard_workers)});
+  }
   global.AddRow({"policy (configured / effective)",
                  StrFormat("%s / %s",
                            AdmissionPolicyToString(configured_policy),
@@ -97,6 +113,12 @@ std::string ServerStatsSnapshot::ToText() const {
                  StrFormat("%.2f / %.2f / %.2f / %.2f", latency_mean_ms,
                            latency_p50_ms, latency_p90_ms, latency_max_ms)});
   global.AddRow({"mean service time", StrFormat("%.2f ms", service_mean_ms)});
+  if (num_shards > 1) {
+    global.AddRow(
+        {"phase means (scatter / execute / merge; merge max)",
+         StrFormat("%.3f / %.3f / %.3f ms; %.3f ms", scatter_mean_ms,
+                   execute_mean_ms, merge_mean_ms, merge_max_ms)});
+  }
   global.AddRow({"QIF (live window)", StrFormat("%.1f groups/s", qif_qps)});
   global.AddRow({"throughput", StrFormat("%.1f queries/s", throughput_qps)});
   global.AddRow({"LCV fraction", StrFormat("%.3f", lcv_fraction)});
@@ -104,6 +126,12 @@ std::string ServerStatsSnapshot::ToText() const {
       {"load (offered / capacity / state)",
        StrFormat("%.1f / %.1f groups/s -> %s", load.offered_qps,
                  load.capacity_qps, LoadStateToString(load.state))});
+  if (load.shard_exec_capacity_qps > 0.0 || load.merge_capacity_qps > 0.0) {
+    global.AddRow({"capacity bounds (shard pool / merge stage)",
+                   StrFormat("%.1f / %.1f groups/s",
+                             load.shard_exec_capacity_qps,
+                             load.merge_capacity_qps)});
+  }
 
   std::string out = global.ToString();
   if (!sessions.empty()) {

@@ -49,6 +49,10 @@ struct SessionStatsRow {
 /// Consistent point-in-time view of a running `QueryServer`.
 struct ServerStatsSnapshot {
   int num_workers = 0;
+  /// Engine shards behind the server; 1 = unsharded.
+  int num_shards = 1;
+  /// Dedicated shard-executor threads (0 when unsharded).
+  int shard_workers = 0;
   AdmissionPolicy configured_policy = AdmissionPolicy::kFifo;
   AdmissionPolicy effective_policy = AdmissionPolicy::kFifo;
   int64_t sessions_open = 0;
@@ -66,6 +70,12 @@ struct ServerStatsSnapshot {
   double latency_max_ms = 0.0;
   /// Pure service time (dispatch -> done), the capacity denominator.
   double service_mean_ms = 0.0;
+  // Per-phase attribution of the service time (sharded servers; for an
+  // unsharded server scatter/merge are zero and execute == service).
+  double scatter_mean_ms = 0.0;  ///< Plan + fan-out to the shard pool.
+  double execute_mean_ms = 0.0;  ///< Fan-out done -> last partial done.
+  double merge_mean_ms = 0.0;    ///< Partial-combine wall time.
+  double merge_max_ms = 0.0;     ///< Worst merge (saturation indicator).
 
   double qif_qps = 0.0;         ///< Global offered load, sliding window.
   double throughput_qps = 0.0;  ///< Executed queries / uptime.
@@ -94,6 +104,11 @@ class OnlineMetrics {
   /// Records a completed group.
   void RecordGroupComplete(Duration latency, Duration service);
 
+  /// Attributes one completed group's service time to the scatter /
+  /// execute / merge phases. An unsharded server records
+  /// (0, service, 0) so `execute` always means "backend busy".
+  void RecordPhases(Duration scatter, Duration execute, Duration merge);
+
   /// Global sliding-window QIF at `now`.
   double QifQps(SimTime now);
 
@@ -108,6 +123,9 @@ class OnlineMetrics {
   P2Quantile latency_p50_;
   P2Quantile latency_p90_;
   StreamingMeanVar service_ms_;
+  StreamingMeanVar scatter_ms_;
+  StreamingMeanVar execute_ms_;
+  StreamingMeanVar merge_ms_;
 };
 
 }  // namespace ideval

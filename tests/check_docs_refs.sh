@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Validates code references in docs/*.md so the architecture docs cannot
+# silently rot as the code moves:
+#
+#   - A backtick span of the form `path/to/file.h:Symbol` must name a file
+#     that exists in the repo AND contains the symbol text.
+#   - A backtick span that looks like a repo path (`src/...`, `tests/...`,
+#     `bench/...`, `docs/...`) must exist on disk (file or directory).
+#
+# Run as:  check_docs_refs.sh <repo-root>
+# Exits non-zero (failing the `docs_check` ctest) on the first rotten doc.
+
+set -u
+
+root="${1:?usage: check_docs_refs.sh <repo-root>}"
+fail=0
+checked=0
+
+shopt -s nullglob
+docs=("$root"/docs/*.md)
+if [ ${#docs[@]} -eq 0 ]; then
+  echo "docs_check: no docs/*.md files found under $root" >&2
+  exit 1
+fi
+
+for doc in "${docs[@]}"; do
+  rel_doc="${doc#"$root"/}"
+
+  # --- `file:symbol` references ---------------------------------------
+  while IFS= read -r ref; do
+    [ -n "$ref" ] || continue
+    checked=$((checked + 1))
+    file="${ref%%:*}"
+    sym="${ref#*:}"
+    if [ ! -f "$root/$file" ]; then
+      echo "FAIL $rel_doc: referenced file '$file' does not exist" >&2
+      fail=1
+    elif ! grep -qF "$sym" "$root/$file"; then
+      echo "FAIL $rel_doc: symbol '$sym' not found in '$file'" >&2
+      fail=1
+    fi
+  done < <(grep -ohE '`[A-Za-z0-9_/.-]+\.(h|cc|sh|md|txt):[A-Za-z_][A-Za-z0-9_]*`' \
+             "$doc" | tr -d '\`' | sort -u)
+
+  # --- plain repo-path references -------------------------------------
+  while IFS= read -r path; do
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$root/$path" ]; then
+      echo "FAIL $rel_doc: referenced path '$path' does not exist" >&2
+      fail=1
+    fi
+  done < <(grep -ohE '`(src|tests|bench|docs)/[A-Za-z0-9_/.-]*`' "$doc" \
+             | tr -d '\`' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs_check: stale code references found (fix the doc or the code)" >&2
+  exit 1
+fi
+echo "docs_check: $checked references across ${#docs[@]} docs all resolve"

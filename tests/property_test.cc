@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "engine/engine.h"
 #include "engine/progressive.h"
+#include "engine/sharded_engine.h"
 #include "opt/throttle.h"
 #include "sim/query_scheduler.h"
 
@@ -334,6 +336,159 @@ TEST_P(MergeSessionsPropertyTest, MergeIsStableAndOrderPreserving) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSessionSets, MergeSessionsPropertyTest,
+                         ::testing::Range(0, 20));
+
+// ---------------------- Sharded engine vs unsharded ----------------------
+
+/// The scatter-merge contract: for any table, shard count, and query, the
+/// merged K-shard response is indistinguishable from an unsharded
+/// execution — bitwise for exact aggregates (counts) and row sets, within
+/// one bin width for bucketed-summary quantiles.
+class ShardedOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedOracleTest, HistogramMergesBitwiseEqual) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2711 + 13);
+  TablePtr table = RandomTable(&rng, rng.UniformInt(40, 900));
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ShardedEngineOptions shopts;
+  shopts.num_shards = static_cast<int>(rng.UniformInt(2, 6));
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(table).ok());
+
+  HistogramQuery q;
+  q.table = "rand";
+  q.bin_column = "a";
+  q.bin_lo = -100.0;
+  q.bin_hi = 100.0;
+  q.bins = rng.UniformInt(1, 30);
+  const double lo_a = rng.Uniform(-120.0, 80.0);
+  q.predicates = {RangePredicate{"a", lo_a, lo_a + rng.Uniform(0.0, 180.0)}};
+
+  auto one = engine.Execute(Query(q));
+  auto many = sharded->Execute(Query(q));
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(many.ok());
+  const auto& h1 = std::get<FixedHistogram>(one->data);
+  const auto& hk = std::get<FixedHistogram>(many->data);
+  EXPECT_EQ(hk, h1);  // Defaulted operator==: bitwise bin counts.
+  // Every shard scans its full chunk, so summed work equals one scan.
+  EXPECT_EQ(many->stats.tuples_scanned, one->stats.tuples_scanned);
+  EXPECT_EQ(many->stats.tuples_matched, one->stats.tuples_matched);
+
+  // Bucketed-summary quantiles off the merged histogram are within one
+  // bin width of the exact sample quantile (values clamped into the
+  // histogram range, matching FixedHistogram::Add's edge-bin semantics).
+  if (hk.total() > 0) {
+    std::vector<double> matched;
+    const auto& a = (*table->ColumnByName("a"))->double_data();
+    const auto& pred = std::get<RangePredicate>(q.predicates[0]);
+    for (double v : a) {
+      if (v < pred.lo || v > pred.hi) continue;
+      matched.push_back(std::clamp(v, q.bin_lo, q.bin_hi));
+    }
+    std::sort(matched.begin(), matched.end());
+    const double quantile = rng.Uniform(0.05, 0.95);
+    auto estimate = HistogramQuantile(hk, quantile);
+    ASSERT_TRUE(estimate.ok());
+    const size_t n = matched.size();
+    const size_t idx = std::min(
+        n - 1, static_cast<size_t>(quantile * static_cast<double>(n)));
+    EXPECT_NEAR(*estimate, matched[idx], hk.bin_width() + 1e-9);
+  }
+}
+
+TEST_P(ShardedOracleTest, SelectPageMatchesUnsharded) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3917 + 29);
+  TablePtr table = RandomTable(&rng, rng.UniformInt(20, 400));
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+  ShardedEngineOptions shopts;
+  shopts.num_shards = static_cast<int>(rng.UniformInt(2, 6));
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(table).ok());
+
+  SelectQuery q;
+  q.table = "rand";
+  q.columns = {"a", "b"};
+  const double lo = rng.Uniform(-120.0, 80.0);
+  q.predicates = {RangePredicate{"a", lo, lo + rng.Uniform(0.0, 180.0)}};
+  q.offset = rng.UniformInt(0, 60);
+  q.limit = rng.Bernoulli(0.2) ? -1 : rng.UniformInt(0, 80);
+
+  auto one = engine.Execute(Query(q));
+  auto many = sharded->Execute(Query(q));
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(many.ok());
+  const auto& r1 = std::get<RowSet>(one->data);
+  const auto& rk = std::get<RowSet>(many->data);
+  EXPECT_EQ(rk.column_names, r1.column_names);
+  ASSERT_EQ(rk.rows.size(), r1.rows.size());
+  for (size_t i = 0; i < r1.rows.size(); ++i) {
+    EXPECT_EQ(rk.rows[i], r1.rows[i]) << "row " << i;
+  }
+}
+
+TEST_P(ShardedOracleTest, JoinPageMatchesUnsharded) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 5741 + 41);
+  // Left: paged fact table with unique ids in shuffled order (the §6 Q2
+  // shape — the engine's join dedups repeated page keys, so uniqueness is
+  // part of the workload contract). Right: replicated probe side.
+  Schema left_schema({{"a", DataType::kDouble}, {"b", DataType::kInt64}});
+  TableBuilder lb("fact", left_schema);
+  const int64_t left_rows = rng.UniformInt(20, 300);
+  std::vector<int64_t> ids(static_cast<size_t>(left_rows));
+  for (int64_t i = 0; i < left_rows; ++i) ids[static_cast<size_t>(i)] = i;
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1],
+              ids[static_cast<size_t>(rng.UniformInt(0,
+                                                     static_cast<int64_t>(i) -
+                                                         1))]);
+  }
+  for (int64_t i = 0; i < left_rows; ++i) {
+    lb.MustAppendRow({Value(rng.Uniform(-10.0, 10.0)),
+                      Value(ids[static_cast<size_t>(i)])});
+  }
+  TablePtr left = std::move(lb).Finish().ValueOrDie();
+  Schema right_schema({{"b", DataType::kInt64}, {"c", DataType::kDouble}});
+  TableBuilder rb("dim", right_schema);
+  for (int64_t key = 0; key < left_rows; ++key) {
+    if (rng.Bernoulli(0.8)) {
+      rb.MustAppendRow({Value(key), Value(static_cast<double>(key) * 1.5)});
+    }
+  }
+  TablePtr right = std::move(rb).Finish().ValueOrDie();
+
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(left).ok());
+  ASSERT_TRUE(engine.RegisterTable(right).ok());
+  ShardedEngineOptions shopts;
+  shopts.num_shards = static_cast<int>(rng.UniformInt(2, 6));
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(left).ok());
+  ASSERT_TRUE(sharded->ReplicateTable(right).ok());
+
+  JoinPageQuery q;
+  q.left_table = "fact";
+  q.right_table = "dim";
+  q.join_column = "b";
+  q.offset = rng.UniformInt(0, left_rows + 10);  // Sometimes past the end.
+  q.limit = rng.UniformInt(0, 120);
+
+  auto one = engine.Execute(Query(q));
+  auto many = sharded->Execute(Query(q));
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(many.ok());
+  const auto& r1 = std::get<RowSet>(one->data);
+  const auto& rk = std::get<RowSet>(many->data);
+  EXPECT_EQ(rk.column_names, r1.column_names);
+  ASSERT_EQ(rk.rows.size(), r1.rows.size());
+  for (size_t i = 0; i < r1.rows.size(); ++i) {
+    EXPECT_EQ(rk.rows[i], r1.rows[i]) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, ShardedOracleTest,
                          ::testing::Range(0, 20));
 
 // ----------------------- Progressive sampling property -----------------------

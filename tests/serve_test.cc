@@ -91,7 +91,8 @@ TEST_F(ServeTest, CreateValidatesOptions) {
   opts.session_cache_capacity = 0;
   EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(QueryServer::Create(nullptr, ServerOptions{}).status().code(),
+  EXPECT_EQ(QueryServer::Create(static_cast<const Engine*>(nullptr),
+                                ServerOptions{}).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -388,6 +389,122 @@ TEST(AdmissionControllerTest, ClassifiesQuadrants) {
 
   // The window slides: a quiet second later the flood is forgotten.
   EXPECT_EQ(ctl.Assess(t + Duration::Seconds(2.0)).state, LoadState::kIdle);
+}
+
+// ------------------------- Sharded serving -------------------------
+
+TEST(ShardedServeTest, CreateValidatesShardedOptions) {
+  ShardedEngineOptions shopts;
+  shopts.num_shards = 2;
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(MakeServeTable(100)).ok());
+
+  EXPECT_EQ(QueryServer::Create(static_cast<const ShardedEngine*>(nullptr),
+                                ServerOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  ServerOptions opts;
+  opts.enable_session_cache = true;  // Cache owns a single engine.
+  EXPECT_EQ(QueryServer::Create(sharded.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = ServerOptions{};
+  opts.shard_workers = -1;
+  EXPECT_EQ(QueryServer::Create(sharded.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedServeTest, ScatterMergePipelineExecutesAndReconciles) {
+  const int64_t rows = 5000;
+  ShardedEngineOptions shopts;
+  shopts.num_shards = 3;
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(MakeServeTable(rows)).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_queue_per_session = 64;
+  auto made = QueryServer::Create(sharded.get(), opts);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto server = std::move(made).ValueOrDie();
+
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 20; ++i) {
+    auto out = server->Submit(sid, {HistQuery(rows)});
+    ASSERT_TRUE(out.ok());
+  }
+  server->Drain();
+  auto snap = server->Snapshot();
+  server->Stop();
+
+  ExpectReconciles(snap);
+  EXPECT_EQ(snap.num_shards, 3);
+  EXPECT_EQ(snap.shard_workers, 3);  // Default: one per shard.
+  EXPECT_GT(snap.totals.queries_executed, 0);
+  EXPECT_EQ(snap.totals.queries_failed, 0);
+  // Phase attribution: the three phases sum to (about) the service time,
+  // and execution dominates for a scan-heavy workload.
+  EXPECT_GT(snap.execute_mean_ms, 0.0);
+  EXPECT_LE(snap.scatter_mean_ms + snap.execute_mean_ms +
+                snap.merge_mean_ms,
+            snap.service_mean_ms * 1.5 + 1.0);
+}
+
+TEST(ShardedServeTest, ShardWorkersOptionSizesThePool) {
+  ShardedEngineOptions shopts;
+  shopts.num_shards = 2;
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(MakeServeTable(200)).ok());
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.shard_workers = 5;
+  auto server = QueryServer::Create(sharded.get(), opts).ValueOrDie();
+  auto snap = server->Snapshot();
+  EXPECT_EQ(snap.num_shards, 2);
+  EXPECT_EQ(snap.shard_workers, 5);
+  server->Stop();
+}
+
+TEST(AdmissionControllerTest, ShardAwareCapacityScalesWithShardPool) {
+  AdmissionOptions aopts;
+  aopts.window = Duration::Seconds(1.0);
+
+  // 2 group workers over a 4-shard backend with 4 shard workers.
+  AdmissionController ctl(2, 4, 4, aopts);
+  SimTime t = SimTime::FromMillis(100);
+  ctl.OnSubmit(t);
+  // Group service 100 ms; partials 25 ms each; merge 1 ms.
+  ctl.OnCompleteSharded(t, Duration::Millis(100), Duration::Millis(25),
+                        Duration::Millis(1));
+  auto a = ctl.Assess(t);
+  // Group-worker bound 2/0.1 = 20 g/s binds; the shard pool sustains
+  // 4 workers / (4 shards x 25 ms) = 40 g/s ("K x per-shard rate"); the
+  // merge stage 2/0.001 = 2000 g/s is far from saturated.
+  EXPECT_NEAR(a.capacity_qps, 20.0, 1e-6);
+  EXPECT_NEAR(a.shard_exec_capacity_qps, 40.0, 1e-6);
+  EXPECT_NEAR(a.merge_capacity_qps, 2000.0, 1e-6);
+
+  // Undersized shard pool: 2 shard workers for 4 x 100 ms partials can
+  // only sustain 5 g/s, so the pool (not the group workers) binds and
+  // the same offered load now classifies as overloaded.
+  AdmissionController slow(8, 4, 2, aopts);
+  for (int i = 0; i < 10; ++i) slow.OnSubmit(t);
+  slow.OnCompleteSharded(t, Duration::Millis(100), Duration::Millis(100),
+                         Duration::Millis(1));
+  a = slow.Assess(t);
+  EXPECT_NEAR(a.shard_exec_capacity_qps, 5.0, 1e-6);
+  EXPECT_NEAR(a.capacity_qps, 5.0, 1e-6);  // min(80, 5).
+  EXPECT_EQ(a.state, LoadState::kOverloaded);
+
+  // Same load with a doubled shard pool: capacity doubles and the
+  // adaptive threshold moves with it (saturated, not overloaded).
+  AdmissionController fast(8, 4, 4, aopts);
+  for (int i = 0; i < 10; ++i) fast.OnSubmit(t);
+  fast.OnCompleteSharded(t, Duration::Millis(100), Duration::Millis(100),
+                         Duration::Millis(1));
+  a = fast.Assess(t);
+  EXPECT_NEAR(a.capacity_qps, 10.0, 1e-6);
+  EXPECT_EQ(a.state, LoadState::kSaturated);
 }
 
 TEST(LoadDriverTest, ReplaysConcurrentClients) {
