@@ -12,9 +12,17 @@
 /// bound. On a multi-core host `--shards 4` should beat `--shards 1`
 /// until the merge stage (serial per group) becomes the bound.
 ///
+/// A fourth sweep measures the shared result cache: the same offered load
+/// with sessions submitting overlapping query streams, cache off vs. on,
+/// reading off the hit rate and where the throughput knee / p90 move.
+///
 /// Wall-clock and machine-dependent by design; trace generation stays
-/// seeded. `--threads N` caps the worker sweep (default: all hardware
-/// threads); `--shards K` pins the shard sweep to a single K.
+/// seeded. Flags: `--threads N` caps the worker sweep (default: all
+/// hardware threads); `--shards K` pins the shard sweep to a single K;
+/// `--cache 1` turns the shared result cache on for every sweep;
+/// `--zone_maps 1` turns engine zone-map pruning on for every sweep;
+/// `--smoke 1` runs one tiny configuration of each sweep (the ctest
+/// `perf_smoke` mode).
 
 #include <cstdio>
 #include <memory>
@@ -30,13 +38,43 @@
 namespace ideval {
 namespace {
 
-constexpr int64_t kRows = 120000;
 constexpr double kCompression = 120.0;  // ~100 s of trace -> ~1 s wall.
 
-LoadReport MustRun(const TablePtr& road, int workers, int clients,
-                   AdmissionPolicy policy, int shards = 1) {
+/// Flag-driven toggles applied to every sweep.
+struct BenchConfig {
+  int max_workers = 1;
+  int pinned_shards = 0;
+  bool cache = false;
+  bool zone_maps = false;
+  bool smoke = false;
+
+  int64_t rows() const { return smoke ? 20000 : 120000; }
+  int moves() const { return smoke ? 4 : 10; }
+};
+
+/// One sweep point's results: the load report plus the backend's pruning
+/// totals (the cache counters ride inside the report's snapshot).
+struct RunResult {
+  LoadReport load;
+  ScanPruneTotals prune;
+};
+
+std::string PrunedCell(const ScanPruneTotals& prune) {
+  if (prune.blocks_scanned + prune.blocks_pruned == 0) return "-";
+  return FormatDouble(prune.PrunedFraction() * 100.0, 1);
+}
+
+std::string HitRateCell(const ServerStatsSnapshot& s) {
+  if (!s.result_cache_enabled) return "-";
+  return FormatDouble(s.result_cache.HitRate() * 100.0, 1);
+}
+
+RunResult MustRun(const BenchConfig& cfg, const TablePtr& road, int workers,
+                  int clients, AdmissionPolicy policy, int shards = 1,
+                  bool shared_trace = false) {
   EngineOptions eopts;
   eopts.profile = EngineProfile::kInMemoryColumnStore;
+  eopts.enable_zone_maps = cfg.zone_maps;
   Engine engine(eopts);
   std::unique_ptr<ShardedEngine> sharded;
   if (shards > 1) {
@@ -54,6 +92,7 @@ LoadReport MustRun(const TablePtr& road, int workers, int clients,
   sopts.num_workers = workers;
   sopts.max_queue_per_session = 4;
   sopts.policy = policy;
+  sopts.enable_shared_cache = cfg.cache;
   // Scale the §3.1.2 shaper to compressed time so it bites the same
   // fraction of interactions it would live.
   sopts.throttle_min_interval = Duration::Seconds(1.0 / kCompression);
@@ -66,9 +105,12 @@ LoadReport MustRun(const TablePtr& road, int workers, int clients,
   std::vector<std::vector<QueryGroup>> sessions;
   sessions.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
-    sessions.push_back(bench::CrossfilterGroups(
-        road, DeviceType::kMouse,
-        bench::kCrossfilterSeed + 300 + static_cast<uint64_t>(c), 10));
+    // shared_trace: every client replays the same seeded session, the
+    // repeated-query regime where cross-session reuse can pay.
+    const uint64_t seed = bench::kCrossfilterSeed + 300 +
+                          (shared_trace ? 0 : static_cast<uint64_t>(c));
+    sessions.push_back(bench::CrossfilterGroups(road, DeviceType::kMouse,
+                                                seed, cfg.moves()));
   }
   LoadDriverOptions lopts;
   lopts.time_compression = kCompression;
@@ -77,22 +119,28 @@ LoadReport MustRun(const TablePtr& road, int workers, int clients,
     std::fprintf(stderr, "FATAL: %s\n", report.status().ToString().c_str());
     std::abort();
   }
-  return std::move(report).ValueOrDie();
+  RunResult out;
+  out.load = std::move(report).ValueOrDie();
+  out.prune =
+      sharded != nullptr ? sharded->PruneTotals() : engine.PruneTotals();
+  return out;
 }
 
-void RunWorkerSweep(const TablePtr& road, int max_workers) {
+void RunWorkerSweep(const BenchConfig& cfg, const TablePtr& road) {
   std::printf("worker scaling, 12 clients, fifo (throughput knee):\n");
   TextTable table({"workers", "throughput (q/s)", "p90 latency (ms)",
-                   "rejected", "LCV %"});
-  for (int workers = 1; workers <= max_workers; workers *= 2) {
-    const auto r = MustRun(road, workers, 12, AdmissionPolicy::kFifo);
-    const auto& s = r.snapshot;
+                   "rejected", "LCV %", "hit %", "pruned %"});
+  for (int workers = 1; workers <= cfg.max_workers; workers *= 2) {
+    const auto r = MustRun(cfg, road, workers, 12, AdmissionPolicy::kFifo);
+    const auto& s = r.load.snapshot;
     table.AddRow({StrFormat("%d", workers),
                   FormatDouble(s.throughput_qps, 1),
                   FormatDouble(s.latency_p90_ms, 1),
                   StrFormat("%lld", static_cast<long long>(
                                         s.totals.groups_rejected)),
-                  FormatDouble(s.lcv_fraction * 100.0, 1)});
+                  FormatDouble(s.lcv_fraction * 100.0, 1), HitRateCell(s),
+                  PrunedCell(r.prune)});
+    if (cfg.smoke) break;
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
@@ -100,7 +148,7 @@ void RunWorkerSweep(const TablePtr& road, int max_workers) {
       "where the offered load (not the pool) is the limit\n\n");
 }
 
-void RunPolicySweep(const TablePtr& road) {
+void RunPolicySweep(const BenchConfig& cfg, const TablePtr& road) {
   std::printf("admission policy at saturation (2 workers):\n");
   TextTable table({"clients", "policy", "executed", "shed", "rejected",
                    "p90 latency (ms)", "LCV %"});
@@ -109,8 +157,8 @@ void RunPolicySweep(const TablePtr& road) {
       AdmissionPolicy::kThrottle, AdmissionPolicy::kDebounce};
   for (int clients : {4, 12}) {
     for (AdmissionPolicy policy : kPolicies) {
-      const auto r = MustRun(road, 2, clients, policy);
-      const auto& s = r.snapshot;
+      const auto r = MustRun(cfg, road, 2, clients, policy);
+      const auto& s = r.load.snapshot;
       table.AddRow(
           {StrFormat("%d", clients), AdmissionPolicyToString(policy),
            StrFormat("%lld",
@@ -120,8 +168,10 @@ void RunPolicySweep(const TablePtr& road) {
                      static_cast<long long>(s.totals.groups_rejected)),
            FormatDouble(s.latency_p90_ms, 1),
            FormatDouble(s.lcv_fraction * 100.0, 1)});
+      if (cfg.smoke) break;
     }
     table.AddSeparator();
+    if (cfg.smoke) break;
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
@@ -130,17 +180,19 @@ void RunPolicySweep(const TablePtr& road) {
       "live)\n");
 }
 
-void RunShardSweep(const TablePtr& road, int pinned_shards) {
+void RunShardSweep(const BenchConfig& cfg, const TablePtr& road) {
   std::printf("shard scaling, 2 workers, 12 clients, fifo "
               "(scatter/execute/merge split):\n");
   TextTable table({"shards", "throughput (q/s)", "p90 latency (ms)",
                    "scatter (ms)", "execute (ms)", "merge (ms)",
                    "shard-pool cap (g/s)"});
-  std::vector<int> ks = pinned_shards > 0 ? std::vector<int>{pinned_shards}
-                                          : std::vector<int>{1, 2, 4};
+  std::vector<int> ks = cfg.pinned_shards > 0
+                            ? std::vector<int>{cfg.pinned_shards}
+                        : cfg.smoke ? std::vector<int>{2}
+                                    : std::vector<int>{1, 2, 4};
   for (int k : ks) {
-    const auto r = MustRun(road, 2, 12, AdmissionPolicy::kFifo, k);
-    const auto& s = r.snapshot;
+    const auto r = MustRun(cfg, road, 2, 12, AdmissionPolicy::kFifo, k);
+    const auto& s = r.load.snapshot;
     table.AddRow({StrFormat("%d", k), FormatDouble(s.throughput_qps, 1),
                   FormatDouble(s.latency_p90_ms, 1),
                   FormatDouble(s.scatter_mean_ms, 3),
@@ -158,7 +210,43 @@ void RunShardSweep(const TablePtr& road, int pinned_shards) {
       "overhead\n\n");
 }
 
-void Run(int max_workers, int pinned_shards) {
+void RunCacheSweep(const BenchConfig& cfg, const TablePtr& road) {
+  std::printf(
+      "shared result cache, 2 workers, fifo, clients replay the same "
+      "session (repeated-query regime):\n");
+  TextTable table({"clients", "cache", "throughput (q/s)",
+                   "p90 latency (ms)", "hit %", "coalesced",
+                   "capacity (g/s)"});
+  const std::vector<int> client_counts =
+      cfg.smoke ? std::vector<int>{2} : std::vector<int>{4, 12};
+  for (int clients : client_counts) {
+    for (bool cache : {false, true}) {
+      BenchConfig point = cfg;
+      point.cache = cache;
+      const auto r = MustRun(point, road, 2, clients, AdmissionPolicy::kFifo,
+                             /*shards=*/1, /*shared_trace=*/true);
+      const auto& s = r.load.snapshot;
+      table.AddRow({StrFormat("%d", clients), cache ? "on" : "off",
+                    FormatDouble(s.throughput_qps, 1),
+                    FormatDouble(s.latency_p90_ms, 1), HitRateCell(s),
+                    s.result_cache_enabled
+                        ? StrFormat("%lld", static_cast<long long>(
+                                                s.result_cache.coalesced))
+                        : std::string("-"),
+                    s.load.capacity_qps > 0.0
+                        ? FormatDouble(s.load.capacity_qps, 1)
+                        : std::string("-")});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "check: with the cache on, repeated interactions hit instead of "
+      "rescanning — hit%% climbs, p90 drops, and the capacity estimate "
+      "(the knee) rises because the service-time EWMA shrinks on hits\n\n");
+}
+
+void Run(const BenchConfig& cfg) {
   bench::PrintHeader(
       "SRV", "Live query server — saturation sweep over workers x clients "
              "x admission policy",
@@ -166,19 +254,28 @@ void Run(int max_workers, int pinned_shards) {
       "queueing inflates latency-constraint violations while skip-stale "
       "and throttling shed load and keep responses fresh (Fig. 3 run as "
       "a control loop)");
-  std::printf("hardware threads: %u (worker scaling cannot exceed them)\n\n",
+  std::printf("hardware threads: %u (worker scaling cannot exceed them)\n",
               std::thread::hardware_concurrency());
-  TablePtr road = bench::RoadScaled(kRows);
-  RunWorkerSweep(road, max_workers);
-  RunShardSweep(road, pinned_shards);
-  RunPolicySweep(road);
+  std::printf("shared result cache: %s; zone-map pruning: %s%s\n\n",
+              cfg.cache ? "on" : "off", cfg.zone_maps ? "on" : "off",
+              cfg.smoke ? "; smoke mode (tiny sweep)" : "");
+  TablePtr road = bench::RoadScaled(cfg.rows());
+  RunWorkerSweep(cfg, road);
+  RunShardSweep(cfg, road);
+  RunCacheSweep(cfg, road);
+  RunPolicySweep(cfg, road);
 }
 
 }  // namespace
 }  // namespace ideval
 
 int main(int argc, char** argv) {
-  ideval::Run(ideval::bench::WorkerThreads(argc, argv),
-              ideval::bench::IntFlag(argc, argv, "shards", 0));
+  ideval::BenchConfig cfg;
+  cfg.max_workers = ideval::bench::WorkerThreads(argc, argv);
+  cfg.pinned_shards = ideval::bench::IntFlag(argc, argv, "shards", 0);
+  cfg.cache = ideval::bench::IntFlag(argc, argv, "cache", 0) != 0;
+  cfg.zone_maps = ideval::bench::IntFlag(argc, argv, "zone_maps", 0) != 0;
+  cfg.smoke = ideval::bench::IntFlag(argc, argv, "smoke", 0) != 0;
+  ideval::Run(cfg);
   return 0;
 }

@@ -36,8 +36,19 @@ Status Engine::RegisterTable(TablePtr table) {
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
+  if (options_.enable_zone_maps) {
+    if (options_.zone_map_block_rows < 1) {
+      return Status::InvalidArgument("zone_map_block_rows must be >= 1");
+    }
+    zone_maps_[name] = table->BuildZoneMaps(options_.zone_map_block_rows);
+  }
   tables_[name] = std::move(table);
   return Status::OK();
+}
+
+const TableZoneMaps* Engine::ZoneMapsFor(const std::string& name) const {
+  auto it = zone_maps_.find(name);
+  return it != zone_maps_.end() ? &it->second : nullptr;
 }
 
 Result<TablePtr> Engine::GetTable(const std::string& name) const {
@@ -51,6 +62,8 @@ Result<TablePtr> Engine::GetTable(const std::string& name) const {
 void Engine::ClearCaches() {
   std::lock_guard<std::mutex> lock(pool_mu_);
   if (buffer_pool_ != nullptr) buffer_pool_->Clear();
+  blocks_scanned_total_.store(0, std::memory_order_relaxed);
+  blocks_pruned_total_.store(0, std::memory_order_relaxed);
 }
 
 void Engine::ChargePages(const Table& table, int64_t first_row,
@@ -75,13 +88,17 @@ void Engine::FinalizeTimes(QueryResponse* response) const {
 }
 
 Result<QueryResponse> Engine::Execute(const Query& query) const {
-  if (const auto* s = std::get_if<SelectQuery>(&query)) {
-    return ExecuteSelect(*s);
-  }
-  if (const auto* h = std::get_if<HistogramQuery>(&query)) {
-    return ExecuteHistogram(*h);
-  }
-  return ExecuteJoinPage(std::get<JoinPageQuery>(query));
+  Result<QueryResponse> r = [&] {
+    if (const auto* s = std::get_if<SelectQuery>(&query)) {
+      return ExecuteSelect(*s);
+    }
+    if (const auto* h = std::get_if<HistogramQuery>(&query)) {
+      return ExecuteHistogram(*h);
+    }
+    return ExecuteJoinPage(std::get<JoinPageQuery>(query));
+  }();
+  if (r.ok()) RecordPruning(r->stats);
+  return r;
 }
 
 Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) const {
@@ -115,32 +132,66 @@ Result<QueryResponse> Engine::ExecuteSelect(const SelectQuery& query) const {
   // A LIMIT/OFFSET scan with no predicates visits offset+limit tuples
   // (how a row store without a positional index pages through results);
   // with predicates it must scan until `offset+limit` matches are found.
+  // With zone maps the scan walks blocks and skips any block whose
+  // min/max summary is disjoint from a range conjunct — skipped blocks
+  // hold no matches, so LIMIT/OFFSET match order is unaffected. Without
+  // zone maps the whole table is one block and the loop degrades to the
+  // plain row scan with identical accounting.
   int64_t matched = 0;
-  int64_t row = 0;
   const double out_bytes_per_row =
       static_cast<double>(proj.size()) * 24.0;  // Rough wire width.
-  // LIMIT 0 is a shape probe: no rows, no scan.
-  for (; limit > 0 && row < n; ++row) {
-    ++stats.tuples_scanned;
-    stats.predicates_evaluated +=
-        static_cast<int64_t>(preds.num_predicates());
-    if (!preds.Matches(*table, static_cast<size_t>(row))) continue;
-    ++matched;
-    if (matched <= offset) continue;
-    std::vector<Value> out;
-    out.reserve(proj.size());
-    for (size_t c : proj) out.push_back(table->At(static_cast<size_t>(row), c));
-    rows.rows.push_back(std::move(out));
-    if (static_cast<int64_t>(rows.rows.size()) >= limit) {
-      ++row;
-      break;
+  const TableZoneMaps* zm = ZoneMapsFor(query.table);
+  const bool prune =
+      zm != nullptr && preds.has_range_predicates() && zm->num_blocks > 0;
+  const int64_t block_rows = prune ? zm->block_rows : n;
+  // Pages are charged per contiguous run of visited blocks, so a scan
+  // that prunes nothing charges exactly the pages of the unpruned loop.
+  int64_t run_begin = -1;
+  auto flush_run = [&](int64_t run_end) {
+    if (run_begin >= 0) {
+      ChargePages(*table, run_begin, run_end - run_begin, &stats);
     }
+    run_begin = -1;
+  };
+  // LIMIT 0 is a shape probe: no rows, no scan.
+  bool done = limit <= 0;
+  for (int64_t begin = 0; begin < n && !done; begin += block_rows) {
+    const int64_t end = std::min(n, begin + block_rows);
+    if (prune &&
+        !preds.MayMatchBlock(*zm, static_cast<size_t>(begin / block_rows))) {
+      ++stats.blocks_pruned;
+      flush_run(begin);
+      continue;
+    }
+    if (prune) ++stats.blocks_scanned;
+    if (run_begin < 0) run_begin = begin;
+    int64_t row = begin;
+    for (; row < end; ++row) {
+      ++stats.tuples_scanned;
+      stats.predicates_evaluated +=
+          static_cast<int64_t>(preds.num_predicates());
+      if (!preds.Matches(*table, static_cast<size_t>(row))) continue;
+      ++matched;
+      if (matched <= offset) continue;
+      std::vector<Value> out;
+      out.reserve(proj.size());
+      for (size_t c : proj) {
+        out.push_back(table->At(static_cast<size_t>(row), c));
+      }
+      rows.rows.push_back(std::move(out));
+      if (static_cast<int64_t>(rows.rows.size()) >= limit) {
+        ++row;
+        done = true;
+        break;
+      }
+    }
+    if (done) flush_run(row);
   }
+  if (!done) flush_run(n);
   stats.tuples_matched = matched;
   stats.rows_output = static_cast<int64_t>(rows.rows.size());
   stats.bytes_output = out_bytes_per_row * static_cast<double>(
                                                stats.rows_output);
-  ChargePages(*table, 0, stats.tuples_scanned, &stats);
   response.data = std::move(rows);
   FinalizeTimes(&response);
   return response;
@@ -168,27 +219,54 @@ Result<QueryResponse> Engine::ExecuteHistogram(
 
   QueryResponse response;
   QueryWorkStats& stats = response.stats;
-  const size_t n = table->num_rows();
+  const int64_t n = static_cast<int64_t>(table->num_rows());
   const bool is_int = bin_col->type() == DataType::kInt64;
-  // Hot loop: borrow raw column storage once (immutable table).
+  // Hot loop: borrow raw column storage once (immutable table). Zone maps
+  // skip whole blocks whose min/max range is disjoint from a range
+  // conjunct — those rows cannot match, so the histogram is bitwise
+  // identical to the full scan; only the work (and modelled time) drops.
   const int64_t* int_vals = is_int ? bin_col->int64_data().data() : nullptr;
   const double* dbl_vals = is_int ? nullptr : bin_col->double_data().data();
+  const TableZoneMaps* zm = ZoneMapsFor(query.table);
+  const bool prune =
+      zm != nullptr && preds.has_range_predicates() && zm->num_blocks > 0;
+  const int64_t block_rows = prune ? zm->block_rows : n;
   int64_t matched = 0;
-  for (size_t row = 0; row < n; ++row) {
-    if (!preds.Matches(row)) continue;
-    ++matched;
-    const double v = is_int ? static_cast<double>(int_vals[row])
-                            : dbl_vals[row];
-    hist.Add(v);
+  int64_t scanned = 0;
+  int64_t run_begin = -1;
+  auto flush_run = [&](int64_t run_end) {
+    if (run_begin >= 0) {
+      ChargePages(*table, run_begin, run_end - run_begin, &stats);
+    }
+    run_begin = -1;
+  };
+  for (int64_t begin = 0; begin < n; begin += block_rows) {
+    const int64_t end = std::min(n, begin + block_rows);
+    if (prune &&
+        !preds.MayMatchBlock(*zm, static_cast<size_t>(begin / block_rows))) {
+      ++stats.blocks_pruned;
+      flush_run(begin);
+      continue;
+    }
+    if (prune) ++stats.blocks_scanned;
+    if (run_begin < 0) run_begin = begin;
+    for (int64_t row = begin; row < end; ++row) {
+      if (!preds.Matches(static_cast<size_t>(row))) continue;
+      ++matched;
+      const double v = is_int ? static_cast<double>(int_vals[row])
+                              : dbl_vals[row];
+      hist.Add(v);
+    }
+    scanned += end - begin;
   }
+  flush_run(n);
   stats.tuples_matched = matched;
-  stats.tuples_scanned = static_cast<int64_t>(n);
+  stats.tuples_scanned = scanned;
   stats.predicates_evaluated =
-      static_cast<int64_t>(n) * static_cast<int64_t>(preds.num_predicates());
+      scanned * static_cast<int64_t>(preds.num_predicates());
   stats.groups_built = static_cast<int64_t>(hist.num_bins());
   stats.rows_output = static_cast<int64_t>(hist.num_bins());
   stats.bytes_output = static_cast<double>(hist.num_bins()) * 16.0;
-  ChargePages(*table, 0, static_cast<int64_t>(n), &stats);
   response.data = std::move(hist);
   FinalizeTimes(&response);
   return response;

@@ -1,6 +1,7 @@
 #ifndef IDEVAL_ENGINE_ENGINE_H_
 #define IDEVAL_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,29 @@ struct EngineOptions {
   int64_t buffer_pool_pages = 16384;
   /// Overrides the profile's calibrated cost model when set.
   std::optional<CostModel> cost_model;
+  /// Build per-block min/max zone maps at `RegisterTable` and let
+  /// `ExecuteSelect` / `ExecuteHistogram` skip blocks whose summarized
+  /// range cannot satisfy a range predicate. Results stay bitwise
+  /// identical to an unpruned scan; only the work counters (and therefore
+  /// the modelled time and page charges) shrink. Off by default so
+  /// existing calibrated workloads keep their exact cost accounting.
+  bool enable_zone_maps = false;
+  /// Rows per zone-map block. 4096 tracks common columnar block sizes.
+  int64_t zone_map_block_rows = 4096;
+};
+
+/// Cumulative zone-map pruning effect across all queries an engine has
+/// executed since construction or the last `ClearCaches`.
+struct ScanPruneTotals {
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
+
+  double PrunedFraction() const {
+    const int64_t total = blocks_scanned + blocks_pruned;
+    return total > 0 ? static_cast<double>(blocks_pruned) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 };
 
 /// Everything the backend returns for one query: the data, the work
@@ -68,8 +92,12 @@ class Engine {
  public:
   explicit Engine(EngineOptions options);
 
-  /// Registers a table under its own name. Errors on duplicates. Not safe
-  /// to call concurrently with `Execute`.
+  /// Registers a table under its own name and — with
+  /// `EngineOptions::enable_zone_maps` — builds its per-block min/max
+  /// zone maps. Errors on duplicates. Not safe to call concurrently with
+  /// `Execute`; callers serving live traffic must quiesce first (see
+  /// `ClearCaches`) and invalidate any result cache layered above the
+  /// engine, since a new table changes what queries can mean.
   Status RegisterTable(TablePtr table);
 
   /// Executes any supported query. Safe for concurrent callers.
@@ -83,12 +111,33 @@ class Engine {
   /// first.
   const BufferPool* buffer_pool() const { return buffer_pool_.get(); }
 
-  /// Drops buffer-pool state to model a cold start. Not safe to call
-  /// concurrently with `Execute`.
+  /// Drops ephemeral execution state to model a cold start: clears the
+  /// buffer pool and resets the cumulative `PruneTotals` counters. Zone
+  /// maps themselves survive — they are derived from immutable table data
+  /// (on-disk metadata in a real system), not a cache of query results.
+  ///
+  /// Quiesce contract: not safe to call concurrently with `Execute`. The
+  /// caller must first drain every in-flight query (e.g.
+  /// `QueryServer::Drain`), and any result cache layered above this
+  /// engine must be invalidated in the same quiesced window — a cached
+  /// response carries page-charge timings from the pre-clear pool state.
   void ClearCaches();
 
   /// Borrows a registered table.
   Result<TablePtr> GetTable(const std::string& name) const;
+
+  /// Zone maps for a registered table; null when zone maps are disabled
+  /// or the table is unknown. Immutable once built.
+  const TableZoneMaps* ZoneMapsFor(const std::string& name) const;
+
+  /// Cumulative pruning counters since construction or `ClearCaches`.
+  /// Safe to read concurrently with `Execute` (monotonic atomics), though
+  /// a concurrent read is naturally a moving target.
+  ScanPruneTotals PruneTotals() const {
+    return ScanPruneTotals{
+        blocks_scanned_total_.load(std::memory_order_relaxed),
+        blocks_pruned_total_.load(std::memory_order_relaxed)};
+  }
 
  private:
   Result<QueryResponse> ExecuteSelect(const SelectQuery& query) const;
@@ -103,11 +152,25 @@ class Engine {
 
   void FinalizeTimes(QueryResponse* response) const;
 
+  /// Folds a finished scan's block counters into the engine totals.
+  void RecordPruning(const QueryWorkStats& stats) const {
+    if (stats.blocks_scanned == 0 && stats.blocks_pruned == 0) return;
+    blocks_scanned_total_.fetch_add(stats.blocks_scanned,
+                                    std::memory_order_relaxed);
+    blocks_pruned_total_.fetch_add(stats.blocks_pruned,
+                                   std::memory_order_relaxed);
+  }
+
   EngineOptions options_;
   CostModel cost_model_;
   std::map<std::string, TablePtr> tables_;
+  /// Zone maps per registered table; populated by `RegisterTable` when
+  /// enabled, read-only afterwards (same lifecycle as `tables_`).
+  std::map<std::string, TableZoneMaps> zone_maps_;
   mutable std::mutex pool_mu_;  ///< Guards buffer_pool_ contents.
   std::unique_ptr<BufferPool> buffer_pool_;
+  mutable std::atomic<int64_t> blocks_scanned_total_{0};
+  mutable std::atomic<int64_t> blocks_pruned_total_{0};
 };
 
 }  // namespace ideval

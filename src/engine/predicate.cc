@@ -52,6 +52,7 @@ Result<CompiledPredicates> CompiledPredicates::Compile(
       }
       compiled.lo = r->lo;
       compiled.hi = r->hi;
+      compiled.column = idx;
       out.ranges_.push_back(compiled);
     } else if (const auto* eq = std::get_if<StringEqPredicate>(&p)) {
       IDEVAL_ASSIGN_OR_RETURN(size_t idx,

@@ -99,11 +99,29 @@ class CompiledPredicates {
     return ranges_.size() + string_eqs_.size() + string_ins_.size();
   }
 
+  /// True iff at least one conjunct is a numeric range — the only kind
+  /// zone maps can prune on.
+  bool has_range_predicates() const { return !ranges_.empty(); }
+
+  /// Zone-map block test: false iff some range conjunct's [lo, hi] is
+  /// disjoint from block `block`'s min/max summary in `zone_maps`, i.e.
+  /// no row of the block can match and the scan may skip it outright.
+  /// `zone_maps` must summarize the table this was compiled against.
+  bool MayMatchBlock(const TableZoneMaps& zone_maps, size_t block) const {
+    for (const auto& r : ranges_) {
+      const ColumnZoneMap& zm = zone_maps.columns[r.column];
+      if (zm.min.empty()) continue;  // No summary for this column.
+      if (zm.min[block] > r.hi || zm.max[block] < r.lo) return false;
+    }
+    return true;
+  }
+
  private:
   struct CompiledRange {
     const int64_t* int64_data = nullptr;  ///< Set iff column is int64.
     const double* double_data = nullptr;  ///< Set iff column is double.
     double lo = 0.0, hi = 0.0;
+    size_t column = 0;  ///< Column index, for zone-map lookups.
   };
   struct CompiledStringEq {
     const std::vector<std::string>* data = nullptr;

@@ -64,6 +64,8 @@ QueryWorkStats& QueryWorkStats::operator+=(const QueryWorkStats& o) {
   tuples_scanned += o.tuples_scanned;
   tuples_matched += o.tuples_matched;
   predicates_evaluated += o.predicates_evaluated;
+  blocks_scanned += o.blocks_scanned;
+  blocks_pruned += o.blocks_pruned;
   pages_requested += o.pages_requested;
   pages_missed += o.pages_missed;
   groups_built += o.groups_built;

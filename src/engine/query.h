@@ -63,6 +63,8 @@ std::string QueryToString(const Query& query);
 struct RowSet {
   std::vector<std::string> column_names;
   std::vector<std::vector<Value>> rows;
+
+  bool operator==(const RowSet&) const = default;
 };
 
 /// Result payload: rows or a histogram.
@@ -74,6 +76,13 @@ struct QueryWorkStats {
   int64_t tuples_scanned = 0;   ///< Tuples the scan visited.
   int64_t tuples_matched = 0;   ///< Tuples surviving all predicates.
   int64_t predicates_evaluated = 0;
+  /// Zone-map accounting (zero unless the engine scanned with zone maps):
+  /// blocks the scan visited vs. blocks skipped because their min/max
+  /// range cannot satisfy a range predicate. Pruned blocks contribute
+  /// nothing to `tuples_scanned` or the page counters, which is how the
+  /// cost model charges only visited blocks.
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
   int64_t pages_requested = 0;  ///< Disk-profile page lookups.
   int64_t pages_missed = 0;     ///< Buffer-pool misses (physical reads).
   int64_t groups_built = 0;     ///< Histogram bins touched.

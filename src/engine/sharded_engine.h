@@ -91,6 +91,19 @@ class ShardedEngine {
   /// Borrows shard `i`'s engine. Requires 0 <= i < num_shards().
   const Engine* shard(int i) const { return shards_[static_cast<size_t>(i)].get(); }
 
+  /// Zone-map pruning totals summed over every shard (per-query pruning
+  /// stats already merge through `QueryWorkStats::operator+=` in `Merge`;
+  /// this is the engine-lifetime aggregate for benches and reports).
+  ScanPruneTotals PruneTotals() const {
+    ScanPruneTotals totals;
+    for (const auto& s : shards_) {
+      const ScanPruneTotals t = s->PruneTotals();
+      totals.blocks_scanned += t.blocks_scanned;
+      totals.blocks_pruned += t.blocks_pruned;
+    }
+    return totals;
+  }
+
   /// One per-shard partial query of a scatter plan.
   struct Subtask {
     int shard = 0;

@@ -198,6 +198,11 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
                               ParseBool(key, value));
     } else if (key == "serve_cache") {
       IDEVAL_ASSIGN_OR_RETURN(spec.serve_cache, ParseBool(key, value));
+    } else if (key == "serve_shared_cache") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_shared_cache,
+                              ParseBool(key, value));
+    } else if (key == "engine_zone_maps") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.engine_zone_maps, ParseBool(key, value));
     } else if (key == "serve_shards") {
       IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
       if (n < 1) return Status::InvalidArgument("serve_shards must be >= 1");
@@ -263,8 +268,12 @@ std::string WorkloadSpecToText(const WorkloadSpec& spec) {
   out += StrFormat("adaptive_admission = %s\n",
                    spec.adaptive_admission ? "true" : "false");
   out += StrFormat("serve_cache = %s\n", spec.serve_cache ? "true" : "false");
+  out += StrFormat("serve_shared_cache = %s\n",
+                   spec.serve_shared_cache ? "true" : "false");
   out += StrFormat("serve_shards = %d\n", spec.serve_shards);
   out += StrFormat("time_compression = %g\n", spec.time_compression);
+  out += StrFormat("engine_zone_maps = %s\n",
+                   spec.engine_zone_maps ? "true" : "false");
   return out;
 }
 
@@ -278,6 +287,7 @@ Result<WorkloadReport> RunCrossfilterWorkload(const WorkloadSpec& spec,
 
   EngineOptions eopts;
   eopts.profile = spec.engine;
+  eopts.enable_zone_maps = spec.engine_zone_maps;
   Engine engine(eopts);
   IDEVAL_RETURN_NOT_OK(engine.RegisterTable(road));
 
@@ -358,6 +368,7 @@ Result<WorkloadReport> RunScrollWorkload(const WorkloadSpec& spec,
   IDEVAL_ASSIGN_OR_RETURN(TablePtr movies, MakeMoviesTable(dopts));
   EngineOptions eopts;
   eopts.profile = spec.engine;
+  eopts.enable_zone_maps = spec.engine_zone_maps;
   Engine engine(eopts);
   IDEVAL_RETURN_NOT_OK(engine.RegisterTable(movies));
 
@@ -424,6 +435,7 @@ Result<WorkloadReport> RunExploreWorkload(const WorkloadSpec& spec,
   IDEVAL_ASSIGN_OR_RETURN(TablePtr listings, MakeListingsTable(dopts));
   EngineOptions eopts;
   eopts.profile = spec.engine;
+  eopts.enable_zone_maps = spec.engine_zone_maps;
   Engine engine(eopts);
   IDEVAL_RETURN_NOT_OK(engine.RegisterTable(listings));
 
@@ -498,6 +510,7 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
 
   EngineOptions eopts;
   eopts.profile = spec.engine;
+  eopts.enable_zone_maps = spec.engine_zone_maps;
   Engine engine(eopts);
   std::unique_ptr<ShardedEngine> sharded;
   if (spec.serve_shards > 1) {
@@ -585,6 +598,7 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
   sopts.policy = spec.admission;
   sopts.adaptive_admission = spec.adaptive_admission;
   sopts.enable_session_cache = spec.serve_cache;
+  sopts.enable_shared_cache = spec.serve_shared_cache;
   if (spec.throttle_interval > Duration::Zero()) {
     sopts.throttle_min_interval = spec.throttle_interval;
   }

@@ -76,13 +76,24 @@ struct WorkloadSpec {
   bool adaptive_admission = false;
   /// Per-session exact-match result cache in live mode.
   bool serve_cache = false;
+  /// Shared cross-session result cache in live mode
+  /// (`ServerOptions::enable_shared_cache`): one invalidation-aware LRU
+  /// above the backend with single-flight coalescing. Works with any
+  /// `serve_shards`; mutually exclusive with `serve_cache`.
+  bool serve_shared_cache = false;
   /// Engine shards behind the live server; > 1 range-partitions the
   /// workload table across that many `Engine` instances and every group
   /// goes through the scatter/execute/merge pipeline. Incompatible with
-  /// `serve_cache`.
+  /// `serve_cache` (use `serve_shared_cache` instead).
   int serve_shards = 1;
   /// Trace replay speed-up for the live load driver (>= 1 recommended).
   double time_compression = 50.0;
+
+  // --- Engine knobs (simulated and live modes). ---
+  /// Build zone maps at registration and prune scan blocks whose min/max
+  /// range cannot match (`EngineOptions::enable_zone_maps`). Results are
+  /// bitwise identical; only the work (and modelled time) shrinks.
+  bool engine_zone_maps = false;
 };
 
 /// Parses the `key = value` format (one pair per line; '#' comments and

@@ -43,6 +43,17 @@ Status QueryServer::ValidateOptions(const ServerOptions& options) {
   if (options.enable_session_cache && options.session_cache_capacity < 1) {
     return Status::InvalidArgument("session_cache_capacity must be >= 1");
   }
+  if (options.enable_shared_cache && options.enable_session_cache) {
+    return Status::InvalidArgument(
+        "enable_shared_cache and enable_session_cache are mutually "
+        "exclusive; the shared cache supersedes the per-session one");
+  }
+  if (options.enable_shared_cache && options.shared_cache_bytes < 1) {
+    return Status::InvalidArgument("shared_cache_bytes must be >= 1");
+  }
+  if (options.enable_shared_cache && options.shared_cache_shards < 1) {
+    return Status::InvalidArgument("shared_cache_shards must be >= 1");
+  }
   if (options.shard_workers < 0) {
     return Status::InvalidArgument(
         StrFormat("shard_workers must be >= 0, got %d",
@@ -75,7 +86,8 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Create(
   IDEVAL_RETURN_NOT_OK(ValidateOptions(options));
   if (options.enable_session_cache) {
     return Status::InvalidArgument(
-        "session cache is incompatible with a sharded backend");
+        "session cache is incompatible with a sharded backend; use "
+        "enable_shared_cache, which layers above the scatter/merge");
   }
   auto server = std::unique_ptr<QueryServer>(
       new QueryServer(/*engine=*/nullptr, sharded, std::move(options)));
@@ -111,7 +123,22 @@ QueryServer::QueryServer(const Engine* engine, const ShardedEngine* sharded,
                                 : sharded->num_shards(),
                             options_.admission)),
       effective_policy_(options_.policy),
-      metrics_(options_.admission.window) {}
+      metrics_(options_.admission.window) {
+  if (options_.enable_shared_cache) {
+    ResultCacheOptions copts;
+    copts.byte_budget = options_.shared_cache_bytes;
+    copts.num_shards = options_.shared_cache_shards;
+    result_cache_ = std::make_unique<ResultCache>(copts);
+    cache_backend_ =
+        sharded_ != nullptr
+            ? ResultCache::Backend([this](const Query& q) {
+                return ExecuteOneSharded(q);
+              })
+            : ResultCache::Backend([this](const Query& q) {
+                return engine_->Execute(q);
+              });
+  }
+}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -414,6 +441,46 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
   return out;
 }
 
+Result<QueryResponse> QueryServer::ExecuteOneSharded(const Query& query) {
+  IDEVAL_ASSIGN_OR_RETURN(ShardedEngine::ShardPlan plan,
+                          sharded_->Plan(query));
+  const size_t n = plan.subtasks.size();
+  std::vector<std::optional<Result<QueryResponse>>> slots(n);
+  std::vector<Duration> walls(n);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int remaining = static_cast<int>(n);
+
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& sub = plan.subtasks[i];
+      ShardTask task;
+      task.engine = sharded_->shard(sub.shard);
+      task.query = &sub.query;
+      task.result = &slots[i];
+      task.wall = &walls[i];
+      task.done_mu = &done_mu;
+      task.done_cv = &done_cv;
+      task.remaining = &remaining;
+      shard_queue_.push_back(task);
+    }
+  }
+  shard_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> done(done_mu);
+    done_cv.wait(done, [&remaining] { return remaining == 0; });
+  }
+
+  std::vector<QueryResponse> partials;
+  partials.reserve(n);
+  for (auto& slot : slots) {
+    IDEVAL_RETURN_NOT_OK(slot->status());
+    partials.push_back(std::move(**slot));
+  }
+  return sharded_->Merge(query, plan, std::move(partials));
+}
+
 void QueryServer::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -441,7 +508,19 @@ void QueryServer::WorkerLoop() {
     int64_t failed = 0;
     int64_t hits = 0;
     GroupOutcome sharded_out;
-    if (sharded_ != nullptr) {
+    if (result_cache_ != nullptr) {
+      // Shared cache above either backend: one lookup per query; misses
+      // run the backend (single-flight) inside the cache.
+      for (const Query& query : group.queries) {
+        auto r = result_cache_->Execute(query, cache_backend_);
+        if (r.ok()) {
+          ++executed;
+          if (r->outcome != CacheOutcome::kMiss) ++hits;
+        } else {
+          ++failed;
+        }
+      }
+    } else if (sharded_ != nullptr) {
       sharded_out = ExecuteGroupSharded(group.queries);
       executed = sharded_out.executed;
       failed = sharded_out.failed;
@@ -467,7 +546,9 @@ void QueryServer::WorkerLoop() {
     }
     const SimTime finish = Now();
     metrics_.RecordGroupComplete(finish - group.submit_time, finish - start);
-    if (sharded_ != nullptr) {
+    // With the shared cache the backend runs inside the cache, so phase
+    // attribution collapses into `execute` even over a sharded backend.
+    if (sharded_ != nullptr && result_cache_ == nullptr) {
       metrics_.RecordPhases(sharded_out.scatter, sharded_out.execute,
                             sharded_out.merge);
     } else {
@@ -484,11 +565,14 @@ void QueryServer::WorkerLoop() {
     if (s->CheckLcvViolation(group.seq, finish)) {
       ++c.lcv_violations;
     }
-    if (sharded_ != nullptr) {
+    if (sharded_ != nullptr && result_cache_ == nullptr) {
       controller_.OnCompleteSharded(finish, finish - start,
                                     sharded_out.shard_exec_mean,
                                     sharded_out.merge);
     } else {
+      // Cache hits complete in microseconds, so on cache-friendly
+      // workloads the service EWMA shrinks and the capacity estimate
+      // rises — admission control sees the cache as extra throughput.
       controller_.OnComplete(finish, finish - start);
     }
     s->set_busy(false);
@@ -554,6 +638,10 @@ ServerStatsSnapshot QueryServer::Snapshot() {
       snap.sessions.push_back(std::move(row));
     }
     snap.load = controller_.Assess(now);
+  }
+  if (result_cache_ != nullptr) {
+    snap.result_cache_enabled = true;
+    snap.result_cache = result_cache_->Stats();
   }
   metrics_.FillSnapshot(&snap, now);
   snap.throughput_qps =

@@ -16,6 +16,7 @@
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
 #include "serve/admission.h"
+#include "serve/result_cache.h"
 #include "serve/server_stats.h"
 #include "serve/session.h"
 
@@ -39,11 +40,22 @@ struct ServerOptions {
   /// loop) and rejects with backpressure past `reject_factor`.
   bool adaptive_admission = false;
   AdmissionOptions admission;
-  /// Per-session exact-match result reuse (§2.4). Incompatible with a
-  /// sharded backend (the cache's miss path owns a single engine; see
-  /// ROADMAP's cross-session cache item).
+  /// Per-session exact-match result reuse (§2.4) — the baseline the
+  /// shared cache below supersedes. Incompatible with a sharded backend
+  /// (its miss path owns a single engine) and with `enable_shared_cache`;
+  /// use the shared cache for either.
   bool enable_session_cache = false;
   int64_t session_cache_capacity = 256;
+  /// Shared cross-session result cache (`serve/result_cache.h`): one
+  /// invalidation-aware, sharded LRU above the backend — any session's
+  /// execution serves every other session's equivalent query, and
+  /// concurrent identical misses coalesce into one backend run. Works
+  /// over both backends (it sits *above* `ShardedEngine`'s scatter/merge,
+  /// lifting the session cache's single-engine restriction). Mutually
+  /// exclusive with `enable_session_cache`.
+  bool enable_shared_cache = false;
+  int64_t shared_cache_bytes = 64 << 20;
+  int shared_cache_shards = 16;
   /// Dedicated shard-executor threads for the sharded `Create` overload;
   /// 0 = one per shard. Ignored for an unsharded server.
   int shard_workers = 0;
@@ -91,6 +103,17 @@ struct SubmitOutcome {
 /// the three phases, and the admission controller's capacity estimate
 /// accounts for the shard pool and the merge stage separately.
 ///
+/// With the shared result cache (`ServerOptions::enable_shared_cache`),
+/// every query of every session funnels through one `ResultCache` layered
+/// above the backend: hits and coalesced waits skip the backend entirely,
+/// so repeated crossfilter interactions cost a map lookup instead of a
+/// scan, and the admission controller's service-time EWMA shrinks on hits
+/// — its capacity estimate (and therefore the saturation knee) rises on
+/// cache-friendly workloads with no extra plumbing. Over a sharded
+/// backend the cache's miss path scatters and merges a single query
+/// (`ExecuteOneSharded`); the per-phase attribution then collapses into
+/// the `execute` phase since the backend runs inside the cache.
+///
 /// All public methods are thread-safe.
 class QueryServer {
  public:
@@ -103,7 +126,8 @@ class QueryServer {
   /// Sharded variant: groups scatter across `sharded`'s shards and merge
   /// before completing. `sharded` must outlive the server, have all
   /// tables partitioned/replicated, and is used read-only. Rejects
-  /// `enable_session_cache` (see `ServerOptions`).
+  /// `enable_session_cache` (see `ServerOptions`); the shared cache is
+  /// the supported result reuse over a sharded backend.
   static Result<std::unique_ptr<QueryServer>> Create(
       const ShardedEngine* sharded, ServerOptions options);
 
@@ -136,6 +160,13 @@ class QueryServer {
   /// Consistent point-in-time stats (prunes sliding windows, hence
   /// non-const).
   ServerStatsSnapshot Snapshot();
+
+  /// The shared result cache, or null when `enable_shared_cache` is off.
+  /// `Clear` / `InvalidateTable` / `Stats` are safe on a live server;
+  /// invalidate inside the same quiesced window as any backend mutation
+  /// (see `Engine::ClearCaches`'s quiesce contract).
+  ResultCache* result_cache() { return result_cache_.get(); }
+  const ResultCache* result_cache() const { return result_cache_.get(); }
 
   const ServerOptions& options() const { return options_; }
 
@@ -180,6 +211,12 @@ class QueryServer {
   /// group worker outside the server lock.
   GroupOutcome ExecuteGroupSharded(const std::vector<Query>& queries);
 
+  /// Scatters, executes, and merges a single query on the sharded
+  /// backend, returning the merged response: the shared cache's miss path
+  /// over `sharded_`. Called outside every lock (the shard pool has its
+  /// own).
+  Result<QueryResponse> ExecuteOneSharded(const Query& query);
+
   /// Wall-clock time since server start, as a `SimTime` so the metric
   /// stack's types apply to live timestamps too.
   SimTime Now() const;
@@ -212,6 +249,10 @@ class QueryServer {
   bool stop_ = false;
 
   OnlineMetrics metrics_;  ///< Internally synchronized.
+  /// Shared cache above the backend (null unless enabled) and the backend
+  /// callable its misses execute. Both internally synchronized.
+  std::unique_ptr<ResultCache> result_cache_;
+  ResultCache::Backend cache_backend_;
   std::vector<std::thread> workers_;
 
   // --- Shard-executor pool (sharded servers only). ---

@@ -109,6 +109,22 @@ std::string ServerStatsSnapshot::ToText() const {
   global.AddRow({"cache hits",
                  StrFormat("%lld",
                            static_cast<long long>(totals.cache_hits))});
+  if (result_cache_enabled) {
+    global.AddRow(
+        {"result cache (hit / miss / coalesced; hit rate)",
+         StrFormat("%lld / %lld / %lld; %.1f%%",
+                   static_cast<long long>(result_cache.hits),
+                   static_cast<long long>(result_cache.misses),
+                   static_cast<long long>(result_cache.coalesced),
+                   100.0 * result_cache.HitRate())});
+    global.AddRow(
+        {"result cache entries / bytes / evicted / invalidated",
+         StrFormat("%lld / %lld / %lld / %lld",
+                   static_cast<long long>(result_cache.entries),
+                   static_cast<long long>(result_cache.bytes),
+                   static_cast<long long>(result_cache.evictions),
+                   static_cast<long long>(result_cache.invalidations))});
+  }
   global.AddRow({"latency mean / p50 / p90 / max (ms)",
                  StrFormat("%.2f / %.2f / %.2f / %.2f", latency_mean_ms,
                            latency_p50_ms, latency_p90_ms, latency_max_ms)});

@@ -10,6 +10,7 @@
 #include "common/sim_time.h"
 #include "common/streaming_stats.h"
 #include "serve/admission.h"
+#include "serve/result_cache.h"
 
 namespace ideval {
 
@@ -80,6 +81,10 @@ struct ServerStatsSnapshot {
   double qif_qps = 0.0;         ///< Global offered load, sliding window.
   double throughput_qps = 0.0;  ///< Executed queries / uptime.
   double lcv_fraction = 0.0;    ///< Violations / executed groups.
+
+  /// Shared result cache counters (`enable_shared_cache` servers only).
+  bool result_cache_enabled = false;
+  ResultCacheStats result_cache;
 
   LoadAssessment load;
 

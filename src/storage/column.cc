@@ -104,6 +104,38 @@ Result<double> Column::NumericMin() const {
   return *std::min_element(v.begin(), v.end());
 }
 
+ColumnZoneMap Column::BuildZoneMap(int64_t block_rows) const {
+  ColumnZoneMap zm;
+  if (type() == DataType::kString || block_rows < 1) return zm;
+  const size_t n = size();
+  const size_t stride = static_cast<size_t>(block_rows);
+  const size_t blocks = (n + stride - 1) / stride;
+  zm.min.reserve(blocks);
+  zm.max.reserve(blocks);
+  for (size_t begin = 0; begin < n; begin += stride) {
+    const size_t end = std::min(n, begin + stride);
+    double lo = GetDouble(begin);
+    double hi = lo;
+    if (type() == DataType::kInt64) {
+      const auto& v = std::get<0>(data_);
+      for (size_t i = begin + 1; i < end; ++i) {
+        const double d = static_cast<double>(v[i]);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    } else {
+      const auto& v = std::get<1>(data_);
+      for (size_t i = begin + 1; i < end; ++i) {
+        lo = std::min(lo, v[i]);
+        hi = std::max(hi, v[i]);
+      }
+    }
+    zm.min.push_back(lo);
+    zm.max.push_back(hi);
+  }
+  return zm;
+}
+
 Result<double> Column::NumericMax() const {
   if (type() == DataType::kString) {
     return Status::InvalidArgument("NumericMax on string column");

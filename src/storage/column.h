@@ -11,6 +11,18 @@
 
 namespace ideval {
 
+/// Per-block min/max summary of one numeric column (a zone map). Index
+/// `b` summarizes the `b`-th block of `block_rows` consecutive rows;
+/// `min`/`max` are empty for string columns (no range pruning there).
+/// Int64 values are widened to double, matching how `RangePredicate`
+/// compares them.
+struct ColumnZoneMap {
+  std::vector<double> min;
+  std::vector<double> max;
+
+  size_t num_blocks() const { return min.size(); }
+};
+
 /// A typed column of values stored contiguously (columnar layout).
 ///
 /// The execution engine reads the typed vectors directly for scan-heavy
@@ -62,6 +74,12 @@ class Column {
   /// Min/max over a numeric column; error on string columns or empty data.
   Result<double> NumericMin() const;
   Result<double> NumericMax() const;
+
+  /// Per-block min/max summary of this column: entry `b` covers rows
+  /// `[b * block_rows, min(size, (b+1) * block_rows))`. Scans use these as
+  /// zone maps to skip blocks a range predicate cannot match. Requires
+  /// `block_rows >= 1`; returns an empty summary for string columns.
+  ColumnZoneMap BuildZoneMap(int64_t block_rows) const;
 
  private:
   std::variant<std::vector<int64_t>, std::vector<double>,

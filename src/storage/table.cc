@@ -26,6 +26,18 @@ double Table::AvgRowBytes() const {
   return bytes;
 }
 
+TableZoneMaps Table::BuildZoneMaps(int64_t block_rows) const {
+  TableZoneMaps zm;
+  zm.block_rows = block_rows;
+  if (block_rows >= 1) {
+    zm.num_blocks = (num_rows_ + static_cast<size_t>(block_rows) - 1) /
+                    static_cast<size_t>(block_rows);
+  }
+  zm.columns.reserve(columns_.size());
+  for (const auto& c : columns_) zm.columns.push_back(c.BuildZoneMap(block_rows));
+  return zm;
+}
+
 std::string Table::RowsToString(size_t begin, size_t end) const {
   std::string out;
   if (end > num_rows_) end = num_rows_;

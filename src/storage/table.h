@@ -11,6 +11,16 @@
 
 namespace ideval {
 
+/// Zone maps for a whole table: one `ColumnZoneMap` per column (empty
+/// min/max for string columns), all over the same `block_rows` blocking.
+/// Built once per registration (`Table::BuildZoneMaps`); immutable after
+/// build, so scans may read them concurrently without synchronization.
+struct TableZoneMaps {
+  int64_t block_rows = 0;
+  size_t num_blocks = 0;
+  std::vector<ColumnZoneMap> columns;  ///< Indexed like `Table::column`.
+};
+
 /// An immutable-after-build, column-oriented table.
 ///
 /// Tables are built once by the dataset generators (`src/data/`) or by a
@@ -36,6 +46,11 @@ class Table {
   /// Approximate width of one row in bytes (sum of per-column averages);
   /// feeds the disk engine's tuples-per-page layout.
   double AvgRowBytes() const;
+
+  /// Builds per-block min/max zone maps over every numeric column.
+  /// Requires `block_rows >= 1`. O(rows x numeric columns); engines call
+  /// this once at table registration, not per query.
+  TableZoneMaps BuildZoneMaps(int64_t block_rows) const;
 
   /// Renders rows [begin, end) as "v1 | v2 | ..." lines for debug output.
   std::string RowsToString(size_t begin, size_t end) const;

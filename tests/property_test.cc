@@ -13,6 +13,7 @@
 #include "engine/progressive.h"
 #include "engine/sharded_engine.h"
 #include "opt/throttle.h"
+#include "serve/result_cache.h"
 #include "sim/query_scheduler.h"
 
 namespace ideval {
@@ -490,6 +491,161 @@ TEST_P(ShardedOracleTest, JoinPageMatchesUnsharded) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInputs, ShardedOracleTest,
                          ::testing::Range(0, 20));
+
+// ---------------------- Zone-map pruning vs unpruned ----------------------
+
+/// The pruning contract: for any table, block size, and query, a zone-map
+/// -pruned scan returns bitwise-identical `QueryResultData` to the
+/// unpruned scan — pruned blocks contain no matches by construction, so
+/// only the work counters may differ.
+class ZoneMapOracleTest : public ::testing::TestWithParam<int> {};
+
+/// A table whose `a` column is sorted: the clustered layout where most
+/// blocks are prunable under a narrow range predicate.
+TablePtr SortedTable(Rng* rng, int64_t rows) {
+  std::vector<double> a(static_cast<size_t>(rows));
+  for (double& v : a) v = rng->Uniform(-100.0, 100.0);
+  std::sort(a.begin(), a.end());
+  Schema schema({{"a", DataType::kDouble}, {"b", DataType::kInt64}});
+  TableBuilder builder("rand", schema);
+  for (double v : a) {
+    builder.MustAppendRow({Value(v), Value(rng->UniformInt(-50, 50))});
+  }
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+TEST_P(ZoneMapOracleTest, PrunedResultsMatchUnpruned) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 8513 + 19);
+  const int64_t rows = rng.UniformInt(50, 900);
+  TablePtr table = rng.Bernoulli(0.5) ? SortedTable(&rng, rows)
+                                      : RandomTable(&rng, rows);
+  EngineOptions plain;
+  plain.profile = rng.Bernoulli(0.5) ? EngineProfile::kDiskRowStore
+                                     : EngineProfile::kInMemoryColumnStore;
+  EngineOptions pruned = plain;
+  pruned.enable_zone_maps = true;
+  // Tiny blocks so every run exercises many block boundaries.
+  pruned.zone_map_block_rows = rng.UniformInt(1, 64);
+  Engine base(plain);
+  Engine zoned(pruned);
+  ASSERT_TRUE(base.RegisterTable(table).ok());
+  ASSERT_TRUE(zoned.RegisterTable(table).ok());
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const double lo = rng.Uniform(-120.0, 100.0);
+    const double hi = lo + rng.Uniform(0.0, 60.0);  // Often narrow.
+    Query query;
+    if (rng.Bernoulli(0.5)) {
+      HistogramQuery q;
+      q.table = "rand";
+      q.bin_column = "a";
+      q.bin_lo = -100.0;
+      q.bin_hi = 100.0;
+      q.bins = rng.UniformInt(1, 30);
+      q.predicates = {RangePredicate{"a", lo, hi}};
+      query = q;
+    } else {
+      SelectQuery q;
+      q.table = "rand";
+      q.columns = {"a", "b"};
+      q.predicates = {RangePredicate{"a", lo, hi}};
+      q.offset = rng.UniformInt(0, 40);
+      q.limit = rng.Bernoulli(0.2) ? -1 : rng.UniformInt(0, 100);
+      query = q;
+    }
+    auto r1 = base.Execute(query);
+    auto r2 = zoned.Execute(query);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2->data, r1->data) << "trial " << trial;
+    EXPECT_EQ(r2->stats.tuples_matched, r1->stats.tuples_matched);
+    // The unpruned engine never counts blocks; the pruned one never
+    // scans a tuple the oracle did not.
+    EXPECT_EQ(r1->stats.blocks_pruned, 0);
+    EXPECT_LE(r2->stats.tuples_scanned, r1->stats.tuples_scanned);
+  }
+  // The engine-lifetime totals reconcile with what the scans reported.
+  const ScanPruneTotals totals = zoned.PruneTotals();
+  EXPECT_GE(totals.blocks_scanned, 0);
+  zoned.ClearCaches();
+  EXPECT_EQ(zoned.PruneTotals().blocks_scanned, 0);
+  EXPECT_EQ(zoned.PruneTotals().blocks_pruned, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, ZoneMapOracleTest,
+                         ::testing::Range(0, 20));
+
+// ---------------------- Result cache vs uncached ----------------------
+
+/// The cache contract: routing any query stream through a `ResultCache`
+/// returns the same `QueryResultData` the backend would have produced,
+/// and the outcome counters reconcile with the number of lookups.
+class ResultCachePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResultCachePropertyTest, CachedResultsMatchUncached) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 4099 + 37);
+  TablePtr table = RandomTable(&rng, rng.UniformInt(50, 500));
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterTable(table).ok());
+
+  ResultCacheOptions copts;
+  copts.num_shards = static_cast<int>(rng.UniformInt(1, 8));
+  ResultCache cache(copts);
+  const ResultCache::Backend backend = [&engine](const Query& q) {
+    return engine.Execute(q);
+  };
+
+  // A small query pool replayed with repetition — the crossfilter regime
+  // where identical interactions recur.
+  std::vector<Query> pool;
+  for (int i = 0; i < 6; ++i) {
+    HistogramQuery q;
+    q.table = "rand";
+    q.bin_column = "a";
+    q.bin_lo = -100.0;
+    q.bin_hi = 100.0;
+    q.bins = rng.UniformInt(1, 20);
+    const double lo = rng.Uniform(-120.0, 80.0);
+    q.predicates = {RangePredicate{"a", lo, lo + rng.Uniform(0.0, 150.0)},
+                    RangePredicate{"b", -20.0, 30.0}};
+    pool.push_back(q);
+  }
+  const int lookups = 60;
+  for (int i = 0; i < lookups; ++i) {
+    Query q = pool[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(pool.size()) - 1))];
+    if (rng.Bernoulli(0.3)) {
+      // Equivalent-but-rewritten form: reversed conjuncts plus a
+      // redundant duplicate; must hit the same canonical key.
+      auto& h = std::get<HistogramQuery>(q);
+      std::reverse(h.predicates.begin(), h.predicates.end());
+      h.predicates.push_back(h.predicates.front());
+    }
+    auto cached = cache.Execute(q, backend);
+    auto direct = engine.Execute(q);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(cached->response.data, direct->data) << "lookup " << i;
+  }
+
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.Lookups(), lookups);
+  EXPECT_EQ(stats.coalesced, 0);  // Single-threaded: no concurrent flights.
+  // Six distinct canonical keys; everything after the first encounter of
+  // each must hit (the equivalent rewrites included).
+  EXPECT_EQ(stats.misses, static_cast<int64_t>(pool.size()));
+  EXPECT_EQ(stats.hits, lookups - static_cast<int64_t>(pool.size()));
+
+  // Invalidation empties the cache and the next lookups miss again.
+  cache.InvalidateTable("rand");
+  EXPECT_EQ(cache.Stats().entries, 0);
+  auto again = cache.Execute(pool[0], backend);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->outcome, CacheOutcome::kMiss);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, ResultCachePropertyTest,
+                         ::testing::Range(0, 15));
 
 // ----------------------- Progressive sampling property -----------------------
 

@@ -94,6 +94,23 @@ TEST_F(ServeTest, CreateValidatesOptions) {
   EXPECT_EQ(QueryServer::Create(static_cast<const Engine*>(nullptr),
                                 ServerOptions{}).status().code(),
             StatusCode::kInvalidArgument);
+  // The per-session and shared caches are mutually exclusive, and the
+  // shared cache's knobs must be positive.
+  opts = ServerOptions{};
+  opts.enable_session_cache = true;
+  opts.enable_shared_cache = true;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = ServerOptions{};
+  opts.enable_shared_cache = true;
+  opts.shared_cache_bytes = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = ServerOptions{};
+  opts.enable_shared_cache = true;
+  opts.shared_cache_shards = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(ServeTest, ExecutesRealQueriesAndCounts) {
@@ -253,8 +270,132 @@ TEST_F(ServeTest, SessionCacheServesRepeats) {
   EXPECT_EQ(snap.totals.cache_hits, 1);
 }
 
+TEST_F(ServeTest, SharedCacheServesAcrossSessions) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.enable_shared_cache = true;
+  auto server = MakeServer(opts);
+
+  // Session A warms the cache; session B's identical query hits — the
+  // cross-session sharing the per-session cache cannot provide.
+  const uint64_t a = server->OpenSession();
+  const uint64_t b = server->OpenSession();
+  ASSERT_TRUE(server->Submit(a, Group()).ok());
+  server->Drain();
+  ASSERT_TRUE(server->Submit(b, Group()).ok());
+  server->Drain();
+  auto snap = server->Snapshot();
+  EXPECT_TRUE(snap.result_cache_enabled);
+  EXPECT_EQ(snap.totals.queries_executed, 2);
+  EXPECT_EQ(snap.result_cache.misses, 1);
+  EXPECT_EQ(snap.result_cache.hits, 1);
+  EXPECT_EQ(snap.totals.cache_hits, 1);
+  EXPECT_EQ(snap.result_cache.entries, 1);
+  EXPECT_GT(snap.result_cache.bytes, 0);
+
+  // Cached and uncached answers are identical.
+  auto direct = engine_->Execute(Group()[0]);
+  ASSERT_TRUE(direct.ok());
+  auto cached = server->result_cache()->Execute(
+      Group()[0], [this](const Query& q) { return engine_->Execute(q); });
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->outcome, CacheOutcome::kHit);
+  EXPECT_EQ(cached->response.data, direct->data);
+}
+
+TEST_F(ServeTest, SharedCacheWorksOverShardedBackend) {
+  // PR 2 restricted the session cache to single-engine servers; the
+  // shared cache layers above scatter/merge, lifting that restriction.
+  const int64_t rows = 5000;
+  ShardedEngineOptions shopts;
+  shopts.num_shards = 3;
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(MakeServeTable(rows)).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_queue_per_session = 64;
+  opts.enable_shared_cache = true;
+  auto made = QueryServer::Create(sharded.get(), opts);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto server = std::move(made).ValueOrDie();
+
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server->Submit(sid, {HistQuery(rows)}).ok());
+    server->Drain();
+  }
+  auto snap = server->Snapshot();
+  server->Stop();
+  ExpectReconciles(snap);
+  EXPECT_EQ(snap.num_shards, 3);
+  EXPECT_EQ(snap.totals.queries_executed, 10);
+  EXPECT_EQ(snap.totals.queries_failed, 0);
+  // One scatter/merge execution; nine served from the shared cache.
+  EXPECT_EQ(snap.result_cache.misses, 1);
+  EXPECT_EQ(snap.result_cache.hits, 9);
+
+  // The merged-and-cached answer matches a direct sharded execution.
+  auto direct = sharded->Execute(HistQuery(rows));
+  ASSERT_TRUE(direct.ok());
+  const auto& hist = std::get<FixedHistogram>(direct->data);
+  EXPECT_DOUBLE_EQ(hist.total(), static_cast<double>(rows));
+}
+
+TEST_F(ServeTest, SharedCacheStressReconciles) {
+  MakeEngine(20000);
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_queue_per_session = 64;
+  opts.enable_shared_cache = true;
+  auto server = MakeServer(opts);
+
+  // Many sessions hammer a small pool of distinct queries so hits,
+  // misses, and single-flight coalescing all occur concurrently.
+  constexpr int kClients = 8;
+  constexpr int kGroupsPerClient = 30;
+  std::vector<uint64_t> sids(kClients);
+  for (auto& sid : sids) sid = server->OpenSession();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kGroupsPerClient; ++i) {
+        auto out = server->Submit(sids[static_cast<size_t>(c)],
+                                  Group(10 + (i % 3)));
+        ASSERT_TRUE(out.ok());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server->Drain();
+
+  auto snap = server->Snapshot();
+  ExpectReconciles(snap);
+  EXPECT_EQ(snap.totals.queries_failed, 0);
+  // Every executed query went through the cache and landed in exactly
+  // one outcome bucket: hits + misses + coalesced == lookups == queries.
+  EXPECT_EQ(snap.result_cache.Lookups(),
+            snap.result_cache.hits + snap.result_cache.misses +
+                snap.result_cache.coalesced);
+  EXPECT_EQ(snap.result_cache.Lookups(), snap.totals.queries_executed);
+  // Only three distinct canonical keys exist and nothing invalidates or
+  // evicts, so single-flight guarantees exactly one backend execution
+  // (miss) per key; every other lookup hit or coalesced.
+  EXPECT_EQ(snap.result_cache.misses, 3);
+  EXPECT_EQ(snap.result_cache.entries, 3);
+  EXPECT_EQ(snap.totals.cache_hits,
+            snap.result_cache.hits + snap.result_cache.coalesced);
+  EXPECT_EQ(snap.result_cache.invalidations, 0);
+  EXPECT_EQ(snap.result_cache.evictions, 0);
+}
+
 TEST_F(ServeTest, IssueBeforeCompleteCountsAsLcvViolation) {
-  MakeEngine(400000);  // Service time far exceeds the burst duration.
+  // Service time must far exceed the burst duration even if the OS
+  // deschedules the submitting thread for a few quanta mid-burst (a
+  // real hazard on a 1-core host, where the worker runs by preemption):
+  // ~20 ms per query vs a microseconds-scale submit loop.
+  MakeEngine(2000000);
   ServerOptions opts;
   opts.num_workers = 1;
   opts.max_queue_per_session = 16;
