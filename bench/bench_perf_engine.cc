@@ -14,17 +14,21 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "data/datasets.h"
 #include "engine/engine.h"
+#include "obs/trace.h"
 
 namespace ideval {
 namespace {
 
 bool g_zone_maps = false;
+std::string g_trace_out;
 
 /// The road table re-sorted by `x`: the clustered layout on which a range
 /// predicate on `x` makes most blocks prunable.
@@ -194,11 +198,68 @@ void BM_ZoneMapHistogram(benchmark::State& state) {
 }
 BENCHMARK(BM_ZoneMapHistogram)->Arg(0)->Arg(1);
 
+/// Runs the three representative operator queries a few times each under a
+/// standalone `TraceBuffer`, one trace per query with a `kExecute` span
+/// carrying the engine's work stats, and exports the timeline. The same
+/// file format the serve bench emits, so engine-only spans can be eyeballed
+/// in ui.perfetto.dev without standing up a server.
+int ExportEngineTrace(const std::string& path) {
+  Engine* engine = SharedEngine(EngineProfile::kInMemoryColumnStore);
+  TraceOptions topts;
+  TraceBuffer buffer(topts);
+
+  HistogramQuery hist;
+  hist.table = "dataroad";
+  hist.bin_column = "y";
+  hist.bin_lo = 56.582;
+  hist.bin_hi = 57.774;
+  hist.bins = 20;
+  hist.predicates = {RangePredicate{"x", 8.146, 10.0},
+                     RangePredicate{"z", -8.608, 100.0}};
+  SelectQuery page;
+  page.table = "imdb";
+  page.limit = 100;
+  page.offset = 2000;
+  JoinPageQuery join;
+  join.left_table = "imdbrating";
+  join.right_table = "movie";
+  join.join_column = "id";
+  join.limit = 100;
+  join.offset = 2000;
+
+  const Query queries[] = {Query(hist), Query(page), Query(join)};
+  constexpr int kReps = 7;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const Query& q : queries) {
+      const TraceContext ctx = MakeTraceContext(&buffer, /*session_id=*/1);
+      Span exec(ctx, SpanKind::kExecute, /*parent_span_id=*/0);
+      auto r = engine->Execute(q);
+      if (!r.ok()) {
+        std::fprintf(stderr, "trace query failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      exec.SetAttrs(r->stats.tuples_scanned, r->stats.blocks_scanned,
+                    r->stats.blocks_pruned);
+    }
+  }
+  const Status exported = buffer.ExportChromeTrace(path);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 exported.ToString().c_str());
+    return 1;
+  }
+  const TraceBufferStats stats = buffer.Stats();
+  std::printf("engine trace: %lld spans -> %s\n",
+              static_cast<long long>(stats.recorded), path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ideval
 
 int main(int argc, char** argv) {
-  // Strip --zone_maps before google-benchmark rejects it as unknown.
+  // Strip the flags google-benchmark would reject as unknown.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--zone_maps") == 0 ||
@@ -206,6 +267,8 @@ int main(int argc, char** argv) {
       ideval::g_zone_maps = true;
     } else if (std::strcmp(argv[i], "--zone_maps=0") == 0) {
       ideval::g_zone_maps = false;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      ideval::g_trace_out = argv[i] + 12;
     } else {
       argv[out++] = argv[i];
     }
@@ -215,5 +278,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!ideval::g_trace_out.empty()) {
+    return ideval::ExportEngineTrace(ideval::g_trace_out);
+  }
   return 0;
 }

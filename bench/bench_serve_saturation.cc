@@ -22,7 +22,11 @@
 /// `--cache 1` turns the shared result cache on for every sweep;
 /// `--zone_maps 1` turns engine zone-map pruning on for every sweep;
 /// `--smoke 1` runs one tiny configuration of each sweep (the ctest
-/// `perf_smoke` mode).
+/// `perf_smoke` mode); `--trace_out=FILE` additionally runs one traced
+/// configuration (2 shards + shared cache + per-query tracing + slow-query
+/// log), writes its span timeline to FILE as Chrome trace-event JSON
+/// (open in ui.perfetto.dev), and prints the tracing on/off throughput
+/// delta.
 
 #include <cstdio>
 #include <memory>
@@ -47,6 +51,7 @@ struct BenchConfig {
   bool cache = false;
   bool zone_maps = false;
   bool smoke = false;
+  std::string trace_out;  ///< Empty = skip the traced run.
 
   int64_t rows() const { return smoke ? 20000 : 120000; }
   int moves() const { return smoke ? 4 : 10; }
@@ -246,6 +251,110 @@ void RunCacheSweep(const BenchConfig& cfg, const TablePtr& road) {
       "(the knee) rises because the service-time EWMA shrinks on hits\n\n");
 }
 
+/// One traced configuration, run twice — tracing off then on — so the
+/// overhead of the instrumentation itself is a printed number, not a
+/// claim. The traced pass exports its ring buffer to `path` and prints
+/// the slow-query log. 2 shards + shared cache puts every span kind on
+/// the timeline: admission and queue-wait from the server, cache lookups
+/// (hit/miss/coalesced), and scatter/shard/merge under each miss.
+void RunTraced(const BenchConfig& cfg, const TablePtr& road,
+               const std::string& path) {
+  const int clients = cfg.smoke ? 4 : 12;
+  std::printf(
+      "traced run: 2 workers, 2 shards, shared cache on, %d clients "
+      "replaying the same session:\n", clients);
+
+  double qps_off = 0.0;
+  double qps_on = 0.0;
+  for (const bool tracing : {false, true}) {
+    EngineOptions eopts;
+    eopts.profile = EngineProfile::kInMemoryColumnStore;
+    eopts.enable_zone_maps = cfg.zone_maps;
+    ShardedEngineOptions shopts;
+    shopts.num_shards = 2;
+    shopts.engine_options = eopts;
+    auto made = ShardedEngine::Create(shopts);
+    if (!made.ok() || !(*made)->PartitionTable(road).ok()) std::abort();
+    std::unique_ptr<ShardedEngine> sharded = std::move(*made);
+
+    ServerOptions sopts;
+    sopts.num_workers = 2;
+    sopts.max_queue_per_session = 4;
+    sopts.policy = AdmissionPolicy::kFifo;
+    sopts.enable_shared_cache = true;
+    sopts.enable_tracing = tracing;
+    // Low threshold on purpose: a bench exists to produce log entries.
+    // Enabled in both passes so the printed delta isolates tracing.
+    sopts.slow_query_ms = 5.0;
+    auto server = QueryServer::Create(sharded.get(), sopts);
+    if (!server.ok()) std::abort();
+
+    std::vector<std::vector<QueryGroup>> sessions;
+    sessions.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      sessions.push_back(bench::CrossfilterGroups(
+          road, DeviceType::kMouse, bench::kCrossfilterSeed + 300,
+          cfg.moves()));
+    }
+    LoadDriverOptions lopts;
+    lopts.time_compression = kCompression;
+    auto report = RunLoadDriver(server->get(), sessions, lopts);
+    if (!report.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   report.status().ToString().c_str());
+      std::abort();
+    }
+    (tracing ? qps_on : qps_off) = report->snapshot.throughput_qps;
+
+    if (tracing) {
+      TraceBuffer* buffer = (*server)->trace_buffer();
+      const TraceBufferStats tstats = buffer->Stats();
+      const Status exported = buffer->ExportChromeTrace(path);
+      if (!exported.ok()) {
+        std::fprintf(stderr, "FATAL: trace export: %s\n",
+                     exported.ToString().c_str());
+        std::abort();
+      }
+      std::printf(
+          "  spans recorded %lld (dropped %lld, buffer %lld/%lld) -> %s\n",
+          static_cast<long long>(tstats.recorded),
+          static_cast<long long>(tstats.dropped),
+          static_cast<long long>(tstats.live),
+          static_cast<long long>(tstats.capacity), path.c_str());
+      const SlowQueryLog* slow = (*server)->slow_query_log();
+      if (slow != nullptr && slow->logged() > 0) {
+        std::printf("  slow-query log (threshold %.1f ms, %lld logged; "
+                    "first entries):\n",
+                    slow->options().threshold.millis(),
+                    static_cast<long long>(slow->logged()));
+        // Saturated runs log hundreds of LCV entries; print the head.
+        const std::string text = slow->ToText();
+        int lines = 0;
+        size_t pos = 0;
+        constexpr int kMaxLines = 14;
+        while (pos < text.size() && lines < kMaxLines) {
+          size_t nl = text.find('\n', pos);
+          if (nl == std::string::npos) nl = text.size();
+          std::printf("%.*s\n", static_cast<int>(nl - pos), &text[pos]);
+          pos = nl + 1;
+          ++lines;
+        }
+        if (pos < text.size()) std::printf("  ...\n");
+      }
+    }
+    (*server)->Stop();
+  }
+  const double delta =
+      qps_off > 0.0 ? (qps_off - qps_on) / qps_off * 100.0 : 0.0;
+  std::printf(
+      "  throughput: tracing off %.1f q/s, on %.1f q/s (delta %+.1f%%)\n",
+      qps_off, qps_on, delta);
+  std::printf(
+      "check: the delta stays within run-to-run noise (a span is two "
+      "clock reads and one ring slot); open the JSON in ui.perfetto.dev "
+      "and follow one trace_id from admission to merge\n\n");
+}
+
 void Run(const BenchConfig& cfg) {
   bench::PrintHeader(
       "SRV", "Live query server — saturation sweep over workers x clients "
@@ -264,6 +373,7 @@ void Run(const BenchConfig& cfg) {
   RunShardSweep(cfg, road);
   RunCacheSweep(cfg, road);
   RunPolicySweep(cfg, road);
+  if (!cfg.trace_out.empty()) RunTraced(cfg, road, cfg.trace_out);
 }
 
 }  // namespace
@@ -273,9 +383,10 @@ int main(int argc, char** argv) {
   ideval::BenchConfig cfg;
   cfg.max_workers = ideval::bench::WorkerThreads(argc, argv);
   cfg.pinned_shards = ideval::bench::IntFlag(argc, argv, "shards", 0);
-  cfg.cache = ideval::bench::IntFlag(argc, argv, "cache", 0) != 0;
-  cfg.zone_maps = ideval::bench::IntFlag(argc, argv, "zone_maps", 0) != 0;
-  cfg.smoke = ideval::bench::IntFlag(argc, argv, "smoke", 0) != 0;
+  cfg.cache = ideval::bench::BoolFlag(argc, argv, "cache");
+  cfg.zone_maps = ideval::bench::BoolFlag(argc, argv, "zone_maps");
+  cfg.smoke = ideval::bench::BoolFlag(argc, argv, "smoke");
+  cfg.trace_out = ideval::bench::StrFlag(argc, argv, "trace_out");
   ideval::Run(cfg);
   return 0;
 }

@@ -81,6 +81,61 @@ int IntFlag(int argc, char** argv, const char* name, int def) {
   return static_cast<int>(parsed);
 }
 
+bool BoolFlag(int argc, char** argv, const char* name, bool def) {
+  const std::string prefix = std::string("--") + name;
+  const std::string prefix_eq = prefix + "=";
+  bool result = def;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (prefix == argv[i]) {
+      if (i + 1 < argc && (std::strcmp(argv[i + 1], "0") == 0 ||
+                           std::strcmp(argv[i + 1], "1") == 0)) {
+        value = argv[i + 1];
+      } else {
+        result = true;  // Bare `--name`.
+        continue;
+      }
+    } else if (std::strncmp(argv[i], prefix_eq.c_str(),
+                            prefix_eq.size()) == 0) {
+      value = argv[i] + prefix_eq.size();
+    } else {
+      continue;
+    }
+    if (std::strcmp(value, "1") == 0 || std::strcmp(value, "true") == 0) {
+      result = true;
+    } else if (std::strcmp(value, "0") == 0 ||
+               std::strcmp(value, "false") == 0) {
+      result = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [0|1|true|false], got '%s'\n",
+                   prefix.c_str(), value);
+      std::exit(2);
+    }
+  }
+  return result;
+}
+
+std::string StrFlag(int argc, char** argv, const char* name,
+                    const std::string& def) {
+  const std::string prefix = std::string("--") + name;
+  const std::string prefix_eq = prefix + "=";
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (prefix == argv[i] && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(argv[i], prefix_eq.c_str(),
+                            prefix_eq.size()) == 0) {
+      value = argv[i] + prefix_eq.size();
+    }
+  }
+  if (value == nullptr) return def;
+  if (*value == '\0') {
+    std::fprintf(stderr, "usage: %s VALUE (non-empty)\n", prefix.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
 TablePtr Movies() {
   MoviesOptions opts;
   return MustOk(MakeMoviesTable(opts), "MakeMoviesTable");

@@ -31,6 +31,16 @@ int WorkerThreads(int argc, char** argv);
 /// Exits with a usage message on a malformed or out-of-range value.
 int IntFlag(int argc, char** argv, const char* name, int def);
 
+/// Generic string flag: `--<name> VALUE` or `--<name>=VALUE`, else `def`
+/// (which may be empty). An empty explicit value is a usage error.
+std::string StrFlag(int argc, char** argv, const char* name,
+                    const std::string& def = "");
+
+/// Generic boolean flag: bare `--<name>` means true; `--<name> 0|1` and
+/// `--<name>=0|1|true|false` are explicit. Anything else following the
+/// bare form is treated as the next flag, not this one's value.
+bool BoolFlag(int argc, char** argv, const char* name, bool def = false);
+
 /// Seeds shared by all benches so figures/tables are cross-consistent.
 /// The scroll seed is chosen so the 15 sampled users' peak speeds land on
 /// Table 7's published population (min 12, median ~58, max 200 tuples/s).

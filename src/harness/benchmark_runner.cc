@@ -213,6 +213,19 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       if (spec.time_compression <= 0) {
         return Status::InvalidArgument("time_compression must be > 0");
       }
+    } else if (key == "serve_trace") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_trace, ParseBool(key, value));
+    } else if (key == "serve_trace_buffer_spans") {
+      IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
+      if (n < 1) {
+        return Status::InvalidArgument(
+            "serve_trace_buffer_spans must be >= 1");
+      }
+      spec.serve_trace_buffer_spans = static_cast<int64_t>(n);
+    } else if (key == "serve_slow_query_ms") {
+      // Negative disables the log, so any number parses.
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_slow_query_ms,
+                              ParseNumber(key, value));
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown key '%s'", line_no, key.c_str()));
@@ -272,6 +285,10 @@ std::string WorkloadSpecToText(const WorkloadSpec& spec) {
                    spec.serve_shared_cache ? "true" : "false");
   out += StrFormat("serve_shards = %d\n", spec.serve_shards);
   out += StrFormat("time_compression = %g\n", spec.time_compression);
+  out += StrFormat("serve_trace = %s\n", spec.serve_trace ? "true" : "false");
+  out += StrFormat("serve_trace_buffer_spans = %lld\n",
+                   static_cast<long long>(spec.serve_trace_buffer_spans));
+  out += StrFormat("serve_slow_query_ms = %g\n", spec.serve_slow_query_ms);
   out += StrFormat("engine_zone_maps = %s\n",
                    spec.engine_zone_maps ? "true" : "false");
   return out;
@@ -599,6 +616,9 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
   sopts.adaptive_admission = spec.adaptive_admission;
   sopts.enable_session_cache = spec.serve_cache;
   sopts.enable_shared_cache = spec.serve_shared_cache;
+  sopts.enable_tracing = spec.serve_trace;
+  sopts.trace_buffer_spans = spec.serve_trace_buffer_spans;
+  sopts.slow_query_ms = spec.serve_slow_query_ms;
   if (spec.throttle_interval > Duration::Zero()) {
     sopts.throttle_min_interval = spec.throttle_interval;
   }

@@ -88,6 +88,15 @@ struct WorkloadSpec {
   int serve_shards = 1;
   /// Trace replay speed-up for the live load driver (>= 1 recommended).
   double time_compression = 50.0;
+  /// Per-query tracing in live mode (`ServerOptions::enable_tracing`):
+  /// every group records admission/queue/cache/shard/merge spans into the
+  /// server's ring buffer. Off by default — the hot path stays span-free.
+  bool serve_trace = false;
+  /// Ring-buffer capacity (spans) when `serve_trace` is on.
+  int64_t serve_trace_buffer_spans = 1 << 16;
+  /// Slow-query log threshold in milliseconds; negative = log disabled.
+  /// LCV-violating groups are logged regardless of latency.
+  double serve_slow_query_ms = -1.0;
 
   // --- Engine knobs (simulated and live modes). ---
   /// Build zone maps at registration and prune scan blocks whose min/max

@@ -1,0 +1,62 @@
+#include "obs/slow_query_log.h"
+
+#include "common/text_table.h"
+
+namespace ideval {
+
+SlowQueryLog::SlowQueryLog(SlowQueryLogOptions options) : options_(options) {
+  if (options_.capacity < 1) options_.capacity = 1;
+}
+
+bool SlowQueryLog::MaybeRecord(const SlowQueryRecord& record) {
+  const bool slow = record.latency_ms >= options_.threshold.millis();
+  const bool lcv_worthy = options_.always_log_lcv && record.lcv;
+  if (!slow && !lcv_worthy) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(entries_.size()) >= options_.capacity) {
+    entries_.pop_front();
+    ++evicted_;
+  }
+  entries_.push_back(record);
+  ++logged_;
+  return true;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+int64_t SlowQueryLog::logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logged_;
+}
+
+int64_t SlowQueryLog::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::string SlowQueryLog::ToText() const {
+  TextTable table({"session", "seq", "trace", "submit (s)", "queue (ms)",
+                   "service (ms)", "latency (ms)", "ok/fail", "hits",
+                   "LCV"});
+  for (const SlowQueryRecord& r : Snapshot()) {
+    table.AddRow(
+        {StrFormat("%llu", static_cast<unsigned long long>(r.session_id)),
+         StrFormat("%llu", static_cast<unsigned long long>(r.seq)),
+         r.trace_id > 0
+             ? StrFormat("%llu", static_cast<unsigned long long>(r.trace_id))
+             : std::string("-"),
+         StrFormat("%.3f", static_cast<double>(r.submit_us) / 1e6),
+         StrFormat("%.2f", r.queue_ms), StrFormat("%.2f", r.service_ms),
+         StrFormat("%.2f", r.latency_ms),
+         StrFormat("%lld/%lld", static_cast<long long>(r.queries_ok),
+                   static_cast<long long>(r.queries_failed)),
+         StrFormat("%lld", static_cast<long long>(r.cache_hits)),
+         r.lcv ? "yes" : "no"});
+  }
+  return table.ToString();
+}
+
+}  // namespace ideval

@@ -1,0 +1,76 @@
+#ifndef IDEVAL_OBS_SLOW_QUERY_LOG_H_
+#define IDEVAL_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// One executed group that crossed the slow threshold (or violated the
+/// latency constraint). The queue/service split says *where* the time
+/// went — the question the end-to-end percentiles cannot answer.
+struct SlowQueryRecord {
+  uint64_t trace_id = 0;  ///< 0 when tracing is off (the log still works).
+  uint64_t session_id = 0;
+  uint64_t seq = 0;       ///< Per-session submission sequence number.
+  int64_t submit_us = 0;  ///< Submission time, µs since server start.
+  double queue_ms = 0.0;    ///< Submit -> dispatched to a worker.
+  double service_ms = 0.0;  ///< Dispatch -> last query done.
+  double latency_ms = 0.0;  ///< Submit -> done (queue + service).
+  int64_t queries_ok = 0;
+  int64_t queries_failed = 0;
+  int64_t cache_hits = 0;
+  bool lcv = false;  ///< Completed after a newer submission (§7.2).
+};
+
+struct SlowQueryLogOptions {
+  /// Groups with latency >= this are logged.
+  Duration threshold = Duration::Millis(100);
+  /// LCV violations are logged even when faster than the threshold: a
+  /// late-contradicting frame is interesting at any latency.
+  bool always_log_lcv = true;
+  /// Bounded: once full the oldest entry is evicted (newest-N).
+  int64_t capacity = 256;
+};
+
+/// A bounded, structured log of the worst interactions a server served.
+/// Thread-safe; the common case (fast group, no violation) takes one
+/// mutex acquisition only when the log is enabled at all.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowQueryLogOptions options);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Logs `record` iff it crosses the threshold or (optionally) flags an
+  /// LCV violation. Returns whether it was kept.
+  bool MaybeRecord(const SlowQueryRecord& record);
+
+  /// Entries oldest-first.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  int64_t logged() const;
+  int64_t evicted() const;
+
+  /// Renders the log as an aligned text table, slowest entries last.
+  std::string ToText() const;
+
+  const SlowQueryLogOptions& options() const { return options_; }
+
+ private:
+  SlowQueryLogOptions options_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryRecord> entries_;
+  int64_t logged_ = 0;
+  int64_t evicted_ = 0;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OBS_SLOW_QUERY_LOG_H_

@@ -156,6 +156,21 @@ void ResultCache::Insert(Shard* shard, const std::string& key,
 
 Result<ResultCache::Execution> ResultCache::Execute(const Query& query,
                                                     const Backend& backend) {
+  return Execute(
+      query,
+      [&backend](const Query& q, const TraceContext&, uint64_t) {
+        return backend(q);
+      },
+      TraceContext(), /*parent_span_id=*/0);
+}
+
+Result<ResultCache::Execution> ResultCache::Execute(
+    const Query& query, const TracedBackend& backend,
+    const TraceContext& trace, uint64_t parent_span_id) {
+  // Covers the whole lookup: a coalesced caller's span is its wait on the
+  // leader's flight; a hit's span is a map probe. Detail carries the
+  // outcome (1 hit / 2 miss / 3 coalesced / 0 backend error).
+  Span lookup(trace, SpanKind::kCacheLookup, parent_span_id);
   const std::string key = CanonicalQueryKey(query);
   Shard& shard = ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
@@ -168,6 +183,7 @@ Result<ResultCache::Execution> ResultCache::Execute(const Query& query,
       Execution out;
       out.response = hit->second.response;
       out.outcome = CacheOutcome::kHit;
+      lookup.SetDetail(1);
       return out;
     }
     auto flying = shard.flights.find(key);
@@ -181,17 +197,25 @@ Result<ResultCache::Execution> ResultCache::Execute(const Query& query,
     Execution out;
     out.response = flight->response;
     out.outcome = CacheOutcome::kCoalesced;
+    lookup.SetDetail(3);
     return out;
   }
 
   auto flight = std::make_shared<Flight>();
   shard.flights.emplace(key, flight);
+  ++shard.stats.leader_executions;
   const uint64_t epoch = shard.epoch;
   lock.unlock();
 
   // The backend runs outside every cache lock; it may block (e.g. on a
   // shard pool) without stalling other keys of this shard.
-  Result<QueryResponse> r = backend(query);
+  Span exec(trace, SpanKind::kExecute, lookup.id());
+  Result<QueryResponse> r = backend(query, trace, exec.id());
+  if (r.ok()) {
+    exec.SetAttrs(r->stats.tuples_scanned, r->stats.blocks_scanned,
+                  r->stats.blocks_pruned);
+  }
+  exec.End();
 
   lock.lock();
   ++shard.stats.misses;
@@ -212,6 +236,7 @@ Result<ResultCache::Execution> ResultCache::Execute(const Query& query,
   Execution out;
   out.response = std::move(*r);
   out.outcome = CacheOutcome::kMiss;
+  lookup.SetDetail(2);
   return out;
 }
 
@@ -252,6 +277,7 @@ ResultCacheStats ResultCache::Stats() const {
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.coalesced += shard->stats.coalesced;
+    total.leader_executions += shard->stats.leader_executions;
     total.evictions += shard->stats.evictions;
     total.invalidations += shard->stats.invalidations;
     total.entries += static_cast<int64_t>(shard->entries.size());

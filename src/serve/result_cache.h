@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "engine/engine.h"
 #include "engine/query.h"
+#include "obs/trace.h"
 
 namespace ideval {
 
@@ -51,6 +52,13 @@ struct ResultCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t coalesced = 0;
+  /// Single-flight leaderships taken: callers that installed a flight and
+  /// ran the backend themselves. Every miss is a leader execution
+  /// (`leader_executions == misses` after quiescence), which is exactly
+  /// what makes the leader path assertable: `coalesced` lookups rode a
+  /// flight without bumping this, so `misses` alone can no longer be
+  /// misread as "queries the backend saw".
+  int64_t leader_executions = 0;
   int64_t evictions = 0;      ///< Entries dropped to fit the byte budget.
   int64_t invalidations = 0;  ///< Entries dropped by Clear/InvalidateTable.
   int64_t entries = 0;        ///< Live entries right now.
@@ -103,6 +111,11 @@ struct ResultCacheOptions {
 class ResultCache {
  public:
   using Backend = std::function<Result<QueryResponse>(const Query&)>;
+  /// Backend with trace plumbing: on a miss the cache passes its execute
+  /// span's id down so a sharded backend can parent per-shard spans under
+  /// the lookup that caused them.
+  using TracedBackend = std::function<Result<QueryResponse>(
+      const Query&, const TraceContext&, uint64_t parent_span_id)>;
 
   /// One serviced lookup: the response plus how it was obtained.
   struct Execution {
@@ -119,6 +132,14 @@ class ResultCache {
   /// by running `backend(query)` (single flight). On a miss the original
   /// (non-canonicalized) query is what the backend executes.
   Result<Execution> Execute(const Query& query, const Backend& backend);
+
+  /// As above, emitting a `kCacheLookup` span (outcome in its detail)
+  /// under `parent_span_id`, and — on the leader path — a nested
+  /// `kExecute` span around the backend run with the response's work
+  /// stats attached. With a disabled `trace` this is the plain overload.
+  Result<Execution> Execute(const Query& query, const TracedBackend& backend,
+                            const TraceContext& trace,
+                            uint64_t parent_span_id);
 
   /// Drops every entry and advances the epoch (in-flight executions will
   /// not install results). Call while quiescing the backend — e.g. around

@@ -59,6 +59,11 @@ Status QueryServer::ValidateOptions(const ServerOptions& options) {
         StrFormat("shard_workers must be >= 0, got %d",
                   options.shard_workers));
   }
+  if (options.enable_tracing && options.trace_buffer_spans < 1) {
+    return Status::InvalidArgument(
+        StrFormat("trace_buffer_spans must be >= 1, got %lld",
+                  static_cast<long long>(options.trace_buffer_spans)));
+  }
   return Status::OK();
 }
 
@@ -131,12 +136,27 @@ QueryServer::QueryServer(const Engine* engine, const ShardedEngine* sharded,
     result_cache_ = std::make_unique<ResultCache>(copts);
     cache_backend_ =
         sharded_ != nullptr
-            ? ResultCache::Backend([this](const Query& q) {
-                return ExecuteOneSharded(q);
-              })
-            : ResultCache::Backend([this](const Query& q) {
-                return engine_->Execute(q);
-              });
+            ? ResultCache::TracedBackend(
+                  [this](const Query& q, const TraceContext& trace,
+                         uint64_t parent) {
+                    return ExecuteOneSharded(q, trace, parent);
+                  })
+            : ResultCache::TracedBackend(
+                  [this](const Query& q, const TraceContext&, uint64_t) {
+                    return engine_->Execute(q);
+                  });
+  }
+  if (options_.enable_tracing) {
+    TraceOptions topts;
+    topts.capacity_spans = options_.trace_buffer_spans;
+    trace_ = std::make_unique<TraceBuffer>(topts);
+    // Share the server's epoch so span timestamps line up with `Now()`.
+    trace_->set_epoch(epoch_);
+  }
+  if (options_.slow_query_ms >= 0.0) {
+    SlowQueryLogOptions sopts;
+    sopts.threshold = Duration::MillisF(options_.slow_query_ms);
+    slow_log_ = std::make_unique<SlowQueryLog>(sopts);
   }
 }
 
@@ -179,6 +199,28 @@ Status QueryServer::CloseSession(uint64_t session_id) {
   return Status::OK();
 }
 
+void QueryServer::TraceAdmission(const TraceContext& trace,
+                                 const SubmitOutcome& out, SimTime now,
+                                 int64_t queue_depth) {
+  if (!trace.enabled()) return;
+  RecordSpan(trace, SpanKind::kAdmission, trace.buffer->NewSpanId(),
+             trace.root_span_id, now.micros(), now.micros(),
+             static_cast<uint32_t>(out.disposition),
+             static_cast<int64_t>(out.load.state), queue_depth,
+             static_cast<int64_t>(out.load.load_factor * 1000.0));
+  // A door shed is the group's terminal state: close the root span too.
+  if (out.disposition == SubmitDisposition::kThrottled ||
+      out.disposition == SubmitDisposition::kRejected) {
+    const GroupTerminal terminal =
+        out.disposition == SubmitDisposition::kThrottled
+            ? GroupTerminal::kShedThrottled
+            : GroupTerminal::kRejected;
+    RecordSpan(trace, SpanKind::kGroup, trace.root_span_id,
+               /*parent_span_id=*/0, now.micros(), now.micros(),
+               static_cast<uint32_t>(terminal));
+  }
+}
+
 Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
                                           std::vector<Query> queries) {
   if (queries.empty()) {
@@ -212,9 +254,15 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
                             : options_.policy;
   }
 
+  // The trace handle the group carries through its whole pipeline; a
+  // disabled (null-buffer) context when tracing is off.
+  const TraceContext trace = MakeTraceContext(trace_.get(), session_id);
+
   if (out.load.reject) {
     ++s->counters().groups_rejected;
     out.disposition = SubmitDisposition::kRejected;
+    TraceAdmission(trace, out, now,
+                   static_cast<int64_t>(s->queue().size()));
     return out;
   }
 
@@ -226,11 +274,15 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
           now - *s->last_admitted() < options_.throttle_min_interval) {
         ++c.groups_shed_throttled;
         out.disposition = SubmitDisposition::kThrottled;
+        TraceAdmission(trace, out, now,
+                       static_cast<int64_t>(s->queue().size()));
         return out;
       }
       if (s->queue().size() >= cap) {
         ++c.groups_rejected;
         out.disposition = SubmitDisposition::kRejected;
+        TraceAdmission(trace, out, now,
+                       static_cast<int64_t>(s->queue().size()));
         return out;
       }
       s->set_last_admitted(now);
@@ -238,6 +290,14 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
     case AdmissionPolicy::kDebounce:
       // Newest-wins coalescing: anything still pending is superseded.
       if (!s->queue().empty()) {
+        for (const PendingGroup& old : s->queue()) {
+          // Terminal state for the superseded groups: their root spans
+          // close here, never having reached a worker.
+          RecordSpan(old.trace, SpanKind::kGroup, old.trace.root_span_id,
+                     /*parent_span_id=*/0, old.submit_time.micros(),
+                     now.micros(),
+                     static_cast<uint32_t>(GroupTerminal::kShedCoalesced));
+        }
         c.groups_shed_coalesced +=
             static_cast<int64_t>(s->queue().size());
         s->queue().clear();
@@ -248,12 +308,19 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
       if (s->queue().size() >= cap) {
         ++c.groups_rejected;
         out.disposition = SubmitDisposition::kRejected;
+        TraceAdmission(trace, out, now,
+                       static_cast<int64_t>(s->queue().size()));
         return out;
       }
       break;
     case AdmissionPolicy::kSkipStale:
       if (s->queue().size() >= cap) {
         // Shed the stalest pending group instead of pushing back.
+        const PendingGroup& victim = s->queue().front();
+        RecordSpan(victim.trace, SpanKind::kGroup,
+                   victim.trace.root_span_id, /*parent_span_id=*/0,
+                   victim.submit_time.micros(), now.micros(),
+                   static_cast<uint32_t>(GroupTerminal::kShedStale));
         s->queue().pop_front();
         ++c.groups_shed_stale;
       }
@@ -263,8 +330,12 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
   PendingGroup g;
   g.seq = out.seq;
   g.submit_time = now;
+  g.trace = trace;
   g.queries = std::move(queries);
   s->queue().push_back(std::move(g));
+  ++c.groups_admitted;
+  s->NoteQueueDepth(static_cast<int64_t>(s->queue().size()));
+  TraceAdmission(trace, out, now, static_cast<int64_t>(s->queue().size()));
   work_cv_.notify_all();
   return out;
 }
@@ -299,6 +370,15 @@ PendingGroup QueryServer::PopGroup(ServeSession* session) {
   std::deque<PendingGroup>& q = session->queue();
   if (effective_policy_ == AdmissionPolicy::kSkipStale) {
     // Jump to the newest pending group; everything older is stale.
+    if (trace_ != nullptr && q.size() > 1) {
+      const SimTime now = Now();
+      for (size_t i = 0; i + 1 < q.size(); ++i) {
+        RecordSpan(q[i].trace, SpanKind::kGroup, q[i].trace.root_span_id,
+                   /*parent_span_id=*/0, q[i].submit_time.micros(),
+                   now.micros(),
+                   static_cast<uint32_t>(GroupTerminal::kShedStale));
+      }
+    }
     session->counters().groups_shed_stale +=
         static_cast<int64_t>(q.size()) - 1;
     PendingGroup g = std::move(q.back());
@@ -325,6 +405,14 @@ void QueryServer::ShardWorkerLoop() {
     const SimTime t0 = Now();
     Result<QueryResponse> r = task.engine->Execute(*task.query);
     const Duration wall = Now() - t0;
+    if (task.trace.enabled()) {
+      RecordSpan(task.trace, SpanKind::kShardExec,
+                 task.trace.buffer->NewSpanId(), task.parent_span,
+                 t0.micros(), (t0 + wall).micros(),
+                 static_cast<uint32_t>(task.lane), task.shard,
+                 r.ok() ? r->stats.blocks_scanned : 0,
+                 r.ok() ? r->stats.blocks_pruned : 0);
+    }
     {
       // Notify under the lock: the instant `remaining` hits zero the
       // dispatching worker may wake and destroy the group state, so no
@@ -339,9 +427,13 @@ void QueryServer::ShardWorkerLoop() {
 }
 
 QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
-    const std::vector<Query>& queries) {
+    const std::vector<Query>& queries, const TraceContext& trace) {
   GroupOutcome out;
   const SimTime t0 = Now();
+  // Allocated up front so shard workers can parent their spans under the
+  // execute window before it is recorded.
+  const uint64_t execute_span_id =
+      trace.enabled() ? trace.buffer->NewSpanId() : 0;
 
   // Plan every query into per-shard subtasks. Plan failures fail the
   // query immediately; its partials never reach the shard pool.
@@ -389,18 +481,41 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
         task.done_mu = &done_mu;
         task.done_cv = &done_cv;
         task.remaining = &remaining;
+        task.trace = trace;
+        task.parent_span = execute_span_id;
+        task.shard = static_cast<int32_t>(sub.shard);
+        task.lane = static_cast<int32_t>(pq.first_slot + i);
         shard_queue_.push_back(task);
       }
     }
   }
   shard_cv_.notify_all();
   const SimTime t1 = Now();  // Scatter done: all partials queued.
+  RecordSpan(trace, SpanKind::kScatter,
+             trace.enabled() ? trace.buffer->NewSpanId() : 0,
+             trace.root_span_id, t0.micros(), t1.micros(), /*detail=*/0,
+             static_cast<int64_t>(total_subtasks),
+             static_cast<int64_t>(planned.size()), out.failed);
 
   {
     std::unique_lock<std::mutex> done(done_mu);
     done_cv.wait(done, [&remaining] { return remaining == 0; });
   }
   const SimTime t2 = Now();  // Execute done: last partial finished.
+  if (trace.enabled()) {
+    // The execute window's attrs aggregate the partials' work stats
+    // (slots are still intact here; the merge below consumes them).
+    int64_t tuples = 0, scanned = 0, pruned = 0;
+    for (const auto& slot : slots) {
+      if (!slot->ok()) continue;
+      tuples += (*slot)->stats.tuples_scanned;
+      scanned += (*slot)->stats.blocks_scanned;
+      pruned += (*slot)->stats.blocks_pruned;
+    }
+    RecordSpan(trace, SpanKind::kExecute, execute_span_id,
+               trace.root_span_id, t1.micros(), t2.micros(), /*detail=*/0,
+               tuples, scanned, pruned);
+  }
 
   // Merge each query's partials into the response an unsharded engine
   // would have produced.
@@ -428,6 +543,10 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
     }
   }
   const SimTime t3 = Now();
+  RecordSpan(trace, SpanKind::kMerge,
+             trace.enabled() ? trace.buffer->NewSpanId() : 0,
+             trace.root_span_id, t2.micros(), t3.micros(), /*detail=*/0,
+             out.executed, out.failed);
 
   out.scatter = t1 - t0;
   out.execute = t2 - t1;
@@ -441,7 +560,10 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
   return out;
 }
 
-Result<QueryResponse> QueryServer::ExecuteOneSharded(const Query& query) {
+Result<QueryResponse> QueryServer::ExecuteOneSharded(
+    const Query& query, const TraceContext& trace,
+    uint64_t parent_span_id) {
+  Span scatter(trace, SpanKind::kScatter, parent_span_id);
   IDEVAL_ASSIGN_OR_RETURN(ShardedEngine::ShardPlan plan,
                           sharded_->Plan(query));
   const size_t n = plan.subtasks.size();
@@ -463,10 +585,16 @@ Result<QueryResponse> QueryServer::ExecuteOneSharded(const Query& query) {
       task.done_mu = &done_mu;
       task.done_cv = &done_cv;
       task.remaining = &remaining;
+      task.trace = trace;
+      task.parent_span = parent_span_id;
+      task.shard = static_cast<int32_t>(sub.shard);
+      task.lane = static_cast<int32_t>(i);
       shard_queue_.push_back(task);
     }
   }
   shard_cv_.notify_all();
+  scatter.SetAttrs(static_cast<int64_t>(n), 1, 0);
+  scatter.End();
   {
     std::unique_lock<std::mutex> done(done_mu);
     done_cv.wait(done, [&remaining] { return remaining == 0; });
@@ -478,7 +606,10 @@ Result<QueryResponse> QueryServer::ExecuteOneSharded(const Query& query) {
     IDEVAL_RETURN_NOT_OK(slot->status());
     partials.push_back(std::move(**slot));
   }
-  return sharded_->Merge(query, plan, std::move(partials));
+  Span merge(trace, SpanKind::kMerge, parent_span_id);
+  auto merged = sharded_->Merge(query, plan, std::move(partials));
+  merge.SetAttrs(merged.ok() ? 1 : 0, merged.ok() ? 0 : 1);
+  return merged;
 }
 
 void QueryServer::WorkerLoop() {
@@ -504,6 +635,11 @@ void QueryServer::WorkerLoop() {
     // --- Execution, outside the server lock. The busy flag serializes
     // all access to this session's cache.
     const SimTime start = Now();
+    // The wait the user felt before any work began: submit -> dispatch.
+    RecordSpan(group.trace, SpanKind::kQueueWait,
+               group.trace.enabled() ? group.trace.buffer->NewSpanId() : 0,
+               group.trace.root_span_id, group.submit_time.micros(),
+               start.micros());
     int64_t executed = 0;
     int64_t failed = 0;
     int64_t hits = 0;
@@ -512,7 +648,8 @@ void QueryServer::WorkerLoop() {
       // Shared cache above either backend: one lookup per query; misses
       // run the backend (single-flight) inside the cache.
       for (const Query& query : group.queries) {
-        auto r = result_cache_->Execute(query, cache_backend_);
+        auto r = result_cache_->Execute(query, cache_backend_, group.trace,
+                                        group.trace.root_span_id);
         if (r.ok()) {
           ++executed;
           if (r->outcome != CacheOutcome::kMiss) ++hits;
@@ -521,16 +658,21 @@ void QueryServer::WorkerLoop() {
         }
       }
     } else if (sharded_ != nullptr) {
-      sharded_out = ExecuteGroupSharded(group.queries);
+      sharded_out = ExecuteGroupSharded(group.queries, group.trace);
       executed = sharded_out.executed;
       failed = sharded_out.failed;
     } else {
       for (const Query& query : group.queries) {
+        Span exec(group.trace, SpanKind::kExecute,
+                  group.trace.root_span_id);
         if (s->cache() != nullptr) {
           auto r = s->cache()->Execute(query);
           if (r.ok()) {
             ++executed;
             hits += r->cache_hit;
+            exec.SetAttrs(r->response.stats.tuples_scanned,
+                          r->response.stats.blocks_scanned,
+                          r->response.stats.blocks_pruned);
           } else {
             ++failed;
           }
@@ -538,6 +680,8 @@ void QueryServer::WorkerLoop() {
           auto r = engine_->Execute(query);
           if (r.ok()) {
             ++executed;
+            exec.SetAttrs(r->stats.tuples_scanned, r->stats.blocks_scanned,
+                          r->stats.blocks_pruned);
           } else {
             ++failed;
           }
@@ -562,8 +706,32 @@ void QueryServer::WorkerLoop() {
     c.queries_executed += executed;
     c.queries_failed += failed;
     c.cache_hits += hits;
-    if (s->CheckLcvViolation(group.seq, finish)) {
+    const bool lcv = s->CheckLcvViolation(group.seq, finish);
+    if (lcv) {
       ++c.lcv_violations;
+    }
+    // The group reached its terminal state: close the root span opened at
+    // Submit, and offer the interaction to the slow-query log.
+    RecordSpan(group.trace, SpanKind::kGroup, group.trace.root_span_id,
+               /*parent_span_id=*/0, group.submit_time.micros(),
+               finish.micros(),
+               static_cast<uint32_t>(GroupTerminal::kExecuted) |
+                   (lcv ? kGroupLcvBit : 0u),
+               executed, failed, hits);
+    if (slow_log_ != nullptr) {
+      SlowQueryRecord rec;
+      rec.trace_id = group.trace.trace_id;
+      rec.session_id = s->id();
+      rec.seq = group.seq;
+      rec.submit_us = group.submit_time.micros();
+      rec.queue_ms = (start - group.submit_time).millis();
+      rec.service_ms = (finish - start).millis();
+      rec.latency_ms = (finish - group.submit_time).millis();
+      rec.queries_ok = executed;
+      rec.queries_failed = failed;
+      rec.cache_hits = hits;
+      rec.lcv = lcv;
+      slow_log_->MaybeRecord(rec);
     }
     if (sharded_ != nullptr && result_cache_ == nullptr) {
       controller_.OnCompleteSharded(finish, finish - start,
@@ -633,8 +801,10 @@ ServerStatsSnapshot QueryServer::Snapshot() {
       row.counters = s->counters();
       row.qif_qps = s->QifQps(now);
       row.queued = static_cast<int64_t>(s->queue().size());
+      row.queue_hwm = s->queue_hwm();
       snap.totals += row.counters;
       snap.groups_queued += row.queued;
+      snap.queue_hwm = std::max(snap.queue_hwm, row.queue_hwm);
       snap.sessions.push_back(std::move(row));
     }
     snap.load = controller_.Assess(now);
@@ -642,6 +812,14 @@ ServerStatsSnapshot QueryServer::Snapshot() {
   if (result_cache_ != nullptr) {
     snap.result_cache_enabled = true;
     snap.result_cache = result_cache_->Stats();
+  }
+  if (trace_ != nullptr) {
+    snap.tracing_enabled = true;
+    snap.trace_buffer = trace_->Stats();
+  }
+  if (slow_log_ != nullptr) {
+    snap.slow_log_enabled = true;
+    snap.slow_queries_logged = slow_log_->logged();
   }
   metrics_.FillSnapshot(&snap, now);
   snap.throughput_qps =

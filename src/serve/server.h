@@ -15,6 +15,8 @@
 #include "common/sim_time.h"
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/result_cache.h"
 #include "serve/server_stats.h"
@@ -59,6 +61,20 @@ struct ServerOptions {
   /// Dedicated shard-executor threads for the sharded `Create` overload;
   /// 0 = one per shard. Ignored for an unsharded server.
   int shard_workers = 0;
+  /// Per-query tracing (`obs/trace.h`): every submission gets a trace id
+  /// and emits spans for admission, queue wait, cache lookup, execution,
+  /// scatter/shard/merge into a bounded ring buffer exportable as a
+  /// Perfetto timeline. Off by default; when off, every instrumentation
+  /// site reduces to one null-pointer branch.
+  bool enable_tracing = false;
+  /// Ring capacity (span records); oldest spans are overwritten once
+  /// full. `Create` rejects values < 1 when tracing is enabled.
+  int64_t trace_buffer_spans = 1 << 16;
+  /// Slow-query log threshold in milliseconds; negative disables the
+  /// log. Executed groups at or above the threshold — or flagging an LCV
+  /// violation — land in a bounded structured log, independent of
+  /// `enable_tracing`.
+  double slow_query_ms = -1.0;
 };
 
 /// What happened to one submission at the server door.
@@ -168,6 +184,15 @@ class QueryServer {
   ResultCache* result_cache() { return result_cache_.get(); }
   const ResultCache* result_cache() const { return result_cache_.get(); }
 
+  /// The span ring buffer, or null when `enable_tracing` is off.
+  /// `Snapshot` / `Stats` / `ExportChromeTrace` are safe on a live
+  /// server.
+  TraceBuffer* trace_buffer() { return trace_.get(); }
+  const TraceBuffer* trace_buffer() const { return trace_.get(); }
+
+  /// The slow-query log, or null when `slow_query_ms` is negative.
+  const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -193,6 +218,12 @@ class QueryServer {
     std::mutex* done_mu = nullptr;
     std::condition_variable* done_cv = nullptr;
     int* remaining = nullptr;
+    /// Tracing (disabled context when tracing is off): the shard worker
+    /// emits a kShardExec span under `parent_span` on lane `lane`.
+    TraceContext trace;
+    uint64_t parent_span = 0;
+    int32_t shard = 0;
+    int32_t lane = 0;
   };
 
   void ShardWorkerLoop();
@@ -207,15 +238,25 @@ class QueryServer {
     Duration shard_exec_mean;  ///< Mean partial wall time (capacity feed).
   };
 
-  /// Runs one admitted group through the sharded pipeline. Called by a
-  /// group worker outside the server lock.
-  GroupOutcome ExecuteGroupSharded(const std::vector<Query>& queries);
+  /// Runs one admitted group through the sharded pipeline, emitting
+  /// scatter/shard/merge spans under `trace`'s root when enabled. Called
+  /// by a group worker outside the server lock.
+  GroupOutcome ExecuteGroupSharded(const std::vector<Query>& queries,
+                                   const TraceContext& trace);
 
   /// Scatters, executes, and merges a single query on the sharded
   /// backend, returning the merged response: the shared cache's miss path
-  /// over `sharded_`. Called outside every lock (the shard pool has its
-  /// own).
-  Result<QueryResponse> ExecuteOneSharded(const Query& query);
+  /// over `sharded_`. Per-shard spans parent under `parent_span_id`.
+  /// Called outside every lock (the shard pool has its own).
+  Result<QueryResponse> ExecuteOneSharded(const Query& query,
+                                          const TraceContext& trace,
+                                          uint64_t parent_span_id);
+
+  /// Emits the instant kAdmission span for a submission and, when the
+  /// verdict is terminal (shed or rejected at the door), closes the root
+  /// group span too. No-op when tracing is off.
+  void TraceAdmission(const TraceContext& trace, const SubmitOutcome& out,
+                      SimTime now, int64_t queue_depth);
 
   /// Wall-clock time since server start, as a `SimTime` so the metric
   /// stack's types apply to live timestamps too.
@@ -252,7 +293,11 @@ class QueryServer {
   /// Shared cache above the backend (null unless enabled) and the backend
   /// callable its misses execute. Both internally synchronized.
   std::unique_ptr<ResultCache> result_cache_;
-  ResultCache::Backend cache_backend_;
+  ResultCache::TracedBackend cache_backend_;
+  /// Tracing backend (null unless `enable_tracing`) and slow-query log
+  /// (null unless `slow_query_ms >= 0`). Both internally synchronized.
+  std::unique_ptr<TraceBuffer> trace_;
+  std::unique_ptr<SlowQueryLog> slow_log_;
   std::vector<std::thread> workers_;
 
   // --- Shard-executor pool (sharded servers only). ---

@@ -6,6 +6,7 @@ namespace ideval {
 
 SessionCounters& SessionCounters::operator+=(const SessionCounters& o) {
   groups_submitted += o.groups_submitted;
+  groups_admitted += o.groups_admitted;
   groups_executed += o.groups_executed;
   groups_shed_stale += o.groups_shed_stale;
   groups_shed_coalesced += o.groups_shed_coalesced;
@@ -102,6 +103,16 @@ std::string ServerStatsSnapshot::ToText() const {
                  static_cast<long long>(totals.groups_shed_stale),
                  static_cast<long long>(totals.groups_shed_coalesced),
                  static_cast<long long>(totals.groups_shed_throttled))});
+  global.AddRow(
+      {"door verdicts (admitted / shed at door / rejected)",
+       StrFormat("%lld / %lld / %lld",
+                 static_cast<long long>(totals.groups_admitted),
+                 static_cast<long long>(totals.groups_shed_throttled),
+                 static_cast<long long>(totals.groups_rejected))});
+  global.AddRow({"queue depth (now / high-water)",
+                 StrFormat("%lld / %lld",
+                           static_cast<long long>(groups_queued),
+                           static_cast<long long>(queue_hwm))});
   global.AddRow({"queries executed / failed",
                  StrFormat("%lld / %lld",
                            static_cast<long long>(totals.queries_executed),
@@ -124,6 +135,20 @@ std::string ServerStatsSnapshot::ToText() const {
                    static_cast<long long>(result_cache.bytes),
                    static_cast<long long>(result_cache.evictions),
                    static_cast<long long>(result_cache.invalidations))});
+  }
+  if (tracing_enabled) {
+    global.AddRow(
+        {"trace buffer (live / capacity / recorded / dropped)",
+         StrFormat("%lld / %lld / %lld / %lld",
+                   static_cast<long long>(trace_buffer.live),
+                   static_cast<long long>(trace_buffer.capacity),
+                   static_cast<long long>(trace_buffer.recorded),
+                   static_cast<long long>(trace_buffer.dropped))});
+  }
+  if (slow_log_enabled) {
+    global.AddRow({"slow queries logged",
+                   StrFormat("%lld",
+                             static_cast<long long>(slow_queries_logged))});
   }
   global.AddRow({"latency mean / p50 / p90 / max (ms)",
                  StrFormat("%.2f / %.2f / %.2f / %.2f", latency_mean_ms,
@@ -151,13 +176,15 @@ std::string ServerStatsSnapshot::ToText() const {
 
   std::string out = global.ToString();
   if (!sessions.empty()) {
-    TextTable per({"session", "submitted", "executed", "shed", "rejected",
-                   "cache hits", "LCV", "QIF"});
+    TextTable per({"session", "submitted", "admitted", "executed", "shed",
+                   "rejected", "cache hits", "LCV", "queue hwm", "QIF"});
     for (const auto& row : sessions) {
       per.AddRow(
           {StrFormat("%llu", static_cast<unsigned long long>(row.session_id)),
            StrFormat("%lld",
                      static_cast<long long>(row.counters.groups_submitted)),
+           StrFormat("%lld",
+                     static_cast<long long>(row.counters.groups_admitted)),
            StrFormat("%lld",
                      static_cast<long long>(row.counters.groups_executed)),
            StrFormat("%lld",
@@ -167,6 +194,7 @@ std::string ServerStatsSnapshot::ToText() const {
            StrFormat("%lld", static_cast<long long>(row.counters.cache_hits)),
            StrFormat("%lld",
                      static_cast<long long>(row.counters.lcv_violations)),
+           StrFormat("%lld", static_cast<long long>(row.queue_hwm)),
            StrFormat("%.1f/s", row.qif_qps)});
     }
     out += "\n";

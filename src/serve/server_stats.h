@@ -9,6 +9,7 @@
 
 #include "common/sim_time.h"
 #include "common/streaming_stats.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/result_cache.h"
 
@@ -20,9 +21,17 @@ namespace ideval {
 ///     submitted == executed + shed_stale + shed_coalesced
 ///                + shed_throttled + rejected
 ///
-/// holds per session and (summed) globally.
+/// holds per session and (summed) globally. The door verdict is counted
+/// separately: `admitted` is the groups that entered the queue, so
+///
+///     submitted == admitted + shed_throttled + rejected
+///     admitted  == executed + shed_stale + shed_coalesced   (after drain)
+///
+/// — throttle/reject happen at the door, stale/coalesced sheds happen to
+/// groups that were already admitted.
 struct SessionCounters {
   int64_t groups_submitted = 0;
+  int64_t groups_admitted = 0;  ///< Entered the queue (door verdict).
   int64_t groups_executed = 0;
   int64_t groups_shed_stale = 0;      ///< Skip-stale dispatch/overflow.
   int64_t groups_shed_coalesced = 0;  ///< Debounce replacement.
@@ -43,8 +52,9 @@ struct SessionCounters {
 struct SessionStatsRow {
   uint64_t session_id = 0;
   SessionCounters counters;
-  double qif_qps = 0.0;  ///< Live sliding-window QIF of this session.
-  int64_t queued = 0;    ///< Pending groups at snapshot time.
+  double qif_qps = 0.0;   ///< Live sliding-window QIF of this session.
+  int64_t queued = 0;     ///< Pending groups at snapshot time.
+  int64_t queue_hwm = 0;  ///< Deepest the queue has ever been.
 };
 
 /// Consistent point-in-time view of a running `QueryServer`.
@@ -63,6 +73,7 @@ struct ServerStatsSnapshot {
   /// construction).
   SessionCounters totals;
   int64_t groups_queued = 0;  ///< Still pending at snapshot time.
+  int64_t queue_hwm = 0;      ///< Deepest any session queue has been.
 
   // Wall-clock latency of executed groups, submit -> last query done.
   double latency_mean_ms = 0.0;
@@ -85,6 +96,13 @@ struct ServerStatsSnapshot {
   /// Shared result cache counters (`enable_shared_cache` servers only).
   bool result_cache_enabled = false;
   ResultCacheStats result_cache;
+
+  /// Trace-buffer occupancy (`enable_tracing` servers only).
+  bool tracing_enabled = false;
+  TraceBufferStats trace_buffer;
+  /// Slow-query log size (`slow_query_ms >= 0` servers only).
+  bool slow_log_enabled = false;
+  int64_t slow_queries_logged = 0;
 
   LoadAssessment load;
 

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "engine/query.h"
+#include "obs/trace.h"
 #include "opt/session_cache.h"
 #include "serve/server_stats.h"
 
@@ -21,6 +22,10 @@ namespace ideval {
 struct PendingGroup {
   uint64_t seq = 0;  ///< Per-session submission sequence number.
   SimTime submit_time;
+  /// Per-group trace handle (disabled when tracing is off). The root
+  /// group span stays open while the group is pending; whoever gives the
+  /// group its terminal state (worker, shed, coalesce) closes it.
+  TraceContext trace;
   std::vector<Query> queries;
 };
 
@@ -55,6 +60,13 @@ class ServeSession {
   SessionCounters& counters() { return counters_; }
   const SessionCounters& counters() const { return counters_; }
 
+  /// Records the queue depth after an admission so the snapshot can show
+  /// each session's high-water mark, not just its instantaneous depth.
+  void NoteQueueDepth(int64_t depth) {
+    if (depth > queue_hwm_) queue_hwm_ = depth;
+  }
+  int64_t queue_hwm() const { return queue_hwm_; }
+
   bool busy() const { return busy_; }
   void set_busy(bool b) { busy_ = b; }
   bool closed() const { return closed_; }
@@ -81,6 +93,7 @@ class ServeSession {
   /// (seq, submit time) of recent submissions, for the LCV successor
   /// lookup. Bounded: pruned on every completion and capped.
   std::deque<std::pair<uint64_t, SimTime>> recent_submits_;
+  int64_t queue_hwm_ = 0;
   SessionCounters counters_;
   std::unique_ptr<SessionCache> cache_;
 };

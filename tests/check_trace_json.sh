@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the serve saturation bench in smoke mode with --trace_out and checks
+# the exported Chrome trace-event JSON: it must parse, contain every span
+# kind of the serve pipeline, and keep each query group's spans under one
+# trace id. Usage: check_trace_json.sh <path-to-bench_serve_saturation>
+set -euo pipefail
+
+BENCH="${1:?usage: check_trace_json.sh <bench_serve_saturation>}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "${OUT_DIR}"' EXIT
+TRACE="${OUT_DIR}/trace.json"
+
+"${BENCH}" --smoke --trace_out="${TRACE}" > "${OUT_DIR}/bench.log" 2>&1 || {
+  echo "FAIL: bench exited non-zero; log tail:"
+  tail -20 "${OUT_DIR}/bench.log"
+  exit 1
+}
+
+[ -s "${TRACE}" ] || { echo "FAIL: ${TRACE} missing or empty"; exit 1; }
+
+python3 - "${TRACE}" <<'EOF'
+import collections
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # Parse failure -> traceback -> nonzero exit.
+
+assert doc.get("displayTimeUnit") == "ms", "missing displayTimeUnit"
+events = doc["traceEvents"]
+slices = [e for e in events if e["ph"] == "X"]
+assert slices, "no complete events"
+
+# Perfetto-loadable essentials on every slice.
+for e in slices:
+    for key in ("name", "pid", "tid", "ts", "dur", "args"):
+        assert key in e, f"slice missing {key}: {e}"
+    assert e["dur"] >= 0, f"negative duration: {e}"
+    assert e["args"]["trace_id"] > 0, f"slice without trace id: {e}"
+
+names = collections.Counter(e["name"] for e in slices)
+required = {"group", "admission", "queue_wait", "cache_lookup",
+            "execute", "scatter", "shard_exec", "merge"}
+missing = required - set(names)
+assert not missing, f"span kinds missing from the timeline: {missing}"
+
+# Each group's pipeline shares one trace id; at least one miss trace must
+# carry the full admission -> cache -> scatter -> shard -> merge chain.
+by_trace = collections.defaultdict(set)
+for e in slices:
+    by_trace[e["args"]["trace_id"]].add(e["name"])
+full = [t for t, kinds in by_trace.items() if required <= kinds]
+assert full, "no trace id carries the full pipeline span chain"
+
+# Track metadata names the processes/threads for the Perfetto UI.
+meta = [e for e in events if e["ph"] == "M"]
+assert any(e["name"] == "process_name" for e in meta), "no process names"
+assert any(e["name"] == "thread_name" for e in meta), "no thread names"
+
+print(f"OK: {len(slices)} spans, {len(by_trace)} traces, "
+      f"{len(full)} with the full pipeline chain")
+EOF

@@ -88,6 +88,29 @@ time_compression = 80
   EXPECT_FALSE(ParseWorkloadSpec("adaptive_admission = maybe").ok());
 }
 
+TEST(WorkloadSpecTest, ParsesObservabilityKnobs) {
+  const std::string text = R"(
+serve_trace = true
+serve_trace_buffer_spans = 4096
+serve_slow_query_ms = 25.5
+)";
+  auto spec = ParseWorkloadSpec(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->serve_trace);
+  EXPECT_EQ(spec->serve_trace_buffer_spans, 4096);
+  EXPECT_DOUBLE_EQ(spec->serve_slow_query_ms, 25.5);
+  // Defaults: tracing and the slow log stay off.
+  WorkloadSpec defaults;
+  EXPECT_FALSE(defaults.serve_trace);
+  EXPECT_LT(defaults.serve_slow_query_ms, 0.0);
+  // A negative threshold is the documented "disabled" value, so it parses.
+  EXPECT_TRUE(ParseWorkloadSpec("serve_slow_query_ms = -1").ok());
+
+  EXPECT_FALSE(ParseWorkloadSpec("serve_trace = maybe").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_trace_buffer_spans = 0").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_trace_buffer_spans = lots").ok());
+}
+
 TEST(WorkloadSpecTest, RoundTripsThroughText) {
   WorkloadSpec spec;
   spec.name = "round-trip";
@@ -106,6 +129,9 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   spec.adaptive_admission = true;
   spec.serve_cache = true;
   spec.time_compression = 25.0;
+  spec.serve_trace = true;
+  spec.serve_trace_buffer_spans = 2048;
+  spec.serve_slow_query_ms = 75.0;
   auto parsed = ParseWorkloadSpec(WorkloadSpecToText(spec));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->name, spec.name);
@@ -123,6 +149,9 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   EXPECT_EQ(parsed->adaptive_admission, spec.adaptive_admission);
   EXPECT_EQ(parsed->serve_cache, spec.serve_cache);
   EXPECT_DOUBLE_EQ(parsed->time_compression, spec.time_compression);
+  EXPECT_EQ(parsed->serve_trace, spec.serve_trace);
+  EXPECT_EQ(parsed->serve_trace_buffer_spans, spec.serve_trace_buffer_spans);
+  EXPECT_DOUBLE_EQ(parsed->serve_slow_query_ms, spec.serve_slow_query_ms);
 }
 
 // ----------------------------- Runner smoke -----------------------------

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+
+namespace ideval {
+namespace {
+
+TEST(TraceEnumsTest, NamesRoundTrip) {
+  EXPECT_STREQ(SpanKindToString(SpanKind::kGroup), "group");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kAdmission), "admission");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kQueueWait), "queue_wait");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kCacheLookup), "cache_lookup");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kExecute), "execute");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kScatter), "scatter");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kShardExec), "shard_exec");
+  EXPECT_STREQ(SpanKindToString(SpanKind::kMerge), "merge");
+  EXPECT_STREQ(GroupTerminalToString(GroupTerminal::kExecuted), "executed");
+  EXPECT_STREQ(GroupTerminalToString(GroupTerminal::kShedStale),
+               "shed_stale");
+}
+
+TEST(TraceBufferTest, DisabledContextIsFreeAndSafe) {
+  const TraceContext off = MakeTraceContext(nullptr, /*session_id=*/7);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.trace_id, 0u);
+  EXPECT_EQ(off.root_span_id, 0u);
+  // Every instrumentation call must be a no-op, not a crash.
+  Span span(off, SpanKind::kExecute, /*parent_span_id=*/0);
+  EXPECT_FALSE(span.enabled());
+  EXPECT_EQ(span.id(), 0u);
+  span.SetDetail(1);
+  span.SetAttrs(1, 2, 3);
+  span.End();
+  RecordSpan(off, SpanKind::kGroup, 1, 0, 0, 10);
+}
+
+TEST(TraceBufferTest, SpanLifecycleRecordsOnEnd) {
+  TraceBuffer buffer(TraceOptions{});
+  const TraceContext ctx = MakeTraceContext(&buffer, /*session_id=*/3);
+  ASSERT_TRUE(ctx.enabled());
+  EXPECT_GT(ctx.trace_id, 0u);
+  EXPECT_GT(ctx.root_span_id, 0u);
+  {
+    Span span(ctx, SpanKind::kExecute, ctx.root_span_id);
+    EXPECT_GT(span.id(), 0u);
+    span.SetAttrs(100, 5, 2);
+    EXPECT_EQ(buffer.Stats().recorded, 0);  // Not recorded until End.
+  }  // Destructor ends it.
+  EXPECT_EQ(buffer.Stats().recorded, 1);
+
+  // End is idempotent; a moved-from span does not double-record.
+  Span a(ctx, SpanKind::kMerge, ctx.root_span_id);
+  Span b = std::move(a);
+  b.End();
+  b.End();
+  a.End();
+  EXPECT_EQ(buffer.Stats().recorded, 2);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace_id, ctx.trace_id);
+    EXPECT_EQ(s.session_id, 3u);
+    EXPECT_EQ(s.parent_span_id, ctx.root_span_id);
+    EXPECT_GE(s.end_us, s.start_us);
+  }
+  EXPECT_EQ(spans[0].attr0, 100);
+  EXPECT_EQ(spans[0].attr1, 5);
+  EXPECT_EQ(spans[0].attr2, 2);
+}
+
+TEST(TraceBufferTest, RingOverflowKeepsNewestAndCountsDrops) {
+  TraceOptions opts;
+  opts.capacity_spans = 8;
+  opts.num_shards = 1;  // One ring, so retention order is deterministic.
+  TraceBuffer buffer(opts);
+  const TraceContext ctx = MakeTraceContext(&buffer, /*session_id=*/1);
+  for (int i = 0; i < 20; ++i) {
+    RecordSpan(ctx, SpanKind::kExecute, buffer.NewSpanId(),
+               ctx.root_span_id, /*start_us=*/i * 10,
+               /*end_us=*/i * 10 + 5);
+  }
+  const TraceBufferStats stats = buffer.Stats();
+  EXPECT_EQ(stats.recorded, 20);
+  EXPECT_EQ(stats.dropped, 12);
+  EXPECT_EQ(stats.live, 8);
+  EXPECT_EQ(stats.capacity, 8);
+  // The survivors are exactly the newest 8 (starts 120..190).
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_us, 120 + static_cast<int64_t>(i) * 10);
+  }
+}
+
+TEST(TraceBufferTest, CapacityClampsToShardCount) {
+  TraceOptions opts;
+  opts.capacity_spans = 2;  // Fewer than shards.
+  opts.num_shards = 8;
+  TraceBuffer buffer(opts);
+  EXPECT_GE(buffer.Stats().capacity, 8);
+}
+
+TEST(TraceBufferTest, ConcurrentSpansStayConsistent) {
+  // The property test: many threads trace concurrently; afterwards every
+  // span id is unique, every parent resolves within its own trace, and
+  // nothing was lost (the buffer is big enough that drops cannot occur).
+  constexpr int kThreads = 8;
+  constexpr int kTracesPerThread = 50;
+  TraceOptions opts;
+  opts.capacity_spans = kThreads * kTracesPerThread * 4;
+  TraceBuffer buffer(opts);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffer, t] {
+      for (int i = 0; i < kTracesPerThread; ++i) {
+        const TraceContext ctx =
+            MakeTraceContext(&buffer, static_cast<uint64_t>(t + 1));
+        Span child(ctx, SpanKind::kExecute, ctx.root_span_id);
+        child.SetAttrs(i);
+        child.End();
+        const int64_t now = buffer.NowMicros();
+        RecordSpan(ctx, SpanKind::kGroup, ctx.root_span_id,
+                   /*parent_span_id=*/0, now - 5, now);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const TraceBufferStats stats = buffer.Stats();
+  EXPECT_EQ(stats.recorded, kThreads * kTracesPerThread * 2);
+  EXPECT_EQ(stats.dropped, 0);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(),
+            static_cast<size_t>(kThreads * kTracesPerThread * 2));
+  std::set<uint64_t> ids;
+  std::map<uint64_t, std::set<uint64_t>> trace_span_ids;
+  std::map<uint64_t, uint64_t> trace_session;
+  for (const SpanRecord& s : spans) {
+    EXPECT_TRUE(ids.insert(s.span_id).second) << "duplicate span id";
+    EXPECT_GE(s.end_us, s.start_us);
+    trace_span_ids[s.trace_id].insert(s.span_id);
+    auto [it, inserted] = trace_session.emplace(s.trace_id, s.session_id);
+    EXPECT_EQ(it->second, s.session_id) << "trace spans two sessions";
+  }
+  EXPECT_EQ(trace_span_ids.size(),
+            static_cast<size_t>(kThreads * kTracesPerThread));
+  for (const SpanRecord& s : spans) {
+    if (s.parent_span_id == 0) continue;
+    EXPECT_TRUE(trace_span_ids[s.trace_id].count(s.parent_span_id))
+        << "parent outside the span's own trace";
+  }
+  // Snapshot is ordered for the exporter: starts are non-decreasing.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_us, spans[i - 1].start_us);
+  }
+}
+
+TEST(ChromeTraceTest, RendersEnvelopeTracksAndArgs) {
+  std::vector<SpanRecord> spans;
+  SpanRecord root;
+  root.trace_id = 9;
+  root.span_id = 1;
+  root.session_id = 4;
+  root.kind = SpanKind::kGroup;
+  root.detail = static_cast<uint32_t>(GroupTerminal::kExecuted) |
+                kGroupLcvBit;
+  root.start_us = 100;
+  root.end_us = 900;
+  root.attr0 = 2;  // ok
+  spans.push_back(root);
+  SpanRecord shard;
+  shard.trace_id = 9;
+  shard.span_id = 2;
+  shard.parent_span_id = 1;
+  shard.session_id = 4;
+  shard.kind = SpanKind::kShardExec;
+  shard.detail = 3;  // Lane.
+  shard.start_us = 200;
+  shard.end_us = 400;
+  spans.push_back(shard);
+
+  const std::string json = ChromeTraceJson(spans);
+  // Envelope + the two complete events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"group\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard_exec\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Sessions are processes; shard partials go on per-lane tracks.
+  EXPECT_NE(json.find("\"pid\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":103"), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Kind-specific args: the root names its terminal and LCV flag.
+  EXPECT_NE(json.find("\"terminal\":\"executed\""), std::string::npos);
+  EXPECT_NE(json.find("\"lcv\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":9"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ExportWritesFileAndFailsOnBadPath) {
+  TraceBuffer buffer(TraceOptions{});
+  const TraceContext ctx = MakeTraceContext(&buffer, 1);
+  { Span s(ctx, SpanKind::kExecute, ctx.root_span_id); }
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(buffer.ExportChromeTrace(path).ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char head[16] = {0};
+  const size_t n = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(head[0], '{');
+  EXPECT_FALSE(
+      buffer.ExportChromeTrace("/nonexistent-dir-xyz/trace.json").ok());
+}
+
+TEST(SlowQueryLogTest, ThresholdAndLcvFiltering) {
+  SlowQueryLogOptions opts;
+  opts.threshold = Duration::Millis(100);
+  SlowQueryLog log(opts);
+
+  SlowQueryRecord fast;
+  fast.latency_ms = 10.0;
+  EXPECT_FALSE(log.MaybeRecord(fast));  // Under threshold, no LCV.
+
+  SlowQueryRecord slow;
+  slow.latency_ms = 150.0;
+  EXPECT_TRUE(log.MaybeRecord(slow));  // Over threshold.
+
+  SlowQueryRecord lcv;
+  lcv.latency_ms = 1.0;
+  lcv.lcv = true;
+  EXPECT_TRUE(log.MaybeRecord(lcv));  // Fast but late-contradicting.
+
+  EXPECT_EQ(log.logged(), 2);
+  EXPECT_EQ(log.evicted(), 0);
+
+  // With always_log_lcv off, only the threshold admits.
+  SlowQueryLogOptions strict = opts;
+  strict.always_log_lcv = false;
+  SlowQueryLog strict_log(strict);
+  EXPECT_FALSE(strict_log.MaybeRecord(lcv));
+}
+
+TEST(SlowQueryLogTest, BoundedEvictsOldest) {
+  SlowQueryLogOptions opts;
+  opts.threshold = Duration::Millis(0);
+  opts.capacity = 4;
+  SlowQueryLog log(opts);
+  for (int i = 0; i < 10; ++i) {
+    SlowQueryRecord r;
+    r.seq = static_cast<uint64_t>(i);
+    r.latency_ms = 1.0;
+    EXPECT_TRUE(log.MaybeRecord(r));
+  }
+  EXPECT_EQ(log.logged(), 10);
+  EXPECT_EQ(log.evicted(), 6);
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  // Newest-N: seqs 6..9 survive, oldest first.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, 6 + i);
+  }
+}
+
+TEST(SlowQueryLogTest, ToTextRendersTable) {
+  SlowQueryLogOptions opts;
+  opts.threshold = Duration::Millis(0);
+  SlowQueryLog log(opts);
+  SlowQueryRecord r;
+  r.trace_id = 0;  // Tracing off: renders as "-".
+  r.session_id = 5;
+  r.seq = 2;
+  r.queue_ms = 1.5;
+  r.service_ms = 2.5;
+  r.latency_ms = 4.0;
+  r.queries_ok = 3;
+  r.lcv = true;
+  ASSERT_TRUE(log.MaybeRecord(r));
+  const std::string text = log.ToText();
+  EXPECT_NE(text.find("latency (ms)"), std::string::npos);
+  EXPECT_NE(text.find("LCV"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ideval

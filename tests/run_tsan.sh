@@ -16,10 +16,13 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIDEVAL_SANITIZE=thread >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target serve_test sim_test engine_test
+  --target serve_test obs_test sim_test engine_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/serve_test" --gtest_filter="${filter}"
+# The trace buffer is written from every worker and shard lane; its
+# sharded-ring claims live or die under TSan.
+"${build_dir}/tests/obs_test" --gtest_brief=1
 # The simulated stack is single-threaded but links the same libraries;
 # run it too so TSan sees the whole tier-1 surface it can reach quickly.
 "${build_dir}/tests/sim_test" --gtest_brief=1

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -59,12 +61,27 @@ void ExpectReconciles(const ServerStatsSnapshot& snap) {
   EXPECT_EQ(snap.totals.groups_submitted,
             snap.totals.groups_executed + snap.totals.GroupsShed() +
                 snap.totals.groups_rejected + snap.groups_queued);
+  // The door partitions submissions: admitted past it, shed at it
+  // (throttled), or rejected. Post-admission sheds (stale, coalesced)
+  // must come out of the admitted count.
+  EXPECT_EQ(snap.totals.groups_submitted,
+            snap.totals.groups_admitted + snap.totals.groups_shed_throttled +
+                snap.totals.groups_rejected);
+  EXPECT_EQ(snap.totals.groups_admitted,
+            snap.totals.groups_executed + snap.totals.groups_shed_stale +
+                snap.totals.groups_shed_coalesced + snap.groups_queued);
   SessionCounters sum;
   int64_t queued = 0;
   for (const auto& row : snap.sessions) {
     EXPECT_EQ(row.counters.groups_submitted,
               row.counters.groups_executed + row.counters.GroupsShed() +
                   row.counters.groups_rejected + row.queued);
+    EXPECT_EQ(row.counters.groups_submitted,
+              row.counters.groups_admitted +
+                  row.counters.groups_shed_throttled +
+                  row.counters.groups_rejected);
+    // A session that ever queued a group must have seen depth >= 1.
+    if (row.counters.groups_admitted > 0) EXPECT_GE(row.queue_hwm, 1);
     sum += row.counters;
     queued += row.queued;
   }
@@ -111,6 +128,14 @@ TEST_F(ServeTest, CreateValidatesOptions) {
   opts.shared_cache_shards = 0;
   EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
             StatusCode::kInvalidArgument);
+  // Tracing needs a positive ring capacity (only checked when enabled).
+  opts = ServerOptions{};
+  opts.enable_tracing = true;
+  opts.trace_buffer_spans = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts.enable_tracing = false;
+  EXPECT_TRUE(QueryServer::Create(engine_.get(), opts).ok());
 }
 
 TEST_F(ServeTest, ExecutesRealQueriesAndCounts) {
@@ -384,10 +409,177 @@ TEST_F(ServeTest, SharedCacheStressReconciles) {
   // (miss) per key; every other lookup hit or coalesced.
   EXPECT_EQ(snap.result_cache.misses, 3);
   EXPECT_EQ(snap.result_cache.entries, 3);
+  // The single-flight leader path, asserted directly: exactly one caller
+  // per key installed a flight and ran the backend. Coalesced waiters
+  // rode a leader's flight without ever bumping this.
+  EXPECT_EQ(snap.result_cache.leader_executions, 3);
+  EXPECT_EQ(snap.result_cache.leader_executions, snap.result_cache.misses);
   EXPECT_EQ(snap.totals.cache_hits,
             snap.result_cache.hits + snap.result_cache.coalesced);
   EXPECT_EQ(snap.result_cache.invalidations, 0);
   EXPECT_EQ(snap.result_cache.evictions, 0);
+}
+
+TEST_F(ServeTest, TracingRecordsFullPipelineOverShardedCache) {
+  // The tentpole, end to end: shards + shared cache + tracing puts every
+  // span kind on one timeline. Two sessions submit the same query, so the
+  // second lookup hits; the miss trace carries the scatter/shard/merge
+  // spans nested under the cache's execute span.
+  const int64_t rows = 5000;
+  ShardedEngineOptions shopts;
+  shopts.num_shards = 2;
+  auto sharded = ShardedEngine::Create(shopts).ValueOrDie();
+  ASSERT_TRUE(sharded->PartitionTable(MakeServeTable(rows)).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.enable_shared_cache = true;
+  opts.enable_tracing = true;
+  auto made = QueryServer::Create(sharded.get(), opts);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto server = std::move(made).ValueOrDie();
+
+  const uint64_t a = server->OpenSession();
+  const uint64_t b = server->OpenSession();
+  ASSERT_TRUE(server->Submit(a, {HistQuery(rows)}).ok());
+  server->Drain();
+  ASSERT_TRUE(server->Submit(b, {HistQuery(rows)}).ok());
+  server->Drain();
+
+  ASSERT_NE(server->trace_buffer(), nullptr);
+  const std::vector<SpanRecord> spans = server->trace_buffer()->Snapshot();
+  server->Stop();
+
+  // Group the spans by trace; both groups produced a complete trace.
+  std::map<uint64_t, std::vector<SpanRecord>> traces;
+  for (const SpanRecord& s : spans) {
+    ASSERT_GT(s.trace_id, 0u);
+    ASSERT_GT(s.span_id, 0u);
+    EXPECT_GE(s.end_us, s.start_us);
+    traces[s.trace_id].push_back(s);
+  }
+  ASSERT_EQ(traces.size(), 2u);
+
+  int miss_traces = 0;
+  int hit_traces = 0;
+  for (const auto& [trace_id, trace] : traces) {
+    std::multiset<SpanKind> kinds;
+    std::set<uint64_t> ids;
+    uint64_t root = 0;
+    uint64_t session = 0;
+    for (const SpanRecord& s : trace) {
+      kinds.insert(s.kind);
+      ids.insert(s.span_id);
+      if (s.kind == SpanKind::kGroup) root = s.span_id;
+      if (session == 0) session = s.session_id;
+      // One trace belongs to one session.
+      EXPECT_EQ(s.session_id, session);
+    }
+    ASSERT_EQ(ids.size(), trace.size());  // Span ids are unique.
+    // The pipeline stages every admitted group passes through.
+    EXPECT_EQ(kinds.count(SpanKind::kGroup), 1u);
+    EXPECT_EQ(kinds.count(SpanKind::kAdmission), 1u);
+    EXPECT_EQ(kinds.count(SpanKind::kQueueWait), 1u);
+    EXPECT_EQ(kinds.count(SpanKind::kCacheLookup), 1u);
+    // Every parent resolves to another span of the same trace (roots
+    // have parent 0).
+    for (const SpanRecord& s : trace) {
+      if (s.parent_span_id != 0) {
+        EXPECT_TRUE(ids.count(s.parent_span_id))
+            << "dangling parent in trace " << trace_id;
+      } else {
+        EXPECT_EQ(s.kind, SpanKind::kGroup);
+      }
+    }
+    ASSERT_NE(root, 0u);
+    const SpanRecord* lookup = nullptr;
+    for (const SpanRecord& s : trace) {
+      if (s.kind == SpanKind::kCacheLookup) lookup = &s;
+    }
+    ASSERT_NE(lookup, nullptr);
+    if (lookup->detail == 2) {  // Miss: the backend ran, sharded.
+      ++miss_traces;
+      EXPECT_EQ(kinds.count(SpanKind::kExecute), 1u);
+      EXPECT_EQ(kinds.count(SpanKind::kScatter), 1u);
+      EXPECT_EQ(kinds.count(SpanKind::kShardExec), 2u);  // One per shard.
+      EXPECT_EQ(kinds.count(SpanKind::kMerge), 1u);
+    } else if (lookup->detail == 1) {  // Hit: no backend spans at all.
+      ++hit_traces;
+      EXPECT_EQ(kinds.count(SpanKind::kExecute), 0u);
+      EXPECT_EQ(kinds.count(SpanKind::kShardExec), 0u);
+    }
+  }
+  EXPECT_EQ(miss_traces, 1);
+  EXPECT_EQ(hit_traces, 1);
+}
+
+TEST_F(ServeTest, TracingClosesShedRootSpans) {
+  // A throttled submission never reaches a worker; its root span must
+  // still close, with the shed terminal in its detail.
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.policy = AdmissionPolicy::kThrottle;
+  opts.throttle_min_interval = Duration::Seconds(30);
+  opts.enable_tracing = true;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  auto first = server->Submit(sid, Group());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->disposition, SubmitDisposition::kEnqueued);
+  auto second = server->Submit(sid, Group());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->disposition, SubmitDisposition::kThrottled);
+  server->Drain();
+
+  int shed_roots = 0;
+  for (const SpanRecord& s : server->trace_buffer()->Snapshot()) {
+    if (s.kind != SpanKind::kGroup) continue;
+    if ((s.detail & 0xff) ==
+        static_cast<uint32_t>(GroupTerminal::kShedThrottled)) {
+      ++shed_roots;
+    }
+  }
+  EXPECT_EQ(shed_roots, 1);
+  auto snap = server->Snapshot();
+  EXPECT_TRUE(snap.tracing_enabled);
+  EXPECT_GT(snap.trace_buffer.recorded, 0);
+  ExpectReconciles(snap);
+}
+
+TEST_F(ServeTest, SlowQueryLogCapturesSlowGroups) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.slow_query_ms = 0.0;  // Log everything.
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server->Submit(sid, Group()).ok());
+    server->Drain();
+  }
+  ASSERT_NE(server->slow_query_log(), nullptr);
+  EXPECT_EQ(server->slow_query_log()->logged(), 3);
+  const auto entries = server->slow_query_log()->Snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.session_id, sid);
+    EXPECT_EQ(e.queries_ok, 1);
+    EXPECT_GT(e.latency_ms, 0.0);
+    EXPECT_NEAR(e.latency_ms, e.queue_ms + e.service_ms, 0.05);
+    // Tracing is off: records still land, just without a trace id.
+    EXPECT_EQ(e.trace_id, 0u);
+  }
+  auto snap = server->Snapshot();
+  EXPECT_TRUE(snap.slow_log_enabled);
+  EXPECT_EQ(snap.slow_queries_logged, 3);
+  // The gauges render.
+  EXPECT_NE(snap.ToText().find("slow queries logged"), std::string::npos);
+  EXPECT_NE(snap.ToText().find("queue depth (now / high-water)"),
+            std::string::npos);
+
+  // Negative threshold = no log at all (the default).
+  auto plain = MakeServer(ServerOptions{});
+  EXPECT_EQ(plain->slow_query_log(), nullptr);
+  EXPECT_EQ(plain->trace_buffer(), nullptr);
 }
 
 TEST_F(ServeTest, IssueBeforeCompleteCountsAsLcvViolation) {
