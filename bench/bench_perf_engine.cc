@@ -10,18 +10,29 @@
 /// `x` — because zone maps only pay when the filter column is clustered:
 /// compare BM_ZoneMapHistogram/0 (unclustered, pruned% near zero) against
 /// /1 (clustered, pruned% tracking 1 - selectivity).
+///
+/// `--json_out=FILE` (also stripped) writes a schema-stable
+/// `ideval.bench.engine.v1` JSON after the benchmarks run: per-shape
+/// headline throughput over `--json_reps=N` repetitions plus the full
+/// metrics-registry exposition. This is the engine half of the perf
+/// trajectory; `bench_serve_saturation --json_out` is the serve half.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "common/text_table.h"
 #include "data/datasets.h"
 #include "engine/engine.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace ideval {
@@ -29,6 +40,8 @@ namespace {
 
 bool g_zone_maps = false;
 std::string g_trace_out;
+std::string g_json_out;
+int g_json_reps = 25;
 
 /// The road table re-sorted by `x`: the clustered layout on which a range
 /// predicate on `x` makes most blocks prunable.
@@ -255,6 +268,117 @@ int ExportEngineTrace(const std::string& path) {
   return 0;
 }
 
+/// The engine half of the perf trajectory (`ideval.bench.engine.v1`):
+/// runs the three representative operator queries `g_json_reps` times
+/// each on the in-memory profile, recording per-query wall time into a
+/// registry histogram per shape, and writes headline throughput + the
+/// exposition to `path`. Own measurement loop rather than
+/// google-benchmark state so the export's schema (and runtime) is ours.
+int ExportEngineJson(const std::string& path) {
+  Engine* engine = SharedEngine(EngineProfile::kInMemoryColumnStore);
+  MetricsRegistry registry;
+
+  HistogramQuery hist;
+  hist.table = "dataroad";
+  hist.bin_column = "y";
+  hist.bin_lo = 56.582;
+  hist.bin_hi = 57.774;
+  hist.bins = 20;
+  hist.predicates = {RangePredicate{"x", 8.146, 10.0},
+                     RangePredicate{"z", -8.608, 100.0}};
+  SelectQuery page;
+  page.table = "imdb";
+  page.limit = 100;
+  page.offset = 2000;
+  JoinPageQuery join;
+  join.left_table = "imdbrating";
+  join.right_table = "movie";
+  join.join_column = "id";
+  join.limit = 100;
+  join.offset = 2000;
+
+  struct Shape {
+    const char* name;
+    Query query;
+  };
+  const Shape shapes[] = {{"crossfilter_histogram", Query(hist)},
+                          {"select_page", Query(page)},
+                          {"join_page", Query(join)}};
+
+  // Sub-ms shapes need finer-than-default buckets.
+  HistogramOptions hopts;
+  hopts.first_bound = 0.01;
+  hopts.growth = 2.0;
+  hopts.num_bounds = 20;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("ideval.bench.engine.v1");
+  w.Key("bench").String("bench_perf_engine");
+  w.Key("config").BeginObject();
+  w.Key("profile").String("in_memory_column_store");
+  w.Key("zone_maps").Bool(g_zone_maps);
+  w.Key("reps").Int(g_json_reps);
+  w.EndObject();
+  w.Key("headline").BeginObject();
+  for (const Shape& shape : shapes) {
+    Histogram* h = registry.RegisterHistogram(
+        StrFormat("ideval_engine_%s_ms", shape.name),
+        StrFormat("Wall time per %s query (ms)", shape.name), hopts);
+    double total_ms = 0.0;
+    int64_t tuples = 0;
+    int64_t blocks_scanned = 0;
+    int64_t blocks_pruned = 0;
+    for (int rep = 0; rep < g_json_reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto r = engine->Execute(shape.query);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!r.ok()) {
+        std::fprintf(stderr, "json query failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      const double ms =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count() /
+          1e6;
+      h->Record(ms);
+      total_ms += ms;
+      tuples += r->stats.tuples_scanned;
+      blocks_scanned += r->stats.blocks_scanned;
+      blocks_pruned += r->stats.blocks_pruned;
+    }
+    const int64_t total_blocks = blocks_scanned + blocks_pruned;
+    w.Key(shape.name).BeginObject();
+    w.Key("mean_ms").Double(total_ms / g_json_reps);
+    w.Key("qps").Double(total_ms > 0.0 ? g_json_reps / (total_ms / 1e3)
+                                       : 0.0);
+    w.Key("tuples_per_query").Int(tuples / g_json_reps);
+    w.Key("pruned_pct")
+        .Double(total_blocks > 0
+                    ? 100.0 * static_cast<double>(blocks_pruned) /
+                          static_cast<double>(total_blocks)
+                    : 0.0);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("metrics").Raw(registry.ExpositionJson());
+  w.EndObject();
+  const std::string json = std::move(w).Finish();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("engine json: %d reps x %zu shapes, %zu bytes -> %s\n",
+              g_json_reps, sizeof(shapes) / sizeof(shapes[0]), json.size(),
+              path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ideval
 
@@ -269,6 +393,11 @@ int main(int argc, char** argv) {
       ideval::g_zone_maps = false;
     } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
       ideval::g_trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      ideval::g_json_out = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--json_reps=", 12) == 0) {
+      ideval::g_json_reps = std::atoi(argv[i] + 12);
+      if (ideval::g_json_reps < 1) ideval::g_json_reps = 1;
     } else {
       argv[out++] = argv[i];
     }
@@ -279,7 +408,11 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!ideval::g_trace_out.empty()) {
-    return ideval::ExportEngineTrace(ideval::g_trace_out);
+    const int rc = ideval::ExportEngineTrace(ideval::g_trace_out);
+    if (rc != 0) return rc;
+  }
+  if (!ideval::g_json_out.empty()) {
+    return ideval::ExportEngineJson(ideval::g_json_out);
   }
   return 0;
 }

@@ -26,16 +26,24 @@
 /// configuration (2 shards + shared cache + per-query tracing + slow-query
 /// log), writes its span timeline to FILE as Chrome trace-event JSON
 /// (open in ui.perfetto.dev), and prints the tracing on/off throughput
-/// delta.
+/// delta; `--json_out=FILE` runs one saturation configuration with the
+/// metrics registry + stats poller off then on, prints that overhead
+/// delta, and writes the schema-stable machine-readable result
+/// (`ideval.bench.serve.v1`: config, headline metrics, per-period time
+/// series, metric exposition) to FILE — the repo's `BENCH_serve.json`
+/// perf trajectory.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/json_writer.h"
 #include "common/text_table.h"
 #include "engine/sharded_engine.h"
+#include "obs/metrics_registry.h"
 #include "serve/load_driver.h"
 #include "serve/server.h"
 
@@ -52,6 +60,7 @@ struct BenchConfig {
   bool zone_maps = false;
   bool smoke = false;
   std::string trace_out;  ///< Empty = skip the traced run.
+  std::string json_out;   ///< Empty = skip the BENCH_serve.json export.
 
   int64_t rows() const { return smoke ? 20000 : 120000; }
   int moves() const { return smoke ? 4 : 10; }
@@ -355,6 +364,171 @@ void RunTraced(const BenchConfig& cfg, const TablePtr& road,
       "and follow one trace_id from admission to merge\n\n");
 }
 
+/// The machine-readable export behind the repo's perf trajectory: one
+/// saturation configuration run twice — metrics+poller off, then on —
+/// so the telemetry overhead is itself a recorded number, then the on
+/// pass's registry, per-period time series, and headline metrics written
+/// to `path` as schema-stable JSON (`ideval.bench.serve.v1`), validated
+/// by the `perf_smoke_json` ctest against the committed baseline.
+void RunJsonExport(const BenchConfig& cfg, const TablePtr& road,
+                   const std::string& path) {
+  const int clients = cfg.smoke ? 4 : 12;
+  const int workers = 2;
+  const int reps = cfg.smoke ? 1 : 5;  // Off/on pairs; medians reported.
+  const double poll_ms = 50.0;  // Compressed time: ~dozens of samples.
+  std::printf(
+      "json export: %d workers, %d clients, fifo, shared cache %s — "
+      "metrics+poller off vs on (%d pairs, medians):\n",
+      workers, clients, cfg.cache ? "on" : "off", reps);
+
+  std::vector<double> qps_off_runs;
+  std::vector<double> qps_on_runs;
+  // The last on pass's state outlives the loop for the export below.
+  // Each on pass gets a fresh registry so the exported exposition is
+  // exactly one run's counters (a shared instance would aggregate reps,
+  // and the global one any other server in the process).
+  std::unique_ptr<MetricsRegistry> registry;
+  LoadReport on_report;
+  std::string series_json;
+  std::string exposition_json;
+  int64_t series_samples = 0;
+  double wall_seconds = 0.0;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool metrics : {false, true}) {
+      EngineOptions eopts;
+      eopts.profile = EngineProfile::kInMemoryColumnStore;
+      eopts.enable_zone_maps = cfg.zone_maps;
+      Engine engine(eopts);
+      if (!engine.RegisterTable(road).ok()) std::abort();
+
+      ServerOptions sopts;
+      sopts.num_workers = workers;
+      sopts.max_queue_per_session = 4;
+      sopts.policy = AdmissionPolicy::kFifo;
+      sopts.enable_shared_cache = cfg.cache;
+      sopts.throttle_min_interval = Duration::Seconds(1.0 / kCompression);
+      sopts.debounce_quiet = Duration::Seconds(0.3 / kCompression);
+      if (metrics) {
+        registry = std::make_unique<MetricsRegistry>();
+        sopts.enable_metrics = true;
+        sopts.metrics_registry = registry.get();
+        sopts.stats_poll_ms = poll_ms;
+      }
+      auto server = QueryServer::Create(&engine, sopts);
+      if (!server.ok()) std::abort();
+
+      std::vector<std::vector<QueryGroup>> sessions;
+      sessions.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        sessions.push_back(bench::CrossfilterGroups(
+            road, DeviceType::kMouse,
+            bench::kCrossfilterSeed + 300 + static_cast<uint64_t>(c),
+            cfg.moves()));
+      }
+      LoadDriverOptions lopts;
+      lopts.time_compression = kCompression;
+      auto report = RunLoadDriver(server->get(), sessions, lopts);
+      if (!report.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     report.status().ToString().c_str());
+        std::abort();
+      }
+      (metrics ? qps_on_runs : qps_off_runs)
+          .push_back(report->snapshot.throughput_qps);
+      std::printf("  pair %d %s: %.1f q/s\n", rep,
+                  metrics ? "on " : "off", report->snapshot.throughput_qps);
+      (*server)->Stop();
+      if (metrics && rep == reps - 1) {
+        // The poller stopped with the workers, so the series is now
+        // quiescent and ends on the drained state. The snapshot in the
+        // report is pre-stop and fully drained; headline metrics come
+        // from there.
+        const TimeSeriesRing* ring = (*server)->timeseries();
+        series_samples = ring->pushed();
+        series_json = ring->ToJson();
+        exposition_json = registry->ExpositionJson();
+        on_report = std::move(*report);
+        wall_seconds = on_report.wall_seconds;
+      }
+    }
+  }
+
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double qps_off = median(qps_off_runs);
+  const double qps_on = median(qps_on_runs);
+  const double delta =
+      qps_off > 0.0 ? (qps_off - qps_on) / qps_off * 100.0 : 0.0;
+  std::printf(
+      "  throughput: metrics off %.1f q/s, on %.1f q/s (delta %+.1f%%)\n",
+      qps_off, qps_on, delta);
+
+  const ServerStatsSnapshot& s = on_report.snapshot;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("ideval.bench.serve.v1");
+  w.Key("bench").String("bench_serve_saturation");
+  w.Key("config").BeginObject();
+  w.Key("workers").Int(workers);
+  w.Key("clients").Int(clients);
+  w.Key("shards").Int(1);
+  w.Key("policy").String("fifo");
+  w.Key("shared_cache").Bool(cfg.cache);
+  w.Key("zone_maps").Bool(cfg.zone_maps);
+  w.Key("smoke").Bool(cfg.smoke);
+  w.Key("rows").Int(cfg.rows());
+  w.Key("moves").Int(cfg.moves());
+  w.Key("time_compression").Double(kCompression);
+  w.Key("stats_poll_ms").Double(poll_ms);
+  w.EndObject();
+  w.Key("overhead").BeginObject();
+  w.Key("qps_metrics_off").Double(qps_off);
+  w.Key("qps_metrics_on").Double(qps_on);
+  w.Key("delta_pct").Double(delta);
+  w.EndObject();
+  w.Key("headline").BeginObject();
+  w.Key("throughput_qps").Double(s.throughput_qps);
+  w.Key("throughput_window_qps").Double(s.throughput_window_qps);
+  w.Key("qif_qps").Double(s.qif_qps);
+  w.Key("latency_mean_ms").Double(s.latency_mean_ms);
+  w.Key("latency_p50_ms").Double(s.latency_p50_ms);
+  w.Key("latency_p90_ms").Double(s.latency_p90_ms);
+  w.Key("latency_max_ms").Double(s.latency_max_ms);
+  w.Key("service_mean_ms").Double(s.service_mean_ms);
+  w.Key("lcv_fraction").Double(s.lcv_fraction);
+  w.Key("groups_submitted").Int(s.totals.groups_submitted);
+  w.Key("groups_executed").Int(s.totals.groups_executed);
+  w.Key("groups_shed").Int(s.totals.GroupsShed());
+  w.Key("groups_rejected").Int(s.totals.groups_rejected);
+  w.Key("queries_executed").Int(s.totals.queries_executed);
+  w.Key("cache_hit_rate")
+      .Double(s.result_cache_enabled ? s.result_cache.HitRate() : -1.0);
+  w.Key("wall_seconds").Double(wall_seconds);
+  w.EndObject();
+  w.Key("series").BeginObject();
+  w.Key("period_ms").Double(poll_ms);
+  w.Key("pushed").Int(series_samples);
+  w.Key("samples").Raw(series_json);
+  w.EndObject();
+  w.Key("metrics").Raw(exposition_json);
+  w.EndObject();
+  const std::string json = std::move(w).Finish();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+    std::abort();
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("  %lld time-series samples, %zu bytes -> %s\n\n",
+              static_cast<long long>(series_samples), json.size(),
+              path.c_str());
+}
+
 void Run(const BenchConfig& cfg) {
   bench::PrintHeader(
       "SRV", "Live query server — saturation sweep over workers x clients "
@@ -374,6 +548,7 @@ void Run(const BenchConfig& cfg) {
   RunCacheSweep(cfg, road);
   RunPolicySweep(cfg, road);
   if (!cfg.trace_out.empty()) RunTraced(cfg, road, cfg.trace_out);
+  if (!cfg.json_out.empty()) RunJsonExport(cfg, road, cfg.json_out);
 }
 
 }  // namespace
@@ -387,6 +562,7 @@ int main(int argc, char** argv) {
   cfg.zone_maps = ideval::bench::BoolFlag(argc, argv, "zone_maps");
   cfg.smoke = ideval::bench::BoolFlag(argc, argv, "smoke");
   cfg.trace_out = ideval::bench::StrFlag(argc, argv, "trace_out");
+  cfg.json_out = ideval::bench::StrFlag(argc, argv, "json_out");
   ideval::Run(cfg);
   return 0;
 }

@@ -1,0 +1,67 @@
+#ifndef IDEVAL_COMMON_JSON_WRITER_H_
+#define IDEVAL_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ideval {
+
+/// Minimal streaming JSON emitter for the machine-readable exports
+/// (metrics exposition, `BENCH_*.json` perf trajectories). Handles comma
+/// placement and string escaping; the caller handles structure. Not a
+/// parser, not spec-pedantic about misuse — calls must nest correctly.
+///
+///     JsonWriter w;
+///     w.BeginObject();
+///     w.Key("name").String("serve");
+///     w.Key("qps").Double(1234.5);
+///     w.Key("series").BeginArray();
+///     w.Int(1).Int(2);
+///     w.EndArray();
+///     w.EndObject();
+///     std::string out = std::move(w).Finish();
+///
+/// Non-finite doubles render as `null`: JSON has no NaN/Inf, and a perf
+/// series with a hole beats an export that no parser will load.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"name":`; the next value call supplies the value.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices a pre-rendered JSON value verbatim (e.g. a nested export
+  /// from another writer). The caller vouches for its validity.
+  JsonWriter& Raw(const std::string& json);
+
+  std::string Finish() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+  /// Escapes `value` for inclusion inside JSON double quotes.
+  static std::string Escape(const std::string& value);
+
+ private:
+  /// Emits a separating comma when the current container already holds a
+  /// value and the next token is not a key's own value.
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: whether it needs a comma before the
+  /// next element.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_COMMON_JSON_WRITER_H_

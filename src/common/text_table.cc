@@ -14,6 +14,16 @@ void TextTable::AddRow(std::vector<std::string> row) {
 
 void TextTable::AddSeparator() { rows_.emplace_back(); }
 
+void TextTable::AddCountRow(const std::string& name,
+                            std::initializer_list<int64_t> counts) {
+  std::string joined;
+  for (const int64_t c : counts) {
+    if (!joined.empty()) joined += " / ";
+    joined += StrFormat("%lld", static_cast<long long>(c));
+  }
+  AddRow({name, std::move(joined)});
+}
+
 std::string TextTable::ToString() const {
   // Compute column widths over header + rows.
   std::vector<size_t> widths(header_.size(), 0);

@@ -1,6 +1,8 @@
 #ifndef IDEVAL_COMMON_TEXT_TABLE_H_
 #define IDEVAL_COMMON_TEXT_TABLE_H_
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,12 @@ class TextTable {
 
   /// Appends a horizontal separator row.
   void AddSeparator();
+
+  /// Appends a two-cell row: `name` and the counts joined with " / " —
+  /// the dominant row shape in the server's stats battery
+  /// ("submitted / executed / shed": 12 / 9 / 3).
+  void AddCountRow(const std::string& name,
+                   std::initializer_list<int64_t> counts);
 
   size_t num_rows() const { return rows_.size(); }
 

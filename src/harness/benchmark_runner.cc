@@ -226,6 +226,12 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       // Negative disables the log, so any number parses.
       IDEVAL_ASSIGN_OR_RETURN(spec.serve_slow_query_ms,
                               ParseNumber(key, value));
+    } else if (key == "serve_metrics") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_metrics, ParseBool(key, value));
+    } else if (key == "serve_stats_poll_ms") {
+      // <= 0 disables the poller, so any number parses.
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_stats_poll_ms,
+                              ParseNumber(key, value));
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown key '%s'", line_no, key.c_str()));
@@ -289,6 +295,9 @@ std::string WorkloadSpecToText(const WorkloadSpec& spec) {
   out += StrFormat("serve_trace_buffer_spans = %lld\n",
                    static_cast<long long>(spec.serve_trace_buffer_spans));
   out += StrFormat("serve_slow_query_ms = %g\n", spec.serve_slow_query_ms);
+  out += StrFormat("serve_metrics = %s\n",
+                   spec.serve_metrics ? "true" : "false");
+  out += StrFormat("serve_stats_poll_ms = %g\n", spec.serve_stats_poll_ms);
   out += StrFormat("engine_zone_maps = %s\n",
                    spec.engine_zone_maps ? "true" : "false");
   return out;
@@ -619,6 +628,8 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
   sopts.enable_tracing = spec.serve_trace;
   sopts.trace_buffer_spans = spec.serve_trace_buffer_spans;
   sopts.slow_query_ms = spec.serve_slow_query_ms;
+  sopts.enable_metrics = spec.serve_metrics;
+  sopts.stats_poll_ms = spec.serve_stats_poll_ms;
   if (spec.throttle_interval > Duration::Zero()) {
     sopts.throttle_min_interval = spec.throttle_interval;
   }

@@ -97,6 +97,13 @@ struct WorkloadSpec {
   /// Slow-query log threshold in milliseconds; negative = log disabled.
   /// LCV-violating groups are logged regardless of latency.
   double serve_slow_query_ms = -1.0;
+  /// Registry-backed serve metrics (`ServerOptions::enable_metrics`):
+  /// terminal counters and latency histograms scrapeable as Prometheus
+  /// text / JSON. Off by default.
+  bool serve_metrics = false;
+  /// Stats-poller period in milliseconds (`ServerOptions::
+  /// stats_poll_ms`); <= 0 disables the background time-series sampler.
+  double serve_stats_poll_ms = 0.0;
 
   // --- Engine knobs (simulated and live modes). ---
   /// Build zone maps at registration and prune scan blocks whose min/max

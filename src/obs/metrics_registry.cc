@@ -1,0 +1,297 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "common/json_writer.h"
+#include "common/text_table.h"
+
+namespace ideval {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Renders a bucket bound the way Prometheus does: shortest exact-enough
+/// decimal, no trailing zeros ("0.25", "4", "1024").
+std::string BoundToString(double bound) {
+  std::string s = StrFormat("%.6g", bound);
+  return s;
+}
+
+}  // namespace
+
+void Gauge::Set(double v) {
+  bits_.store(DoubleBits(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return BitsDouble(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::string name, HistogramOptions options)
+    : name_(std::move(name)),
+      buckets_(static_cast<size_t>(std::max(options.num_bounds, 1)) + 1) {
+  const int n = std::max(options.num_bounds, 1);
+  bounds_.reserve(static_cast<size_t>(n));
+  double bound = options.first_bound;
+  for (int i = 0; i < n; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+}
+
+void Histogram::Record(double value) {
+  // Linear scan over <= ~20 bounds beats a branchy binary search at this
+  // size and keeps the hot path trivially predictable.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, DoubleBits(BitsDouble(old) + value), std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+const char* MetricTypeToString(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindEntry(
+    const std::string& name) const {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [entry_name, entry] : shard.entries) {
+    if (entry_name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [entry_name, entry] : shard.entries) {
+    if (entry_name == name) {
+      return entry->type == MetricType::kCounter ? entry->counter.get()
+                                                 : nullptr;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->type = MetricType::kCounter;
+  entry->help = help;
+  entry->counter = std::make_unique<Counter>(name);
+  Counter* out = entry->counter.get();
+  shard.entries.emplace_back(name, std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [entry_name, entry] : shard.entries) {
+    if (entry_name == name) {
+      return entry->type == MetricType::kGauge ? entry->gauge.get()
+                                               : nullptr;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->type = MetricType::kGauge;
+  entry->help = help;
+  entry->gauge = std::make_unique<Gauge>(name);
+  Gauge* out = entry->gauge.get();
+  shard.entries.emplace_back(name, std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              HistogramOptions options) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [entry_name, entry] : shard.entries) {
+    if (entry_name == name) {
+      return entry->type == MetricType::kHistogram ? entry->histogram.get()
+                                                   : nullptr;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->type = MetricType::kHistogram;
+  entry->help = help;
+  entry->histogram = std::make_unique<Histogram>(name, options);
+  Histogram* out = entry->histogram.get();
+  shard.entries.emplace_back(name, std::move(entry));
+  return out;
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  Entry* e = FindEntry(name);
+  return e != nullptr && e->type == MetricType::kCounter ? e->counter.get()
+                                                         : nullptr;
+}
+
+Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  Entry* e = FindEntry(name);
+  return e != nullptr && e->type == MetricType::kGauge ? e->gauge.get()
+                                                       : nullptr;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  Entry* e = FindEntry(name);
+  return e != nullptr && e->type == MetricType::kHistogram
+             ? e->histogram.get()
+             : nullptr;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.entries) {
+      MetricSnapshot snap;
+      snap.name = name;
+      snap.help = entry->help;
+      snap.type = entry->type;
+      switch (entry->type) {
+        case MetricType::kCounter:
+          snap.value = static_cast<double>(entry->counter->value());
+          break;
+        case MetricType::kGauge:
+          snap.value = entry->gauge->value();
+          break;
+        case MetricType::kHistogram:
+          snap.value = entry->histogram->sum();
+          snap.bounds = entry->histogram->bounds();
+          snap.bucket_counts = entry->histogram->BucketCounts();
+          snap.count = entry->histogram->count();
+          break;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::string out;
+  for (const MetricSnapshot& m : Snapshot()) {
+    out += StrFormat("# HELP %s %s\n", m.name.c_str(), m.help.c_str());
+    out += StrFormat("# TYPE %s %s\n", m.name.c_str(),
+                     MetricTypeToString(m.type));
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += StrFormat("%s %lld\n", m.name.c_str(),
+                         static_cast<long long>(m.value));
+        break;
+      case MetricType::kGauge:
+        out += StrFormat("%s %.6g\n", m.name.c_str(), m.value);
+        break;
+      case MetricType::kHistogram: {
+        // Prometheus buckets are cumulative: each `le` series counts
+        // every observation at or below its bound.
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < m.bounds.size(); ++i) {
+          cumulative += m.bucket_counts[i];
+          out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", m.name.c_str(),
+                           BoundToString(m.bounds[i]).c_str(),
+                           static_cast<long long>(cumulative));
+        }
+        cumulative += m.bucket_counts.back();
+        out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", m.name.c_str(),
+                         static_cast<long long>(cumulative));
+        out += StrFormat("%s_sum %.6g\n", m.name.c_str(), m.value);
+        out += StrFormat("%s_count %lld\n", m.name.c_str(),
+                         static_cast<long long>(m.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExpositionJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics").BeginArray();
+  for (const MetricSnapshot& m : Snapshot()) {
+    w.BeginObject();
+    w.Key("name").String(m.name);
+    w.Key("type").String(MetricTypeToString(m.type));
+    w.Key("help").String(m.help);
+    switch (m.type) {
+      case MetricType::kCounter:
+        w.Key("value").Int(static_cast<int64_t>(m.value));
+        break;
+      case MetricType::kGauge:
+        w.Key("value").Double(m.value);
+        break;
+      case MetricType::kHistogram: {
+        w.Key("count").Int(m.count);
+        w.Key("sum").Double(m.value);
+        w.Key("bounds").BeginArray();
+        for (const double b : m.bounds) w.Double(b);
+        w.EndArray();
+        w.Key("buckets").BeginArray();
+        for (const int64_t c : m.bucket_counts) w.Int(c);
+        w.EndArray();
+        break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Finish();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace ideval

@@ -1,0 +1,186 @@
+#ifndef IDEVAL_OBS_METRICS_REGISTRY_H_
+#define IDEVAL_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ideval {
+
+/// A monotonically increasing counter. `Increment` is one relaxed
+/// fetch-add — safe from any thread, no lock, no allocation, so it can sit
+/// directly on the serve hot path (the same discipline as `TraceBuffer`:
+/// instrumentation must never become the bottleneck it measures).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// A last-write-wins instantaneous value (queue depth, hit rate, load
+/// factor). Stored as the double's bit pattern in an atomic u64 so `Set`
+/// and `value` are lock-free on every platform we build for.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v);
+  double value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Bucket layout for a `Histogram`: `num_bounds` geometric upper bounds
+/// starting at `first_bound` and growing by `growth` per bucket, plus an
+/// implicit +Inf overflow bucket. The default (0.25ms .. ~54s at 2x)
+/// covers everything from a cache hit to a pathological stall.
+struct HistogramOptions {
+  double first_bound = 0.25;
+  double growth = 2.0;
+  int num_bounds = 18;
+};
+
+/// A log-bucketed histogram with Prometheus `le` semantics: bucket `i`
+/// counts observations `<= bounds[i]`, the final bucket is +Inf.
+/// `Record` is a short loop over <= `num_bounds` comparisons plus two
+/// relaxed atomics — fixed-size, allocation-free, concurrent-safe.
+///
+/// Exposition counts are cumulative (each `le` bucket includes all
+/// smaller ones), matching what a Prometheus scraper expects; `Snapshot`
+/// reports per-bucket counts for programmatic use.
+class Histogram {
+ public:
+  Histogram(std::string name, HistogramOptions options);
+
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Upper bounds, excluding the +Inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index `bounds().size()` is the
+  /// +Inf overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::vector<double> bounds_;              ///< Immutable after construction.
+  std::vector<std::atomic<int64_t>> buckets_;  ///< bounds.size() + 1 slots.
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  ///< Double bits, CAS-accumulated.
+};
+
+enum class MetricType : uint8_t { kCounter = 0, kGauge, kHistogram };
+
+const char* MetricTypeToString(MetricType type);
+
+/// One metric's state at snapshot time, for exposition and tests.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  /// Counter/gauge value, or the histogram sum.
+  double value = 0.0;
+  /// Histogram only: upper bounds and matching per-bucket counts (one
+  /// extra trailing count for +Inf), plus the total observation count.
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;
+  int64_t count = 0;
+};
+
+/// A process-wide registry of named metrics. Registration (rare, startup)
+/// takes a sharded lock and allocates; the returned handles are stable
+/// for the registry's lifetime and recording through them never locks the
+/// registry — the serve hot path holds raw `Counter*`/`Histogram*` and
+/// pays only the atomic op.
+///
+/// Names are Prometheus-style (`ideval_serve_groups_submitted_total`);
+/// variants that a labeled system would express as labels (shed reasons,
+/// cache outcomes) are separate metrics here — the registry stays
+/// allocation-free at scrape-for-scrape parity without a label parser.
+///
+/// Re-registering an existing name with the same type returns the same
+/// handle (so independent subsystems can share a metric); a type conflict
+/// returns null.
+///
+/// Thread safety: all methods are safe for concurrent callers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* RegisterCounter(const std::string& name, const std::string& help);
+  Gauge* RegisterGauge(const std::string& name, const std::string& help);
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& help,
+                               HistogramOptions options = {});
+
+  /// Looks a metric up by name; null if absent or a different type.
+  Counter* FindCounter(const std::string& name) const;
+  Gauge* FindGauge(const std::string& name) const;
+  Histogram* FindHistogram(const std::string& name) const;
+
+  /// Every registered metric, sorted by name (exposition is diff-able).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition format, version 0.0.4: `# HELP` /
+  /// `# TYPE` headers, `_bucket{le="..."}` cumulative histogram series
+  /// with `_sum` and `_count`.
+  std::string ExpositionText() const;
+
+  /// The same snapshot as one JSON object:
+  /// `{"metrics":[{"name":...,"type":...,"value":...}, ...]}`.
+  std::string ExpositionJson() const;
+
+  /// The process-wide registry most callers want; dedicated instances
+  /// (tests, embedded servers) can own their own.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// name -> entry; pointer-stable (node-based would also do, but the
+    /// entries themselves are unique_ptr-held so rehash is safe).
+    std::vector<std::pair<std::string, std::unique_ptr<Entry>>> entries;
+  };
+
+  static constexpr int kNumShards = 8;
+
+  Shard& ShardFor(const std::string& name) const;
+  Entry* FindEntry(const std::string& name) const;
+
+  mutable Shard shards_[kNumShards];
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,119 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/json_writer.h"
+
+namespace ideval {
+
+TimeSeriesRing::TimeSeriesRing(int64_t capacity)
+    : ring_(static_cast<size_t>(std::max<int64_t>(capacity, 1))) {}
+
+void TimeSeriesRing::Push(const StatsSample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = sample;
+  next_ = (next_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  ++pushed_;
+}
+
+std::vector<StatsSample> TimeSeriesRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StatsSample> out;
+  out.reserve(count_);
+  // Oldest live sample: next_ when wrapped, slot 0 otherwise.
+  const size_t start = count_ == ring_.size() ? next_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t TimeSeriesRing::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+std::string TimeSeriesRing::ToJson() const {
+  JsonWriter w;
+  w.BeginArray();
+  for (const StatsSample& s : Snapshot()) {
+    w.BeginObject();
+    w.Key("t_s").Double(s.t_s);
+    w.Key("qif_qps").Double(s.qif_qps);
+    w.Key("throughput_window_qps").Double(s.throughput_window_qps);
+    w.Key("shed_per_s").Double(s.shed_per_s);
+    w.Key("reject_per_s").Double(s.reject_per_s);
+    w.Key("queue_depth").Int(s.queue_depth);
+    w.Key("lcv_fraction").Double(s.lcv_fraction);
+    w.Key("load_factor").Double(s.load_factor);
+    w.Key("load_state").Int(s.load_state);
+    w.Key("cache_hit_rate").Double(s.cache_hit_rate);
+    w.Key("trace_dropped").Int(s.trace_dropped);
+    w.Key("latency_p50_ms").Double(s.latency_p50_ms);
+    w.Key("latency_p90_ms").Double(s.latency_p90_ms);
+    w.Key("submitted").Int(s.submitted);
+    w.Key("executed").Int(s.executed);
+    w.Key("shed").Int(s.shed);
+    w.Key("rejected").Int(s.rejected);
+    w.EndObject();
+  }
+  w.EndArray();
+  return std::move(w).Finish();
+}
+
+StatsPoller::StatsPoller(Duration period, std::function<StatsSample()> sample,
+                         TimeSeriesRing* ring)
+    : period_(period), sample_(std::move(sample)), ring_(ring) {}
+
+void StatsPoller::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsPoller::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+}
+
+bool StatsPoller::running() const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  return thread_.joinable();
+}
+
+int64_t StatsPoller::polls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return polls_;
+}
+
+void StatsPoller::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::microseconds(period_.micros()),
+                 [this] { return stop_; });
+    if (stop_) return;
+    // Sample outside the lock: the callback snapshots the server, which
+    // may take longer than a period under load, and must never block
+    // Stop.
+    lock.unlock();
+    const StatsSample sample = sample_();
+    ring_->Push(sample);
+    lock.lock();
+    ++polls_;
+  }
+}
+
+}  // namespace ideval

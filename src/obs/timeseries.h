@@ -1,0 +1,123 @@
+#ifndef IDEVAL_OBS_TIMESERIES_H_
+#define IDEVAL_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ideval {
+
+/// One periodic sample of a live server: the time-sliced view IDEBench
+/// argues interactive benchmarks must report instead of end-of-run means.
+/// Plain numbers only — the obs layer stays independent of the serve
+/// structs; the sampling callback does the translation.
+struct StatsSample {
+  double t_s = 0.0;  ///< Seconds since server start.
+
+  // Windowed rates (the moving picture of Fig. 3's quadrant walk).
+  double qif_qps = 0.0;               ///< Offered load, sliding window.
+  double throughput_window_qps = 0.0; ///< Completed load, sliding window.
+  double shed_per_s = 0.0;            ///< Groups shed since last sample.
+  double reject_per_s = 0.0;          ///< Groups rejected since last sample.
+
+  // Instantaneous state.
+  int64_t queue_depth = 0;
+  double lcv_fraction = 0.0;
+  double load_factor = 0.0;
+  int32_t load_state = 0;  ///< `LoadState` as an int.
+  double cache_hit_rate = -1.0;  ///< -1 = no result cache configured.
+  int64_t trace_dropped = 0;     ///< 0 when tracing is off.
+
+  // Latency battery at sample time (streaming estimates).
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+
+  // Lifetime cumulative counts (rates above derive from their deltas).
+  int64_t submitted = 0;
+  int64_t executed = 0;
+  int64_t shed = 0;
+  int64_t rejected = 0;
+};
+
+/// A bounded ring of `StatsSample`s — the server's recent history at
+/// poller resolution. Preallocated, overwrite-oldest, mutex-guarded (the
+/// poller writes once per period; contention is not a concern the way it
+/// is for the hot-path registry).
+///
+/// Thread safety: all methods are safe for concurrent callers.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(int64_t capacity);
+
+  void Push(const StatsSample& sample);
+
+  /// Live samples, oldest first.
+  std::vector<StatsSample> Snapshot() const;
+
+  /// Samples ever pushed (>= live count once the ring has wrapped).
+  int64_t pushed() const;
+
+  int64_t capacity() const { return static_cast<int64_t>(ring_.size()); }
+
+  /// The live samples as a JSON array of objects (one key per
+  /// `StatsSample` field), oldest first — the `series.samples` block of
+  /// the BENCH JSON schema.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StatsSample> ring_;  ///< Fixed capacity, preallocated.
+  size_t next_ = 0;                ///< Next write slot.
+  size_t count_ = 0;               ///< Live samples (<= ring_.size()).
+  int64_t pushed_ = 0;
+};
+
+/// A background thread that calls `sample()` every `period` and pushes
+/// the result into a `TimeSeriesRing`. Start/Stop are idempotent; Stop
+/// joins, so after it returns the callback will never run again — the
+/// owning server stops the poller before tearing anything down.
+class StatsPoller {
+ public:
+  StatsPoller(Duration period, std::function<StatsSample()> sample,
+              TimeSeriesRing* ring);
+
+  StatsPoller(const StatsPoller&) = delete;
+  StatsPoller& operator=(const StatsPoller&) = delete;
+
+  ~StatsPoller() { Stop(); }
+
+  void Start();
+  void Stop();
+
+  bool running() const;
+  int64_t polls() const;
+
+ private:
+  void Loop();
+
+  const Duration period_;
+  const std::function<StatsSample()> sample_;
+  TimeSeriesRing* const ring_;
+
+  /// Serializes Start/Stop against each other (the join happens under
+  /// it), so concurrent lifecycle calls cannot leak or double-start the
+  /// thread. Never held by the poll loop.
+  mutable std::mutex lifecycle_mu_;
+  std::thread thread_;  ///< Guarded by lifecycle_mu_.
+
+  /// Loop-side state: the wait predicate and the poll count.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  ///< Guarded by mu_.
+  int64_t polls_ = 0;  ///< Guarded by mu_.
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_OBS_TIMESERIES_H_

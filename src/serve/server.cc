@@ -64,6 +64,11 @@ Status QueryServer::ValidateOptions(const ServerOptions& options) {
         StrFormat("trace_buffer_spans must be >= 1, got %lld",
                   static_cast<long long>(options.trace_buffer_spans)));
   }
+  if (options.stats_poll_ms > 0.0 && options.stats_ring_samples < 1) {
+    return Status::InvalidArgument(
+        StrFormat("stats_ring_samples must be >= 1, got %lld",
+                  static_cast<long long>(options.stats_ring_samples)));
+  }
   return Status::OK();
 }
 
@@ -80,6 +85,8 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Create(
   for (int i = 0; i < server->options_.num_workers; ++i) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
   }
+  // The poller starts last, once the server is fully serveable.
+  if (server->poller_ != nullptr) server->poller_->Start();
   return server;
 }
 
@@ -109,6 +116,7 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Create(
   for (int i = 0; i < server->options_.num_workers; ++i) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
   }
+  if (server->poller_ != nullptr) server->poller_->Start();
   return server;
 }
 
@@ -158,6 +166,95 @@ QueryServer::QueryServer(const Engine* engine, const ShardedEngine* sharded,
     sopts.threshold = Duration::MillisF(options_.slow_query_ms);
     slow_log_ = std::make_unique<SlowQueryLog>(sopts);
   }
+  if (options_.enable_metrics) {
+    mreg_ = options_.metrics_registry != nullptr
+                ? options_.metrics_registry
+                : &MetricsRegistry::Global();
+    RegisterMetrics();
+  }
+  if (options_.stats_poll_ms > 0.0) {
+    timeseries_ =
+        std::make_unique<TimeSeriesRing>(options_.stats_ring_samples);
+    poller_ = std::make_unique<StatsPoller>(
+        Duration::MillisF(options_.stats_poll_ms),
+        [this] { return SampleStats(); }, timeseries_.get());
+  }
+}
+
+void QueryServer::RegisterMetrics() {
+  hot_.submitted = mreg_->RegisterCounter(
+      "ideval_serve_groups_submitted_total",
+      "Query groups submitted (admitted or not)");
+  hot_.admitted = mreg_->RegisterCounter(
+      "ideval_serve_groups_admitted_total",
+      "Query groups past the admission door into a session queue");
+  hot_.executed = mreg_->RegisterCounter(
+      "ideval_serve_groups_executed_total",
+      "Query groups that ran to completion");
+  hot_.shed_stale = mreg_->RegisterCounter(
+      "ideval_serve_groups_shed_stale_total",
+      "Groups shed as stale (skip-stale dispatch or overflow)");
+  hot_.shed_coalesced = mreg_->RegisterCounter(
+      "ideval_serve_groups_shed_coalesced_total",
+      "Groups superseded by a newer debounced submission");
+  hot_.shed_throttled = mreg_->RegisterCounter(
+      "ideval_serve_groups_shed_throttled_total",
+      "Groups shed at the door by the throttle policy");
+  hot_.rejected = mreg_->RegisterCounter(
+      "ideval_serve_groups_rejected_total",
+      "Groups pushed back (queue full or hard overload)");
+  hot_.queries_executed = mreg_->RegisterCounter(
+      "ideval_serve_queries_executed_total",
+      "Successful queries inside executed groups");
+  hot_.queries_failed = mreg_->RegisterCounter(
+      "ideval_serve_queries_failed_total",
+      "Failed queries inside executed groups");
+  hot_.cache_hits = mreg_->RegisterCounter(
+      "ideval_serve_cache_hits_total",
+      "Queries answered by the session or shared result cache");
+  hot_.lcv_violations = mreg_->RegisterCounter(
+      "ideval_serve_lcv_violations_total",
+      "Executed groups that finished after a newer submission (LCV)");
+  hot_.latency_ms = mreg_->RegisterHistogram(
+      "ideval_serve_group_latency_ms",
+      "Perceived latency of executed groups, submit to done (ms)");
+  hot_.service_ms = mreg_->RegisterHistogram(
+      "ideval_serve_group_service_ms",
+      "Backend busy time of executed groups, dispatch to done (ms)");
+  gauges_.qif_qps = mreg_->RegisterGauge(
+      "ideval_serve_qif_qps", "Offered load over the sliding window");
+  gauges_.throughput_window_qps = mreg_->RegisterGauge(
+      "ideval_serve_throughput_window_qps",
+      "Executed queries per second over the sliding window");
+  gauges_.queue_depth = mreg_->RegisterGauge(
+      "ideval_serve_queue_depth", "Groups pending across all sessions");
+  gauges_.lcv_fraction = mreg_->RegisterGauge(
+      "ideval_serve_lcv_fraction", "LCV violations / executed groups");
+  gauges_.load_factor = mreg_->RegisterGauge(
+      "ideval_serve_load_factor", "Offered / capacity (Fig. 3 ratio)");
+  gauges_.sessions_open = mreg_->RegisterGauge(
+      "ideval_serve_sessions_open", "Currently open sessions");
+  gauges_.cache_hit_rate = mreg_->RegisterGauge(
+      "ideval_serve_cache_hit_rate",
+      "Shared result cache hit rate (-1 when the cache is off)");
+  gauges_.trace_dropped = mreg_->RegisterGauge(
+      "ideval_serve_trace_dropped",
+      "Spans overwritten in the trace ring (0 when tracing is off)");
+}
+
+void QueryServer::UpdateGauges(const ServerStatsSnapshot& snap) {
+  if (gauges_.qif_qps == nullptr) return;
+  gauges_.qif_qps->Set(snap.qif_qps);
+  gauges_.throughput_window_qps->Set(snap.throughput_window_qps);
+  gauges_.queue_depth->Set(static_cast<double>(snap.groups_queued));
+  gauges_.lcv_fraction->Set(snap.lcv_fraction);
+  gauges_.load_factor->Set(snap.load.load_factor);
+  gauges_.sessions_open->Set(static_cast<double>(snap.sessions_open));
+  gauges_.cache_hit_rate->Set(
+      snap.result_cache_enabled ? snap.result_cache.HitRate() : -1.0);
+  gauges_.trace_dropped->Set(
+      snap.tracing_enabled ? static_cast<double>(snap.trace_buffer.dropped)
+                           : 0.0);
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -244,6 +341,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
 
   SubmitOutcome out;
   out.seq = s->RecordSubmit(now);
+  if (hot_.submitted != nullptr) hot_.submitted->Increment();
   controller_.OnSubmit(now);
   out.load = controller_.Assess(now);
   if (options_.adaptive_admission) {
@@ -260,6 +358,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
 
   if (out.load.reject) {
     ++s->counters().groups_rejected;
+    if (hot_.rejected != nullptr) hot_.rejected->Increment();
     out.disposition = SubmitDisposition::kRejected;
     TraceAdmission(trace, out, now,
                    static_cast<int64_t>(s->queue().size()));
@@ -273,6 +372,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
       if (s->last_admitted().has_value() &&
           now - *s->last_admitted() < options_.throttle_min_interval) {
         ++c.groups_shed_throttled;
+        if (hot_.shed_throttled != nullptr) hot_.shed_throttled->Increment();
         out.disposition = SubmitDisposition::kThrottled;
         TraceAdmission(trace, out, now,
                        static_cast<int64_t>(s->queue().size()));
@@ -280,6 +380,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
       }
       if (s->queue().size() >= cap) {
         ++c.groups_rejected;
+        if (hot_.rejected != nullptr) hot_.rejected->Increment();
         out.disposition = SubmitDisposition::kRejected;
         TraceAdmission(trace, out, now,
                        static_cast<int64_t>(s->queue().size()));
@@ -300,6 +401,10 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
         }
         c.groups_shed_coalesced +=
             static_cast<int64_t>(s->queue().size());
+        if (hot_.shed_coalesced != nullptr) {
+          hot_.shed_coalesced->Increment(
+              static_cast<int64_t>(s->queue().size()));
+        }
         s->queue().clear();
         out.disposition = SubmitDisposition::kCoalesced;
       }
@@ -307,6 +412,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
     case AdmissionPolicy::kFifo:
       if (s->queue().size() >= cap) {
         ++c.groups_rejected;
+        if (hot_.rejected != nullptr) hot_.rejected->Increment();
         out.disposition = SubmitDisposition::kRejected;
         TraceAdmission(trace, out, now,
                        static_cast<int64_t>(s->queue().size()));
@@ -323,6 +429,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
                    static_cast<uint32_t>(GroupTerminal::kShedStale));
         s->queue().pop_front();
         ++c.groups_shed_stale;
+        if (hot_.shed_stale != nullptr) hot_.shed_stale->Increment();
       }
       break;
   }
@@ -334,6 +441,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
   g.queries = std::move(queries);
   s->queue().push_back(std::move(g));
   ++c.groups_admitted;
+  if (hot_.admitted != nullptr) hot_.admitted->Increment();
   s->NoteQueueDepth(static_cast<int64_t>(s->queue().size()));
   TraceAdmission(trace, out, now, static_cast<int64_t>(s->queue().size()));
   work_cv_.notify_all();
@@ -381,6 +489,9 @@ PendingGroup QueryServer::PopGroup(ServeSession* session) {
     }
     session->counters().groups_shed_stale +=
         static_cast<int64_t>(q.size()) - 1;
+    if (hot_.shed_stale != nullptr) {
+      hot_.shed_stale->Increment(static_cast<int64_t>(q.size()) - 1);
+    }
     PendingGroup g = std::move(q.back());
     q.clear();
     return g;
@@ -689,7 +800,12 @@ void QueryServer::WorkerLoop() {
       }
     }
     const SimTime finish = Now();
-    metrics_.RecordGroupComplete(finish - group.submit_time, finish - start);
+    metrics_.RecordGroupComplete(finish, finish - group.submit_time,
+                                 finish - start, executed);
+    if (hot_.latency_ms != nullptr) {
+      hot_.latency_ms->Record((finish - group.submit_time).millis());
+      hot_.service_ms->Record((finish - start).millis());
+    }
     // With the shared cache the backend runs inside the cache, so phase
     // attribution collapses into `execute` even over a sharded backend.
     if (sharded_ != nullptr && result_cache_ == nullptr) {
@@ -709,6 +825,13 @@ void QueryServer::WorkerLoop() {
     const bool lcv = s->CheckLcvViolation(group.seq, finish);
     if (lcv) {
       ++c.lcv_violations;
+    }
+    if (hot_.executed != nullptr) {
+      hot_.executed->Increment();
+      hot_.queries_executed->Increment(executed);
+      hot_.queries_failed->Increment(failed);
+      hot_.cache_hits->Increment(hits);
+      if (lcv) hot_.lcv_violations->Increment();
     }
     // The group reached its terminal state: close the root span opened at
     // Submit, and offer the interaction to the slow-query log.
@@ -767,6 +890,9 @@ void QueryServer::Stop() {
     if (stop_) return;
     stop_ = true;
   }
+  // Poller first: its callback snapshots the server, so it must be gone
+  // before any serving state is torn down.
+  if (poller_ != nullptr) poller_->Stop();
   work_cv_.notify_all();
   // Group workers first: any in-flight sharded group still needs the
   // shard pool to finish its partials before its worker can exit.
@@ -831,7 +957,39 @@ ServerStatsSnapshot QueryServer::Snapshot() {
           ? static_cast<double>(snap.totals.lcv_violations) /
                 static_cast<double>(snap.totals.groups_executed)
           : 0.0;
+  if (mreg_ != nullptr) UpdateGauges(snap);
   return snap;
+}
+
+StatsSample QueryServer::SampleStats() {
+  const ServerStatsSnapshot snap = Snapshot();
+  StatsSample s;
+  s.t_s = snap.uptime_s;
+  s.qif_qps = snap.qif_qps;
+  s.throughput_window_qps = snap.throughput_window_qps;
+  s.queue_depth = snap.groups_queued;
+  s.lcv_fraction = snap.lcv_fraction;
+  s.load_factor = snap.load.load_factor;
+  s.load_state = static_cast<int32_t>(snap.load.state);
+  s.cache_hit_rate =
+      snap.result_cache_enabled ? snap.result_cache.HitRate() : -1.0;
+  s.trace_dropped = snap.tracing_enabled ? snap.trace_buffer.dropped : 0;
+  s.latency_p50_ms = snap.latency_p50_ms;
+  s.latency_p90_ms = snap.latency_p90_ms;
+  s.submitted = snap.totals.groups_submitted;
+  s.executed = snap.totals.groups_executed;
+  s.shed = snap.totals.GroupsShed();
+  s.rejected = snap.totals.groups_rejected;
+  // Per-second rates from the cumulative deltas against the previous
+  // sample (zero on the first, and whenever the clock has not advanced).
+  const double dt = s.t_s - poll_prev_.t_s;
+  if (dt > 0.0 && poll_prev_.t_s > 0.0) {
+    s.shed_per_s = static_cast<double>(s.shed - poll_prev_.shed) / dt;
+    s.reject_per_s =
+        static_cast<double>(s.rejected - poll_prev_.rejected) / dt;
+  }
+  poll_prev_ = s;
+  return s;
 }
 
 }  // namespace ideval

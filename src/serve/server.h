@@ -15,7 +15,9 @@
 #include "common/sim_time.h"
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
+#include "obs/metrics_registry.h"
 #include "obs/slow_query_log.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/result_cache.h"
@@ -75,6 +77,28 @@ struct ServerOptions {
   /// violation — land in a bounded structured log, independent of
   /// `enable_tracing`.
   double slow_query_ms = -1.0;
+  /// Registry-backed metrics (`obs/metrics_registry.h`): every terminal
+  /// counter and the latency/service distributions also stream into
+  /// named counters/histograms, scrapeable as Prometheus text or JSON.
+  /// Off by default; when off, every site is one branch (the same
+  /// discipline as tracing). After a drain the registry counters
+  /// reconcile exactly with `ServerStatsSnapshot` totals — *if* this
+  /// server is the registry's only writer; servers sharing one registry
+  /// aggregate into the same series.
+  bool enable_metrics = false;
+  /// Registry to publish into; null means `MetricsRegistry::Global()`.
+  /// Tests and embedded multi-server processes pass their own.
+  MetricsRegistry* metrics_registry = nullptr;
+  /// Background stats poller period in milliseconds; <= 0 disables it.
+  /// When > 0 a `StatsPoller` thread snapshots the server every period
+  /// into a `TimeSeriesRing` (`timeseries()`) — QIF, windowed
+  /// throughput, LCV, queue depth, shed/reject rates, cache hit rate,
+  /// trace drops — the per-second series behind `BENCH_serve.json`.
+  double stats_poll_ms = 0.0;
+  /// Ring capacity in samples once the poller is on (default ten
+  /// minutes at 1 s resolution). `Create` rejects values < 1 when the
+  /// poller is enabled.
+  int64_t stats_ring_samples = 600;
 };
 
 /// What happened to one submission at the server door.
@@ -193,6 +217,23 @@ class QueryServer {
   /// The slow-query log, or null when `slow_query_ms` is negative.
   const SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
 
+  /// The registry this server publishes into, or null when
+  /// `enable_metrics` is off. Scrape with `ExpositionText` /
+  /// `ExpositionJson`.
+  MetricsRegistry* metrics_registry() { return mreg_; }
+  const MetricsRegistry* metrics_registry() const { return mreg_; }
+
+  /// The poller-filled per-period sample ring, or null when
+  /// `stats_poll_ms` <= 0.
+  const TimeSeriesRing* timeseries() const { return timeseries_.get(); }
+
+  /// Builds one `StatsSample` from a fresh snapshot — what the poller
+  /// pushes every period. Public so benches can stamp a final sample at
+  /// drain time regardless of period phase. Rates-per-second fields are
+  /// deltas against the previous call; call from one thread at a time
+  /// (the poller, or the bench after the poller stopped).
+  StatsSample SampleStats();
+
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -289,7 +330,53 @@ class QueryServer {
   int64_t in_flight_ = 0;             ///< Groups being executed right now.
   bool stop_ = false;
 
+  /// Registry handles for the hot-path sites. All null when
+  /// `enable_metrics` is off, so each site costs one branch; when on,
+  /// each increment is one relaxed atomic — no lock is ever taken on the
+  /// serve path for metrics.
+  struct HotMetrics {
+    Counter* submitted = nullptr;
+    Counter* admitted = nullptr;
+    Counter* executed = nullptr;
+    Counter* shed_stale = nullptr;
+    Counter* shed_coalesced = nullptr;
+    Counter* shed_throttled = nullptr;
+    Counter* rejected = nullptr;
+    Counter* queries_executed = nullptr;
+    Counter* queries_failed = nullptr;
+    Counter* cache_hits = nullptr;
+    Counter* lcv_violations = nullptr;
+    Histogram* latency_ms = nullptr;
+    Histogram* service_ms = nullptr;
+  };
+  /// Gauges refreshed from every `Snapshot()` (so a scrape after a
+  /// snapshot — or the poller's periodic one — sees current values).
+  struct GaugeMetrics {
+    Gauge* qif_qps = nullptr;
+    Gauge* throughput_window_qps = nullptr;
+    Gauge* queue_depth = nullptr;
+    Gauge* lcv_fraction = nullptr;
+    Gauge* load_factor = nullptr;
+    Gauge* sessions_open = nullptr;
+    Gauge* cache_hit_rate = nullptr;
+    Gauge* trace_dropped = nullptr;
+  };
+
+  /// Registers the serve metric family into `mreg_`. Constructor-only.
+  void RegisterMetrics();
+  /// Pushes `snap`'s instantaneous values into the gauges.
+  void UpdateGauges(const ServerStatsSnapshot& snap);
+
   OnlineMetrics metrics_;  ///< Internally synchronized.
+  MetricsRegistry* mreg_ = nullptr;  ///< Null when metrics are off.
+  HotMetrics hot_;
+  GaugeMetrics gauges_;
+  /// Poller state (null unless `stats_poll_ms` > 0). The poller thread
+  /// is the only `SampleStats` caller while running; `poll_prev_` is its
+  /// private delta baseline.
+  std::unique_ptr<TimeSeriesRing> timeseries_;
+  std::unique_ptr<StatsPoller> poller_;
+  StatsSample poll_prev_;
   /// Shared cache above the backend (null unless enabled) and the backend
   /// callable its misses execute. Both internally synchronized.
   std::unique_ptr<ResultCache> result_cache_;

@@ -22,21 +22,42 @@ SessionCounters& SessionCounters::operator+=(const SessionCounters& o) {
 OnlineMetrics::OnlineMetrics(Duration qif_window)
     : window_(qif_window), latency_p50_(0.5), latency_p90_(0.9) {}
 
-void OnlineMetrics::RecordSubmit(SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  submits_.push_back(now);
+void OnlineMetrics::TrimWindows(SimTime now) {
   const SimTime horizon = now - window_;
   while (!submits_.empty() && submits_.front() < horizon) {
     submits_.pop_front();
   }
+  while (!completions_.empty() && completions_.front().time < horizon) {
+    window_query_sum_ -= completions_.front().queries;
+    completions_.pop_front();
+  }
 }
 
-void OnlineMetrics::RecordGroupComplete(Duration latency, Duration service) {
+void OnlineMetrics::RecordSubmit(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(submits_.size()) >= kMaxWindowEntries) {
+    submits_.pop_front();
+    ++truncations_;
+  }
+  submits_.push_back(now);
+  TrimWindows(now);
+}
+
+void OnlineMetrics::RecordGroupComplete(SimTime now, Duration latency,
+                                        Duration service, int64_t queries) {
   std::lock_guard<std::mutex> lock(mu_);
   latency_ms_.Add(latency.millis());
   latency_p50_.Add(latency.millis());
   latency_p90_.Add(latency.millis());
   service_ms_.Add(service.millis());
+  if (static_cast<int64_t>(completions_.size()) >= kMaxWindowEntries) {
+    window_query_sum_ -= completions_.front().queries;
+    completions_.pop_front();
+    ++truncations_;
+  }
+  completions_.push_back({now, queries});
+  window_query_sum_ += queries;
+  TrimWindows(now);
 }
 
 void OnlineMetrics::RecordPhases(Duration scatter, Duration execute,
@@ -49,21 +70,18 @@ void OnlineMetrics::RecordPhases(Duration scatter, Duration execute,
 
 double OnlineMetrics::QifQps(SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
-  const SimTime horizon = now - window_;
-  while (!submits_.empty() && submits_.front() < horizon) {
-    submits_.pop_front();
-  }
+  TrimWindows(now);
   return static_cast<double>(submits_.size()) / window_.seconds();
 }
 
 void OnlineMetrics::FillSnapshot(ServerStatsSnapshot* snap, SimTime now) {
   std::lock_guard<std::mutex> lock(mu_);
-  const SimTime horizon = now - window_;
-  while (!submits_.empty() && submits_.front() < horizon) {
-    submits_.pop_front();
-  }
+  TrimWindows(now);
   snap->qif_qps =
       static_cast<double>(submits_.size()) / window_.seconds();
+  snap->throughput_window_qps =
+      static_cast<double>(window_query_sum_) / window_.seconds();
+  snap->qif_window_truncations = truncations_;
   snap->latency_mean_ms = latency_ms_.mean();
   snap->latency_max_ms = latency_ms_.max();
   snap->latency_p50_ms = latency_p50_.Estimate();
@@ -86,40 +104,25 @@ std::string ServerStatsSnapshot::ToText() const {
                  StrFormat("%s / %s",
                            AdmissionPolicyToString(configured_policy),
                            AdmissionPolicyToString(effective_policy))});
-  global.AddRow({"sessions", StrFormat("%lld",
-                                       static_cast<long long>(sessions_open))});
+  global.AddCountRow("sessions", {sessions_open});
   global.AddRow({"uptime", StrFormat("%.2f s", uptime_s)});
-  global.AddRow(
-      {"groups submitted / executed / shed / rejected / queued",
-       StrFormat("%lld / %lld / %lld / %lld / %lld",
-                 static_cast<long long>(totals.groups_submitted),
-                 static_cast<long long>(totals.groups_executed),
-                 static_cast<long long>(totals.GroupsShed()),
-                 static_cast<long long>(totals.groups_rejected),
-                 static_cast<long long>(groups_queued))});
-  global.AddRow(
-      {"shed breakdown (stale / coalesced / throttled)",
-       StrFormat("%lld / %lld / %lld",
-                 static_cast<long long>(totals.groups_shed_stale),
-                 static_cast<long long>(totals.groups_shed_coalesced),
-                 static_cast<long long>(totals.groups_shed_throttled))});
-  global.AddRow(
-      {"door verdicts (admitted / shed at door / rejected)",
-       StrFormat("%lld / %lld / %lld",
-                 static_cast<long long>(totals.groups_admitted),
-                 static_cast<long long>(totals.groups_shed_throttled),
-                 static_cast<long long>(totals.groups_rejected))});
-  global.AddRow({"queue depth (now / high-water)",
-                 StrFormat("%lld / %lld",
-                           static_cast<long long>(groups_queued),
-                           static_cast<long long>(queue_hwm))});
-  global.AddRow({"queries executed / failed",
-                 StrFormat("%lld / %lld",
-                           static_cast<long long>(totals.queries_executed),
-                           static_cast<long long>(totals.queries_failed))});
-  global.AddRow({"cache hits",
-                 StrFormat("%lld",
-                           static_cast<long long>(totals.cache_hits))});
+  global.AddCountRow(
+      "groups submitted / executed / shed / rejected / queued",
+      {totals.groups_submitted, totals.groups_executed, totals.GroupsShed(),
+       totals.groups_rejected, groups_queued});
+  global.AddCountRow(
+      "shed breakdown (stale / coalesced / throttled)",
+      {totals.groups_shed_stale, totals.groups_shed_coalesced,
+       totals.groups_shed_throttled});
+  global.AddCountRow(
+      "door verdicts (admitted / shed at door / rejected)",
+      {totals.groups_admitted, totals.groups_shed_throttled,
+       totals.groups_rejected});
+  global.AddCountRow("queue depth (now / high-water)",
+                     {groups_queued, queue_hwm});
+  global.AddCountRow("queries executed / failed",
+                     {totals.queries_executed, totals.queries_failed});
+  global.AddCountRow("cache hits", {totals.cache_hits});
   if (result_cache_enabled) {
     global.AddRow(
         {"result cache (hit / miss / coalesced; hit rate)",
@@ -128,27 +131,19 @@ std::string ServerStatsSnapshot::ToText() const {
                    static_cast<long long>(result_cache.misses),
                    static_cast<long long>(result_cache.coalesced),
                    100.0 * result_cache.HitRate())});
-    global.AddRow(
-        {"result cache entries / bytes / evicted / invalidated",
-         StrFormat("%lld / %lld / %lld / %lld",
-                   static_cast<long long>(result_cache.entries),
-                   static_cast<long long>(result_cache.bytes),
-                   static_cast<long long>(result_cache.evictions),
-                   static_cast<long long>(result_cache.invalidations))});
+    global.AddCountRow(
+        "result cache entries / bytes / evicted / invalidated",
+        {result_cache.entries, result_cache.bytes, result_cache.evictions,
+         result_cache.invalidations});
   }
   if (tracing_enabled) {
-    global.AddRow(
-        {"trace buffer (live / capacity / recorded / dropped)",
-         StrFormat("%lld / %lld / %lld / %lld",
-                   static_cast<long long>(trace_buffer.live),
-                   static_cast<long long>(trace_buffer.capacity),
-                   static_cast<long long>(trace_buffer.recorded),
-                   static_cast<long long>(trace_buffer.dropped))});
+    global.AddCountRow(
+        "trace buffer (live / capacity / recorded / dropped)",
+        {trace_buffer.live, trace_buffer.capacity, trace_buffer.recorded,
+         trace_buffer.dropped});
   }
   if (slow_log_enabled) {
-    global.AddRow({"slow queries logged",
-                   StrFormat("%lld",
-                             static_cast<long long>(slow_queries_logged))});
+    global.AddCountRow("slow queries logged", {slow_queries_logged});
   }
   global.AddRow({"latency mean / p50 / p90 / max (ms)",
                  StrFormat("%.2f / %.2f / %.2f / %.2f", latency_mean_ms,
@@ -161,8 +156,13 @@ std::string ServerStatsSnapshot::ToText() const {
                    execute_mean_ms, merge_mean_ms, merge_max_ms)});
   }
   global.AddRow({"QIF (live window)", StrFormat("%.1f groups/s", qif_qps)});
-  global.AddRow({"throughput", StrFormat("%.1f queries/s", throughput_qps)});
+  global.AddRow({"throughput (lifetime / window)",
+                 StrFormat("%.1f / %.1f queries/s", throughput_qps,
+                           throughput_window_qps)});
   global.AddRow({"LCV fraction", StrFormat("%.3f", lcv_fraction)});
+  if (qif_window_truncations > 0) {
+    global.AddCountRow("window truncations", {qif_window_truncations});
+  }
   global.AddRow(
       {"load (offered / capacity / state)",
        StrFormat("%.1f / %.1f groups/s -> %s", load.offered_qps,

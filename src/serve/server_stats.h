@@ -90,8 +90,15 @@ struct ServerStatsSnapshot {
   double merge_max_ms = 0.0;     ///< Worst merge (saturation indicator).
 
   double qif_qps = 0.0;         ///< Global offered load, sliding window.
-  double throughput_qps = 0.0;  ///< Executed queries / uptime.
+  double throughput_qps = 0.0;  ///< Executed queries / uptime (lifetime).
+  /// Executed queries per second over the live sliding window — the
+  /// lifetime average hides saturation onset mid-run; this does not.
+  double throughput_window_qps = 0.0;
   double lcv_fraction = 0.0;    ///< Violations / executed groups.
+  /// Events dropped from the sliding windows because a burst hit
+  /// `OnlineMetrics::kMaxWindowEntries`; nonzero means the windowed
+  /// rates above are floors, not exact.
+  int64_t qif_window_truncations = 0;
 
   /// Shared result cache counters (`enable_shared_cache` servers only).
   bool result_cache_enabled = false;
@@ -119,13 +126,22 @@ struct ServerStatsSnapshot {
 /// O(1) state per metric — sessions never buffer per-query history.
 class OnlineMetrics {
  public:
+  /// Hard element cap on each sliding-window deque. Trimming by horizon
+  /// alone lets one burst grow the deque without bound; past the cap the
+  /// oldest event is dropped and counted as a truncation (the windowed
+  /// rate becomes a floor instead of the process becoming an OOM).
+  static constexpr int64_t kMaxWindowEntries = 8192;
+
   explicit OnlineMetrics(Duration qif_window);
 
   /// Records a submission (admitted or not) at `now`.
   void RecordSubmit(SimTime now);
 
-  /// Records a completed group.
-  void RecordGroupComplete(Duration latency, Duration service);
+  /// Records a group that completed at `now` with `queries` successful
+  /// queries (feeds the windowed throughput alongside the latency
+  /// battery).
+  void RecordGroupComplete(SimTime now, Duration latency, Duration service,
+                           int64_t queries);
 
   /// Attributes one completed group's service time to the scatter /
   /// execute / merge phases. An unsharded server records
@@ -139,9 +155,22 @@ class OnlineMetrics {
   void FillSnapshot(ServerStatsSnapshot* snap, SimTime now);
 
  private:
+  /// One timestamped completion in the throughput window.
+  struct Completion {
+    SimTime time;
+    int64_t queries = 0;
+  };
+
+  /// Drops past-horizon (and, beyond the cap, excess) entries from both
+  /// windows. Caller holds `mu_`.
+  void TrimWindows(SimTime now);
+
   std::mutex mu_;
   Duration window_;
   std::deque<SimTime> submits_;
+  std::deque<Completion> completions_;
+  int64_t window_query_sum_ = 0;  ///< Sum of `completions_` queries.
+  int64_t truncations_ = 0;       ///< Entries dropped by the element cap.
   StreamingMeanVar latency_ms_;
   P2Quantile latency_p50_;
   P2Quantile latency_p90_;

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Runs both bench drivers in smoke mode with --json_out and schema-checks
+# the machine-readable perf-trajectory exports: required keys, sane types,
+# finite numbers, a non-empty time series, and counters that reconcile.
+# The headline KEY SETS are diffed against the committed baselines
+# (BENCH_serve.json / BENCH_engine.json at the repo root) so a schema
+# drift fails CI; headline VALUES are machine-dependent and printed for
+# information only.
+# Usage: check_bench_json.sh <bench_serve_saturation> <bench_perf_engine>
+#                            <source_dir>
+set -euo pipefail
+
+SERVE_BENCH="${1:?usage: check_bench_json.sh <bench_serve_saturation> <bench_perf_engine> <source_dir>}"
+ENGINE_BENCH="${2:?missing <bench_perf_engine>}"
+SRC_DIR="${3:?missing <source_dir>}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "${OUT_DIR}"' EXIT
+SERVE_JSON="${OUT_DIR}/BENCH_serve.json"
+ENGINE_JSON="${OUT_DIR}/BENCH_engine.json"
+
+"${SERVE_BENCH}" --smoke --json_out="${SERVE_JSON}" \
+    > "${OUT_DIR}/serve.log" 2>&1 || {
+  echo "FAIL: bench_serve_saturation exited non-zero; log tail:"
+  tail -20 "${OUT_DIR}/serve.log"
+  exit 1
+}
+"${ENGINE_BENCH}" --benchmark_filter=NO_BENCHMARKS_JUST_EXPORT \
+    --json_reps=3 --json_out="${ENGINE_JSON}" \
+    > "${OUT_DIR}/engine.log" 2>&1 || {
+  echo "FAIL: bench_perf_engine exited non-zero; log tail:"
+  tail -20 "${OUT_DIR}/engine.log"
+  exit 1
+}
+
+[ -s "${SERVE_JSON}" ] || { echo "FAIL: ${SERVE_JSON} missing or empty"; exit 1; }
+[ -s "${ENGINE_JSON}" ] || { echo "FAIL: ${ENGINE_JSON} missing or empty"; exit 1; }
+
+python3 - "${SERVE_JSON}" "${ENGINE_JSON}" "${SRC_DIR}" <<'EOF'
+import json
+import math
+import sys
+
+serve_path, engine_path, src_dir = sys.argv[1:4]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)  # Parse failure -> traceback -> nonzero exit.
+
+
+def finite(x, what):
+    assert isinstance(x, (int, float)) and math.isfinite(x), \
+        f"{what} is not a finite number: {x!r}"
+
+
+def check_metrics_block(doc, what):
+    metrics = doc["metrics"]["metrics"]
+    assert metrics, f"{what}: empty metrics exposition"
+    for m in metrics:
+        assert m["type"] in ("counter", "gauge", "histogram"), m
+        assert m["name"] and m["help"], f"{what}: unnamed/unhelped metric {m}"
+        if m["type"] == "histogram":
+            assert len(m["buckets"]) == len(m["bounds"]) + 1, m
+            assert sum(m["buckets"]) == m["count"], \
+                f"{what}: bucket counts disagree with count: {m}"
+        else:
+            finite(m["value"], f"{what}:{m['name']}")
+    return {m["name"] for m in metrics}
+
+
+# ------------------------------- serve -------------------------------
+serve = load(serve_path)
+assert serve["schema"] == "ideval.bench.serve.v1", serve.get("schema")
+assert serve["bench"] == "bench_serve_saturation"
+for key in ("config", "overhead", "headline", "series", "metrics"):
+    assert key in serve, f"serve export missing {key}"
+for key in ("workers", "clients", "shards", "policy", "shared_cache",
+            "zone_maps", "smoke", "rows", "moves", "time_compression",
+            "stats_poll_ms"):
+    assert key in serve["config"], f"serve config missing {key}"
+for key in ("qps_metrics_off", "qps_metrics_on", "delta_pct"):
+    finite(serve["overhead"][key], f"overhead.{key}")
+headline = serve["headline"]
+for key, value in headline.items():
+    finite(value, f"headline.{key}")
+assert headline["groups_executed"] > 0, "no groups executed"
+assert headline["throughput_qps"] > 0, "zero throughput"
+assert headline["groups_submitted"] >= headline["groups_executed"]
+
+series = serve["series"]
+assert series["period_ms"] > 0
+assert series["pushed"] >= 1, "stats poller pushed no samples"
+samples = series["samples"]
+assert samples, "empty time series"
+sample_keys = {"t_s", "qif_qps", "throughput_window_qps", "shed_per_s",
+               "reject_per_s", "queue_depth", "lcv_fraction", "load_factor",
+               "load_state", "cache_hit_rate", "trace_dropped",
+               "latency_p50_ms", "latency_p90_ms", "submitted", "executed",
+               "shed", "rejected"}
+for s in samples:
+    missing = sample_keys - set(s)
+    assert not missing, f"sample missing {missing}"
+ts = [s["t_s"] for s in samples]
+assert ts == sorted(ts), "time series not in time order"
+
+serve_metric_names = check_metrics_block(serve, "serve")
+assert "ideval_serve_groups_submitted_total" in serve_metric_names
+assert "ideval_serve_group_latency_ms" in serve_metric_names
+
+# The exposition and the headline describe the same drained run.
+by_name = {m["name"]: m for m in serve["metrics"]["metrics"]}
+assert by_name["ideval_serve_groups_submitted_total"]["value"] \
+    == headline["groups_submitted"], "submitted: exposition != headline"
+assert by_name["ideval_serve_groups_executed_total"]["value"] \
+    == headline["groups_executed"], "executed: exposition != headline"
+assert by_name["ideval_serve_group_latency_ms"]["count"] \
+    == headline["groups_executed"], "latency count != executed"
+
+# ------------------------------- engine -------------------------------
+engine = load(engine_path)
+assert engine["schema"] == "ideval.bench.engine.v1", engine.get("schema")
+assert engine["bench"] == "bench_perf_engine"
+assert engine["config"]["reps"] >= 1
+shapes = {"crossfilter_histogram", "select_page", "join_page"}
+assert set(engine["headline"]) == shapes, set(engine["headline"])
+for shape, h in engine["headline"].items():
+    for key in ("mean_ms", "qps", "tuples_per_query", "pruned_pct"):
+        finite(h[key], f"engine {shape}.{key}")
+    assert h["qps"] > 0, f"{shape}: zero qps"
+check_metrics_block(engine, "engine")
+
+# --------------------------- baseline diff ---------------------------
+# Key-set comparison against the committed baselines: values drift with
+# the machine, the schema must not.
+import os
+for name, fresh in (("BENCH_serve.json", serve), ("BENCH_engine.json",
+                                                  engine)):
+    base_path = os.path.join(src_dir, name)
+    assert os.path.exists(base_path), f"committed baseline {name} missing"
+    base = load(base_path)
+    assert base["schema"] == fresh["schema"], \
+        f"{name}: schema version drifted ({base['schema']})"
+    base_keys, fresh_keys = set(base["headline"]), set(fresh["headline"])
+    assert base_keys == fresh_keys, (
+        f"{name}: headline schema drifted "
+        f"(+{fresh_keys - base_keys} -{base_keys - fresh_keys})")
+    for key in sorted(fresh_keys & base_keys):
+        b, f_ = base["headline"].get(key), fresh["headline"].get(key)
+        if isinstance(b, (int, float)) and isinstance(f_, (int, float)) \
+                and b not in (0, -1.0):
+            print(f"  info {name} headline.{key}: "
+                  f"baseline {b} vs this run {f_}")
+
+print(f"OK: serve export {len(samples)} samples / "
+      f"{len(serve_metric_names)} metrics; engine export "
+      f"{len(engine['headline'])} shapes; schemas match baselines")
+EOF

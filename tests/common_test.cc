@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/json_writer.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -373,6 +376,59 @@ TEST(TextTableTest, PadsShortRows) {
   t.AddRow({"only"});
   EXPECT_NO_THROW(t.ToString());
   EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTableTest, AddCountRowJoinsCounts) {
+  TextTable t({"metric", "value"});
+  t.AddCountRow("submitted / executed / shed", {20, 15, 5});
+  t.AddCountRow("sessions", {1});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("20 / 15 / 5"), std::string::npos);
+  // A single count renders bare, without separators.
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  // int64 range survives the formatting.
+  TextTable big({"metric", "value"});
+  big.AddCountRow("big", {int64_t{1} << 40, -7});
+  EXPECT_NE(big.ToString().find("1099511627776 / -7"), std::string::npos);
+}
+
+// ------------------------------ JsonWriter ------------------------------
+
+TEST(JsonWriterTest, NestsObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("serve");
+  w.Key("qps").Double(1234.5);
+  w.Key("count").Int(-3);
+  w.Key("on").Bool(true);
+  w.Key("off").Bool(false);
+  w.Key("none").Null();
+  w.Key("series").BeginArray();
+  w.Int(1).Int(2);
+  w.BeginObject();
+  w.Key("x").Double(0.5);
+  w.EndObject();
+  w.EndArray();
+  w.Key("nested").Raw("{\"pre\":1}");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Finish(),
+            "{\"name\":\"serve\",\"qps\":1234.5,\"count\":-3,\"on\":true,"
+            "\"off\":false,\"none\":null,\"series\":[1,2,{\"x\":0.5}],"
+            "\"nested\":{\"pre\":1}}");
+}
+
+TEST(JsonWriterTest, EscapesAndNonFiniteDoubles) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("a\"b\\c\nd\te");
+  w.Double(std::nan(""));
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Finish(),
+            "[\"a\\\"b\\\\c\\nd\\te\",null,null]");
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01", 1)), "\\u0001");
 }
 
 TEST(StrFormatTest, FormatsLikePrintf) {

@@ -111,6 +111,23 @@ serve_slow_query_ms = 25.5
   EXPECT_FALSE(ParseWorkloadSpec("serve_trace_buffer_spans = lots").ok());
 }
 
+TEST(WorkloadSpecTest, ParsesMetricsKnobs) {
+  auto spec = ParseWorkloadSpec(
+      "serve_metrics = true\nserve_stats_poll_ms = 50");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->serve_metrics);
+  EXPECT_DOUBLE_EQ(spec->serve_stats_poll_ms, 50.0);
+  // Defaults: the registry and the poller stay off.
+  WorkloadSpec defaults;
+  EXPECT_FALSE(defaults.serve_metrics);
+  EXPECT_LE(defaults.serve_stats_poll_ms, 0.0);
+  // <= 0 is the documented "poller disabled" value, so it parses.
+  EXPECT_TRUE(ParseWorkloadSpec("serve_stats_poll_ms = 0").ok());
+  EXPECT_TRUE(ParseWorkloadSpec("serve_stats_poll_ms = -1").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_metrics = maybe").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_stats_poll_ms = fast").ok());
+}
+
 TEST(WorkloadSpecTest, RoundTripsThroughText) {
   WorkloadSpec spec;
   spec.name = "round-trip";
@@ -132,6 +149,8 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   spec.serve_trace = true;
   spec.serve_trace_buffer_spans = 2048;
   spec.serve_slow_query_ms = 75.0;
+  spec.serve_metrics = true;
+  spec.serve_stats_poll_ms = 100.0;
   auto parsed = ParseWorkloadSpec(WorkloadSpecToText(spec));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->name, spec.name);
@@ -152,6 +171,8 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   EXPECT_EQ(parsed->serve_trace, spec.serve_trace);
   EXPECT_EQ(parsed->serve_trace_buffer_spans, spec.serve_trace_buffer_spans);
   EXPECT_DOUBLE_EQ(parsed->serve_slow_query_ms, spec.serve_slow_query_ms);
+  EXPECT_EQ(parsed->serve_metrics, spec.serve_metrics);
+  EXPECT_DOUBLE_EQ(parsed->serve_stats_poll_ms, spec.serve_stats_poll_ms);
 }
 
 // ----------------------------- Runner smoke -----------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -7,7 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "obs/slow_query_log.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace ideval {
@@ -294,6 +298,226 @@ TEST(SlowQueryLogTest, ToTextRendersTable) {
   EXPECT_NE(text.find("LCV"), std::string::npos);
   EXPECT_NE(text.find("yes"), std::string::npos);
   EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RegisterFindAndTypeConflicts) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("m_total", "A counter.");
+  ASSERT_NE(c, nullptr);
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+
+  // Same name + same type: the same handle, already-recorded state kept.
+  EXPECT_EQ(registry.RegisterCounter("m_total", "ignored"), c);
+  // Same name + different type: a conflict, not a silent shadow.
+  EXPECT_EQ(registry.RegisterGauge("m_total", "A gauge."), nullptr);
+  EXPECT_EQ(registry.RegisterHistogram("m_total", "A histogram."), nullptr);
+
+  Gauge* g = registry.RegisterGauge("m_gauge", "A gauge.");
+  ASSERT_NE(g, nullptr);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+  g->Set(-1.0);
+  EXPECT_DOUBLE_EQ(g->value(), -1.0);
+
+  EXPECT_EQ(registry.FindCounter("m_total"), c);
+  EXPECT_EQ(registry.FindGauge("m_gauge"), g);
+  EXPECT_EQ(registry.FindGauge("m_total"), nullptr);  // Wrong type.
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("m_gauge"), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketEdges) {
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.growth = 2.0;
+  opts.num_bounds = 3;  // Bounds 1, 2, 4 + the +Inf overflow bucket.
+  Histogram h("edges_ms", opts);
+  ASSERT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+
+  h.Record(-3.0);  // Underflow still lands in the first bucket.
+  h.Record(0.5);
+  h.Record(1.0);  // `le` semantics: a value ON the bound belongs to it.
+  h.Record(1.0001);
+  h.Record(2.0);
+  h.Record(4.0);
+  h.Record(4.0001);  // Past the last bound: +Inf.
+  h.Record(1e9);
+
+  const std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 3);  // <= 1
+  EXPECT_EQ(counts[1], 2);  // (1, 2]
+  EXPECT_EQ(counts[2], 1);  // (2, 4]
+  EXPECT_EQ(counts[3], 2);  // +Inf
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_DOUBLE_EQ(h.sum(), -3.0 + 0.5 + 1.0 + 1.0001 + 2.0 + 4.0 +
+                                4.0001 + 1e9);
+}
+
+TEST(MetricsRegistryTest, ExpositionTextGolden) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("aaa_total", "A counter.");
+  Gauge* g = registry.RegisterGauge("bbb_gauge", "A gauge.");
+  HistogramOptions opts;
+  opts.first_bound = 1.0;
+  opts.growth = 2.0;
+  opts.num_bounds = 2;
+  Histogram* h = registry.RegisterHistogram("ccc_ms", "A histogram.", opts);
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(h, nullptr);
+  c->Increment(3);
+  g->Set(2.5);
+  h->Record(0.5);
+  h->Record(1.0);
+  h->Record(1.5);
+  h->Record(100.0);
+
+  // Version 0.0.4 text exposition, sorted by metric name, cumulative
+  // `le` buckets. This is the scrape contract — byte-for-byte.
+  EXPECT_EQ(registry.ExpositionText(),
+            "# HELP aaa_total A counter.\n"
+            "# TYPE aaa_total counter\n"
+            "aaa_total 3\n"
+            "# HELP bbb_gauge A gauge.\n"
+            "# TYPE bbb_gauge gauge\n"
+            "bbb_gauge 2.5\n"
+            "# HELP ccc_ms A histogram.\n"
+            "# TYPE ccc_ms histogram\n"
+            "ccc_ms_bucket{le=\"1\"} 2\n"
+            "ccc_ms_bucket{le=\"2\"} 3\n"
+            "ccc_ms_bucket{le=\"+Inf\"} 4\n"
+            "ccc_ms_sum 103\n"
+            "ccc_ms_count 4\n");
+
+  const std::string json = registry.ExpositionJson();
+  EXPECT_EQ(json.find("{\"metrics\":["), 0u);
+  EXPECT_NE(json.find("{\"name\":\"aaa_total\",\"type\":\"counter\","
+                      "\"help\":\"A counter.\",\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"bbb_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[1,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[2,1,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  // Relaxed atomics must still lose nothing: N threads x M increments
+  // and observations reconcile exactly afterwards.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("hot_total", "Hot counter.");
+  Histogram* h = registry.RegisterHistogram("hot_ms", "Hot histogram.");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<double>(t + 1));  // Integers: exact in double.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1) * kPerThread;
+  EXPECT_DOUBLE_EQ(h->sum(), expected_sum);
+  int64_t bucket_total = 0;
+  for (int64_t b : h->BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST(TimeSeriesRingTest, WrapsKeepingNewestOldestFirst) {
+  TimeSeriesRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  for (int i = 0; i < 10; ++i) {
+    StatsSample s;
+    s.t_s = static_cast<double>(i);
+    s.queue_depth = i;
+    ring.Push(s);
+  }
+  EXPECT_EQ(ring.pushed(), 10);
+  const std::vector<StatsSample> samples = ring.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].t_s, 6.0 + static_cast<double>(i));
+    EXPECT_EQ(samples[i].queue_depth, 6 + static_cast<int64_t>(i));
+  }
+  const std::string json = ring.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"t_s\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":9"), std::string::npos);
+  EXPECT_EQ(json.find("\"t_s\":5"), std::string::npos);  // Overwritten.
+}
+
+TEST(StatsPollerTest, PollsPeriodicallyAndStopsCleanly) {
+  TimeSeriesRing ring(64);
+  std::atomic<int64_t> calls{0};
+  StatsPoller poller(
+      Duration::Millis(1),
+      [&calls] {
+        StatsSample s;
+        s.t_s = static_cast<double>(calls.fetch_add(1) + 1);
+        return s;
+      },
+      &ring);
+  EXPECT_FALSE(poller.running());
+  poller.Start();
+  poller.Start();  // Idempotent: no second thread, no crash.
+  EXPECT_TRUE(poller.running());
+  for (int spin = 0; spin < 2000 && ring.pushed() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(ring.pushed(), 3);
+  poller.Stop();
+  EXPECT_FALSE(poller.running());
+  // After Stop returns, the callback never runs again.
+  const int64_t after_stop = calls.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(calls.load(), after_stop);
+  EXPECT_EQ(poller.polls(), ring.pushed());
+  poller.Stop();  // Idempotent.
+
+  // Restartable: a stopped poller can Start again.
+  poller.Start();
+  for (int spin = 0; spin < 2000 && poller.polls() <= after_stop; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(poller.polls(), after_stop);
+  poller.Stop();
+}
+
+TEST(StatsPollerTest, LifecycleHammeringStaysSane) {
+  // Many threads racing Start/Stop must never double-start, leak a
+  // thread, or crash; the lifecycle mutex serializes the join.
+  TimeSeriesRing ring(16);
+  StatsPoller poller(
+      Duration::Millis(1), [] { return StatsSample{}; }, &ring);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&poller, t] {
+      for (int i = 0; i < 50; ++i) {
+        if ((i + t) % 2 == 0) {
+          poller.Start();
+        } else {
+          poller.Stop();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  poller.Stop();
+  EXPECT_FALSE(poller.running());
+  EXPECT_EQ(poller.polls(), ring.pushed());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -896,6 +897,191 @@ TEST(LoadDriverTest, ValidatesInput) {
           .status()
           .code(),
       StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, MetricsOptionsValidate) {
+  MakeEngine(100);
+  ServerOptions opts;
+  opts.stats_poll_ms = 5.0;
+  opts.stats_ring_samples = 0;
+  EXPECT_EQ(QueryServer::Create(engine_.get(), opts).status().code(),
+            StatusCode::kInvalidArgument);
+  // With the poller disabled the ring size is irrelevant.
+  opts.stats_poll_ms = 0.0;
+  EXPECT_TRUE(QueryServer::Create(engine_.get(), opts).ok());
+}
+
+TEST_F(ServeTest, MetricsOffByDefaultAndAccessorsNull) {
+  MakeEngine(100);
+  auto server = MakeServer(ServerOptions{});
+  EXPECT_EQ(server->metrics_registry(), nullptr);
+  EXPECT_EQ(server->timeseries(), nullptr);
+}
+
+TEST_F(ServeTest, RegistryCountersReconcileWithSnapshot) {
+  // The acceptance invariant: after a drain, the scrapeable counters and
+  // the snapshot describe the same run — exactly, not approximately.
+  // Skip-stale on a slow table plus a cache plus a burst exercises
+  // executed, shed, cache-hit, and histogram paths at once.
+  MakeEngine(400000);
+  MetricsRegistry registry;  // Dedicated: no cross-test aggregation.
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_per_session = 4;
+  opts.policy = AdmissionPolicy::kSkipStale;
+  opts.enable_shared_cache = true;
+  opts.enable_metrics = true;
+  opts.metrics_registry = &registry;
+  auto server = MakeServer(opts);
+  EXPECT_EQ(server->metrics_registry(), &registry);
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(server->Submit(sid, Group()).ok());
+  }
+  server->Drain();
+  const auto snap = server->Snapshot();
+  ExpectReconciles(snap);
+
+  const auto counter = [&registry](const char* name) {
+    Counter* c = registry.FindCounter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c != nullptr ? c->value() : -1;
+  };
+  EXPECT_EQ(counter("ideval_serve_groups_submitted_total"),
+            snap.totals.groups_submitted);
+  EXPECT_EQ(counter("ideval_serve_groups_admitted_total"),
+            snap.totals.groups_admitted);
+  EXPECT_EQ(counter("ideval_serve_groups_executed_total"),
+            snap.totals.groups_executed);
+  EXPECT_EQ(counter("ideval_serve_groups_shed_stale_total"),
+            snap.totals.groups_shed_stale);
+  EXPECT_EQ(counter("ideval_serve_groups_shed_coalesced_total"),
+            snap.totals.groups_shed_coalesced);
+  EXPECT_EQ(counter("ideval_serve_groups_shed_throttled_total"),
+            snap.totals.groups_shed_throttled);
+  EXPECT_EQ(counter("ideval_serve_groups_rejected_total"),
+            snap.totals.groups_rejected);
+  EXPECT_EQ(counter("ideval_serve_queries_executed_total"),
+            snap.totals.queries_executed);
+  EXPECT_EQ(counter("ideval_serve_queries_failed_total"),
+            snap.totals.queries_failed);
+  EXPECT_EQ(counter("ideval_serve_cache_hits_total"),
+            snap.totals.cache_hits);
+  EXPECT_EQ(counter("ideval_serve_lcv_violations_total"),
+            snap.totals.lcv_violations);
+
+  // One latency and one service observation per executed group.
+  Histogram* latency = registry.FindHistogram("ideval_serve_group_latency_ms");
+  Histogram* service = registry.FindHistogram("ideval_serve_group_service_ms");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(latency->count(), snap.totals.groups_executed);
+  EXPECT_EQ(service->count(), snap.totals.groups_executed);
+
+  // Snapshot() refreshed the gauges on its way out.
+  Gauge* sessions = registry.FindGauge("ideval_serve_sessions_open");
+  ASSERT_NE(sessions, nullptr);
+  EXPECT_DOUBLE_EQ(sessions->value(), 1.0);
+  Gauge* hit_rate = registry.FindGauge("ideval_serve_cache_hit_rate");
+  ASSERT_NE(hit_rate, nullptr);
+  EXPECT_GE(hit_rate->value(), 0.0);  // Shared cache on: a real rate.
+
+  // And the whole family appears in both exposition formats.
+  const std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# TYPE ideval_serve_groups_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ideval_serve_group_latency_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(registry.ExpositionJson().find(
+                "\"name\":\"ideval_serve_qif_qps\""),
+            std::string::npos);
+  server->Stop();
+}
+
+TEST_F(ServeTest, WindowedThroughputAppearsAfterCompletions) {
+  MakeEngine(1000);
+  auto server = MakeServer(ServerOptions{});
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server->Submit(sid, Group()).ok());
+    server->Drain();
+  }
+  const auto snap = server->Snapshot();
+  // Completions seconds old still sit inside the 10s default window, so
+  // the windowed rate is positive and counts queries, not groups.
+  EXPECT_GT(snap.throughput_window_qps, 0.0);
+  EXPECT_EQ(snap.qif_window_truncations, 0);
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("throughput (lifetime / window)"), std::string::npos);
+  EXPECT_EQ(text.find("window truncations"), std::string::npos);
+}
+
+TEST(OnlineMetricsTest, WindowCapTruncatesInsteadOfGrowing) {
+  // A burst past the element cap must drop oldest entries and say so,
+  // not grow the deque without bound.
+  OnlineMetrics metrics(Duration::Seconds(3600.0));
+  const int64_t kOver = 37;
+  for (int64_t i = 0; i < OnlineMetrics::kMaxWindowEntries + kOver; ++i) {
+    metrics.RecordSubmit(SimTime::FromMicros(i));
+  }
+  ServerStatsSnapshot snap;
+  metrics.FillSnapshot(&snap, SimTime::FromMicros(1000000));
+  EXPECT_EQ(snap.qif_window_truncations, kOver);
+  EXPECT_GT(snap.qif_qps, 0.0);
+
+  // Completions have the same cap; truncations accumulate across both.
+  for (int64_t i = 0; i < OnlineMetrics::kMaxWindowEntries + 1; ++i) {
+    metrics.RecordGroupComplete(SimTime::FromMicros(i), Duration::Millis(1),
+                                Duration::Millis(1), /*queries=*/2);
+  }
+  metrics.FillSnapshot(&snap, SimTime::FromMicros(1000000));
+  EXPECT_EQ(snap.qif_window_truncations, kOver + 1);
+  EXPECT_GT(snap.throughput_window_qps, 0.0);
+}
+
+TEST_F(ServeTest, StatsPollerFillsTimeseries) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.enable_metrics = true;
+  MetricsRegistry registry;
+  opts.metrics_registry = &registry;
+  opts.stats_poll_ms = 2.0;
+  opts.stats_ring_samples = 32;
+  auto server = MakeServer(opts);
+  const TimeSeriesRing* ring = server->timeseries();
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->capacity(), 32);
+
+  const uint64_t sid = server->OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server->Submit(sid, Group()).ok());
+    server->Drain();
+  }
+  // Wait for a sample taken strictly after the last drain, so the newest
+  // sample is guaranteed to see all three completions.
+  const int64_t drained_at = ring->pushed();
+  for (int spin = 0; spin < 2000 && ring->pushed() <= drained_at; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(ring->pushed(), drained_at);
+  server->Stop();
+  // Stop halted the poller before teardown; the ring is now quiescent.
+  const int64_t pushed = ring->pushed();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(ring->pushed(), pushed);
+
+  const auto samples = ring->Snapshot();
+  ASSERT_FALSE(samples.empty());
+  const StatsSample& last = samples.back();
+  EXPECT_EQ(last.submitted, 3);
+  EXPECT_EQ(last.executed, 3);
+  EXPECT_EQ(last.cache_hit_rate, -1.0);  // No result cache configured.
+  EXPECT_EQ(last.trace_dropped, 0);      // Tracing off.
+  EXPECT_GE(last.t_s, 0.0);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_s, samples[i - 1].t_s);
+    EXPECT_GE(samples[i].submitted, samples[i - 1].submitted);
+  }
 }
 
 }  // namespace
