@@ -16,11 +16,18 @@
 /// with sessions submitting overlapping query streams, cache off vs. on,
 /// reading off the hit rate and where the throughput knee / p90 move.
 ///
+/// A fifth sweep (`--net 1`) runs the saturation point twice — clients
+/// submitting in-process vs. over loopback TCP through the `src/net/`
+/// socket front-end — and prints the over-the-wire overhead (throughput,
+/// QIF, p90, LCV) plus the byte counters from both ends of the socket,
+/// which must reconcile exactly after the drain.
+///
 /// Wall-clock and machine-dependent by design; trace generation stays
 /// seeded. Flags: `--threads N` caps the worker sweep (default: all
 /// hardware threads); `--shards K` pins the shard sweep to a single K;
 /// `--cache 1` turns the shared result cache on for every sweep;
 /// `--zone_maps 1` turns engine zone-map pruning on for every sweep;
+/// `--net 1` adds the loopback-vs-in-process comparison sweep;
 /// `--smoke 1` runs one tiny configuration of each sweep (the ctest
 /// `perf_smoke` mode); `--trace_out=FILE` additionally runs one traced
 /// configuration (2 shards + shared cache + per-query tracing + slow-query
@@ -43,6 +50,8 @@
 #include "common/json_writer.h"
 #include "common/text_table.h"
 #include "engine/sharded_engine.h"
+#include "net/net_load_driver.h"
+#include "net/net_server.h"
 #include "obs/metrics_registry.h"
 #include "serve/load_driver.h"
 #include "serve/server.h"
@@ -58,6 +67,7 @@ struct BenchConfig {
   int pinned_shards = 0;
   bool cache = false;
   bool zone_maps = false;
+  bool net = false;
   bool smoke = false;
   std::string trace_out;  ///< Empty = skip the traced run.
   std::string json_out;   ///< Empty = skip the BENCH_serve.json export.
@@ -138,6 +148,134 @@ RunResult MustRun(const BenchConfig& cfg, const TablePtr& road, int workers,
   out.prune =
       sharded != nullptr ? sharded->PruneTotals() : engine.PruneTotals();
   return out;
+}
+
+/// One over-the-wire sweep point: the same offered load as `MustRun`, but
+/// every client is a real `NetClient` on its own loopback TCP connection
+/// through a `NetServer` front-end on an ephemeral port.
+struct NetRunResult {
+  ServerStatsSnapshot snapshot;  ///< Drained, with the net block filled.
+  NetLoadReport net;
+};
+
+NetRunResult MustRunNet(const BenchConfig& cfg, const TablePtr& road,
+                        int workers, int clients, AdmissionPolicy policy) {
+  EngineOptions eopts;
+  eopts.profile = EngineProfile::kInMemoryColumnStore;
+  eopts.enable_zone_maps = cfg.zone_maps;
+  Engine engine(eopts);
+  if (!engine.RegisterTable(road).ok()) std::abort();
+
+  ServerOptions sopts;
+  sopts.num_workers = workers;
+  sopts.max_queue_per_session = 4;
+  sopts.policy = policy;
+  sopts.enable_shared_cache = cfg.cache;
+  sopts.throttle_min_interval = Duration::Seconds(1.0 / kCompression);
+  sopts.debounce_quiet = Duration::Seconds(0.3 / kCompression);
+  auto server = QueryServer::Create(&engine, sopts);
+  if (!server.ok()) std::abort();
+
+  auto net = NetServer::Start(server->get(), NetServerOptions{});
+  if (!net.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", net.status().ToString().c_str());
+    std::abort();
+  }
+
+  std::vector<std::vector<QueryGroup>> sessions;
+  sessions.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    sessions.push_back(bench::CrossfilterGroups(
+        road, DeviceType::kMouse,
+        bench::kCrossfilterSeed + 300 + static_cast<uint64_t>(c),
+        cfg.moves()));
+  }
+  NetLoadDriverOptions nlopts;
+  nlopts.port = (*net)->port();
+  nlopts.time_compression = kCompression;
+  auto report = RunNetLoadDriver(sessions, nlopts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", report.status().ToString().c_str());
+    std::abort();
+  }
+  (*server)->Drain();
+  // Stop the front-end before reading its counters: the join gives the
+  // reads a happens-after edge past the loop thread's final flush/reap.
+  (*net)->Stop();
+  NetRunResult out;
+  out.snapshot = (*server)->Snapshot();
+  (*net)->FillSnapshot(&out.snapshot);
+  (*server)->Stop();
+  out.net = std::move(*report);
+  return out;
+}
+
+void RunNetSweep(const BenchConfig& cfg, const TablePtr& road) {
+  const int clients = cfg.smoke ? 4 : 12;
+  std::printf(
+      "net front-end, 2 workers, %d clients, fifo — in-process submission "
+      "vs loopback TCP (src/net/):\n", clients);
+  TextTable table({"mode", "throughput (q/s)", "QIF (q/s)",
+                   "p90 latency (ms)", "LCV %", "executed", "shed"});
+  const auto in_proc = MustRun(cfg, road, 2, clients, AdmissionPolicy::kFifo);
+  const auto& si = in_proc.load.snapshot;
+  table.AddRow({"in-process", FormatDouble(si.throughput_qps, 1),
+                FormatDouble(si.qif_qps, 1),
+                FormatDouble(si.latency_p90_ms, 1),
+                FormatDouble(si.lcv_fraction * 100.0, 1),
+                StrFormat("%lld",
+                          static_cast<long long>(si.totals.groups_executed)),
+                StrFormat("%lld",
+                          static_cast<long long>(si.totals.GroupsShed()))});
+  const auto over = MustRunNet(cfg, road, 2, clients, AdmissionPolicy::kFifo);
+  const auto& sn = over.snapshot;
+  table.AddRow({"loopback", FormatDouble(sn.throughput_qps, 1),
+                FormatDouble(sn.qif_qps, 1),
+                FormatDouble(sn.latency_p90_ms, 1),
+                FormatDouble(sn.lcv_fraction * 100.0, 1),
+                StrFormat("%lld",
+                          static_cast<long long>(sn.totals.groups_executed)),
+                StrFormat("%lld",
+                          static_cast<long long>(sn.totals.GroupsShed()))});
+  std::printf("%s\n", table.ToString().c_str());
+
+  const NetClientStats& cw = over.net.wire_totals;
+  const NetStatsSnapshot& sw = sn.net;
+  const bool reconciled = cw.bytes_sent == sw.bytes_received &&
+                          cw.bytes_received == sw.bytes_sent &&
+                          cw.frames_sent == sw.frames_received &&
+                          cw.frames_received == sw.frames_sent;
+  int64_t interactions = 0;
+  for (const auto& c : over.net.clients) interactions += c.submitted;
+  const double bytes_per_interaction =
+      interactions > 0
+          ? static_cast<double>(sw.bytes_sent + sw.bytes_received) /
+                static_cast<double>(interactions)
+          : 0.0;
+  std::printf(
+      "  wire: client sent %lld B / recv %lld B; server sent %lld B / "
+      "recv %lld B — byte+frame counters %s\n",
+      static_cast<long long>(cw.bytes_sent),
+      static_cast<long long>(cw.bytes_received),
+      static_cast<long long>(sw.bytes_sent),
+      static_cast<long long>(sw.bytes_received),
+      reconciled ? "reconcile" : "DO NOT RECONCILE");
+  std::printf(
+      "  wire: %lld interactions, %.1f B/interaction; completions "
+      "executed %lld / shed %lld / dropped %lld; write-queue shed %lld, "
+      "protocol errors %lld\n",
+      static_cast<long long>(interactions), bytes_per_interaction,
+      static_cast<long long>(cw.completions_executed),
+      static_cast<long long>(cw.completions_shed),
+      static_cast<long long>(cw.completions_dropped),
+      static_cast<long long>(sw.write_queue_shed),
+      static_cast<long long>(sw.protocol_errors));
+  if (!reconciled) std::abort();
+  std::printf(
+      "check: the loopback row pays encode+syscall+decode per interaction "
+      "— throughput and p90 shift by the wire overhead while LCV stays in "
+      "the same regime; the byte counters from the two ends of the socket "
+      "agree exactly after the drain\n\n");
 }
 
 void RunWorkerSweep(const BenchConfig& cfg, const TablePtr& road) {
@@ -466,6 +604,33 @@ void RunJsonExport(const BenchConfig& cfg, const TablePtr& road,
       "  throughput: metrics off %.1f q/s, on %.1f q/s (delta %+.1f%%)\n",
       qps_off, qps_on, delta);
 
+  // The same configuration once more, over loopback TCP, so the export
+  // carries the wire overhead and the (exactly reconciled) byte counters
+  // alongside the in-process numbers. Metrics stay off here: the
+  // exposition block above must describe exactly the last in-process run.
+  const NetRunResult net_run =
+      MustRunNet(cfg, road, workers, clients, AdmissionPolicy::kFifo);
+  const ServerStatsSnapshot& ns = net_run.snapshot;
+  const NetClientStats& cw = net_run.net.wire_totals;
+  const NetStatsSnapshot& sw = ns.net;
+  if (cw.bytes_sent != sw.bytes_received ||
+      cw.bytes_received != sw.bytes_sent) {
+    std::fprintf(stderr, "FATAL: net byte counters do not reconcile\n");
+    std::abort();
+  }
+  int64_t net_interactions = 0;
+  for (const auto& c : net_run.net.clients) net_interactions += c.submitted;
+  const double net_delta =
+      qps_on > 0.0
+          ? (qps_on - ns.throughput_qps) / qps_on * 100.0
+          : 0.0;
+  std::printf(
+      "  net: loopback %.1f q/s vs in-process %.1f q/s (delta %+.1f%%), "
+      "%lld B sent / %lld B recv server-side\n",
+      ns.throughput_qps, qps_on, net_delta,
+      static_cast<long long>(sw.bytes_sent),
+      static_cast<long long>(sw.bytes_received));
+
   const ServerStatsSnapshot& s = on_report.snapshot;
   JsonWriter w;
   w.BeginObject();
@@ -488,6 +653,30 @@ void RunJsonExport(const BenchConfig& cfg, const TablePtr& road,
   w.Key("qps_metrics_off").Double(qps_off);
   w.Key("qps_metrics_on").Double(qps_on);
   w.Key("delta_pct").Double(delta);
+  w.EndObject();
+  w.Key("net").BeginObject();
+  w.Key("qps_in_process").Double(qps_on);
+  w.Key("qps_net").Double(ns.throughput_qps);
+  w.Key("delta_pct").Double(net_delta);
+  w.Key("qif_net_qps").Double(ns.qif_qps);
+  w.Key("latency_p90_net_ms").Double(ns.latency_p90_ms);
+  w.Key("lcv_fraction_net").Double(ns.lcv_fraction);
+  w.Key("groups_executed_net").Int(ns.totals.groups_executed);
+  w.Key("server_bytes_sent").Int(sw.bytes_sent);
+  w.Key("server_bytes_received").Int(sw.bytes_received);
+  w.Key("client_bytes_sent").Int(cw.bytes_sent);
+  w.Key("client_bytes_received").Int(cw.bytes_received);
+  w.Key("frames_sent").Int(sw.frames_sent);
+  w.Key("frames_received").Int(sw.frames_received);
+  w.Key("connections_accepted").Int(sw.connections_accepted);
+  w.Key("write_queue_shed").Int(sw.write_queue_shed);
+  w.Key("protocol_errors").Int(sw.protocol_errors);
+  w.Key("interactions").Int(net_interactions);
+  w.Key("bytes_per_interaction")
+      .Double(net_interactions > 0
+                  ? static_cast<double>(sw.bytes_sent + sw.bytes_received) /
+                        static_cast<double>(net_interactions)
+                  : 0.0);
   w.EndObject();
   w.Key("headline").BeginObject();
   w.Key("throughput_qps").Double(s.throughput_qps);
@@ -547,6 +736,7 @@ void Run(const BenchConfig& cfg) {
   RunShardSweep(cfg, road);
   RunCacheSweep(cfg, road);
   RunPolicySweep(cfg, road);
+  if (cfg.net) RunNetSweep(cfg, road);
   if (!cfg.trace_out.empty()) RunTraced(cfg, road, cfg.trace_out);
   if (!cfg.json_out.empty()) RunJsonExport(cfg, road, cfg.json_out);
 }
@@ -560,6 +750,7 @@ int main(int argc, char** argv) {
   cfg.pinned_shards = ideval::bench::IntFlag(argc, argv, "shards", 0);
   cfg.cache = ideval::bench::BoolFlag(argc, argv, "cache");
   cfg.zone_maps = ideval::bench::BoolFlag(argc, argv, "zone_maps");
+  cfg.net = ideval::bench::BoolFlag(argc, argv, "net");
   cfg.smoke = ideval::bench::BoolFlag(argc, argv, "smoke");
   cfg.trace_out = ideval::bench::StrFlag(argc, argv, "trace_out");
   cfg.json_out = ideval::bench::StrFlag(argc, argv, "json_out");

@@ -54,6 +54,14 @@ Result<FixedHistogram> FixedHistogram::Make(double lo, double hi,
   return FixedHistogram(lo, hi, bins);
 }
 
+Result<FixedHistogram> FixedHistogram::FromCounts(double lo, double hi,
+                                                  std::vector<double> counts) {
+  IDEVAL_ASSIGN_OR_RETURN(FixedHistogram hist, Make(lo, hi, counts.size()));
+  for (double c : counts) hist.total_ += c;
+  hist.counts_ = std::move(counts);
+  return hist;
+}
+
 void FixedHistogram::Add(double value, double weight) {
   const double w = bin_width();
   double idx = (value - lo_) / w;

@@ -53,6 +53,12 @@ class FixedHistogram {
   /// Creates an empty histogram. Requires bins >= 1 and lo < hi.
   static Result<FixedHistogram> Make(double lo, double hi, size_t bins);
 
+  /// Reconstitutes a histogram from already-bucketed counts (the wire
+  /// decoder cannot replay `Add` calls). Same validity requirements as
+  /// `Make`; the total is the sum of `counts`.
+  static Result<FixedHistogram> FromCounts(double lo, double hi,
+                                           std::vector<double> counts);
+
   /// Adds one observation; values outside [lo, hi) are clamped into the
   /// first/last bin so that totals are preserved (matching how UI
   /// histograms render out-of-range brushes).

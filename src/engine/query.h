@@ -23,6 +23,8 @@ struct SelectQuery {
   std::vector<Predicate> predicates;
   int64_t limit = -1;   ///< -1 = no limit.
   int64_t offset = 0;
+
+  bool operator==(const SelectQuery&) const = default;
 };
 
 /// §7's crossfilter query: a filtered 20-bin COUNT histogram over one
@@ -37,6 +39,8 @@ struct HistogramQuery {
   double bin_hi = 1.0;
   int64_t bins = 20;
   std::vector<Predicate> predicates;
+
+  bool operator==(const HistogramQuery&) const = default;
 };
 
 /// §6's Q2: streaming-style join of a LIMIT/OFFSET page of the left table
@@ -51,6 +55,8 @@ struct JoinPageQuery {
   std::string join_column;  ///< Key present in both tables.
   int64_t limit = 100;
   int64_t offset = 0;
+
+  bool operator==(const JoinPageQuery&) const = default;
 };
 
 /// Any query the engines accept.

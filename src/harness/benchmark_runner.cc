@@ -7,6 +7,8 @@
 #include "data/datasets.h"
 #include "engine/sharded_engine.h"
 #include "metrics/human_factors.h"
+#include "net/net_load_driver.h"
+#include "net/net_server.h"
 #include "opt/kl_filter.h"
 #include "opt/throttle.h"
 #include "serve/load_driver.h"
@@ -232,6 +234,15 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
       // <= 0 disables the poller, so any number parses.
       IDEVAL_ASSIGN_OR_RETURN(spec.serve_stats_poll_ms,
                               ParseNumber(key, value));
+    } else if (key == "serve_net") {
+      IDEVAL_ASSIGN_OR_RETURN(spec.serve_net, ParseBool(key, value));
+    } else if (key == "serve_net_port") {
+      IDEVAL_ASSIGN_OR_RETURN(double n, ParseNumber(key, value));
+      if (n < 1 || n > 65535) {
+        return Status::InvalidArgument(
+            "serve_net_port must be in 1..65535");
+      }
+      spec.serve_net_port = static_cast<int>(n);
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown key '%s'", line_no, key.c_str()));
@@ -298,6 +309,10 @@ std::string WorkloadSpecToText(const WorkloadSpec& spec) {
   out += StrFormat("serve_metrics = %s\n",
                    spec.serve_metrics ? "true" : "false");
   out += StrFormat("serve_stats_poll_ms = %g\n", spec.serve_stats_poll_ms);
+  out += StrFormat("serve_net = %s\n", spec.serve_net ? "true" : "false");
+  if (spec.serve_net_port != 0) {
+    out += StrFormat("serve_net_port = %d\n", spec.serve_net_port);
+  }
   out += StrFormat("engine_zone_maps = %s\n",
                    spec.engine_zone_maps ? "true" : "false");
   return out;
@@ -637,19 +652,41 @@ Result<WorkloadReport> RunServeWorkload(const WorkloadSpec& spec,
                           sharded != nullptr
                               ? QueryServer::Create(sharded.get(), sopts)
                               : QueryServer::Create(&engine, sopts));
-  LoadDriverOptions lopts;
-  lopts.time_compression = spec.time_compression;
-  IDEVAL_ASSIGN_OR_RETURN(LoadReport load,
-                          RunLoadDriver(server.get(), client_groups, lopts));
+  ServerStatsSnapshot snap;
+  double wall_seconds = 0.0;
+  if (spec.serve_net) {
+    // Over-the-wire mode: front the server with the socket layer and
+    // replay the same traces through real loopback connections.
+    NetServerOptions nopts;
+    nopts.port = spec.serve_net_port;
+    IDEVAL_ASSIGN_OR_RETURN(std::unique_ptr<NetServer> net,
+                            NetServer::Start(server.get(), nopts));
+    NetLoadDriverOptions nlopts;
+    nlopts.port = net->port();
+    nlopts.time_compression = spec.time_compression;
+    IDEVAL_ASSIGN_OR_RETURN(NetLoadReport nload,
+                            RunNetLoadDriver(client_groups, nlopts));
+    server->Drain();
+    snap = server->Snapshot();
+    net->FillSnapshot(&snap);
+    net->Stop();
+    wall_seconds = nload.wall_seconds;
+  } else {
+    LoadDriverOptions lopts;
+    lopts.time_compression = spec.time_compression;
+    IDEVAL_ASSIGN_OR_RETURN(
+        LoadReport load, RunLoadDriver(server.get(), client_groups, lopts));
+    snap = load.snapshot;
+    wall_seconds = load.wall_seconds;
+  }
   server->Stop();
 
-  const ServerStatsSnapshot& snap = load.snapshot;
   report.queries_executed = snap.totals.queries_executed;
   report.queries_suppressed =
       report.queries_generated - snap.totals.queries_executed;
   report.groups_skipped = snap.totals.GroupsShed();
   report.groups_rejected = snap.totals.groups_rejected;
-  const double wall = std::max(1e-9, load.wall_seconds);
+  const double wall = std::max(1e-9, wall_seconds);
   report.qif = static_cast<double>(snap.totals.groups_submitted) / wall /
                std::max(1, clients);
   report.lcv_fraction = snap.lcv_fraction;

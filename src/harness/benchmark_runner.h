@@ -104,6 +104,12 @@ struct WorkloadSpec {
   /// Stats-poller period in milliseconds (`ServerOptions::
   /// stats_poll_ms`); <= 0 disables the background time-series sampler.
   double serve_stats_poll_ms = 0.0;
+  /// Drive live mode over loopback TCP through the `src/net/` socket
+  /// front-end instead of in-process submission: clients become real
+  /// `NetClient` connections and every group crosses the wire.
+  bool serve_net = false;
+  /// Port for `serve_net` (1..65535); 0 picks an ephemeral port.
+  int serve_net_port = 0;
 
   // --- Engine knobs (simulated and live modes). ---
   /// Build zone maps at registration and prune scan blocks whose min/max

@@ -1,0 +1,94 @@
+#include "net/net_load_driver.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "serve/load_driver.h"
+
+namespace ideval {
+
+Result<NetLoadReport> RunNetLoadDriver(
+    const std::vector<std::vector<QueryGroup>>& clients,
+    NetLoadDriverOptions options) {
+  NetLoadReport report;
+  report.clients.resize(clients.size());
+  std::vector<std::unique_ptr<NetClient>> nets;
+  nets.reserve(clients.size());
+  for (size_t ci = 0; ci < clients.size(); ++ci) {
+    IDEVAL_ASSIGN_OR_RETURN(std::unique_ptr<NetClient> net,
+                            NetClient::Connect(options.host, options.port));
+    IDEVAL_ASSIGN_OR_RETURN(report.clients[ci].session_id,
+                            net->OpenSession());
+    nets.push_back(std::move(net));
+  }
+
+  const auto epoch = std::chrono::steady_clock::now();
+  IDEVAL_RETURN_NOT_OK(ReplayClients(
+      clients, options.time_compression,
+      [&](size_t ci, const QueryGroup& group) {
+        // Each client thread touches only its own (non-thread-safe)
+        // NetClient, mirroring one frontend per user.
+        NetClientLoadResult& tally = report.clients[ci];
+        auto ack = nets[ci]->Submit(tally.session_id, group.queries);
+        ++tally.submitted;
+        if (!ack.ok()) {
+          ++tally.submit_errors;
+          return;
+        }
+        switch (ack->disposition) {
+          case SubmitDisposition::kEnqueued:
+            ++tally.enqueued;
+            break;
+          case SubmitDisposition::kCoalesced:
+            ++tally.coalesced;
+            break;
+          case SubmitDisposition::kThrottled:
+            ++tally.throttled;
+            break;
+          case SubmitDisposition::kRejected:
+            ++tally.rejected;
+            break;
+        }
+      }));
+
+  // Drain every session before closing any: completions (and their
+  // frames) all land before the sockets go away, so client and server
+  // byte counters describe the same finished conversation.
+  if (options.drain) {
+    for (size_t ci = 0; ci < clients.size(); ++ci) {
+      IDEVAL_RETURN_NOT_OK(nets[ci]->Drain(report.clients[ci].session_id));
+    }
+  }
+  for (size_t ci = 0; ci < clients.size(); ++ci) {
+    IDEVAL_RETURN_NOT_OK(
+        nets[ci]->CloseSession(report.clients[ci].session_id));
+  }
+  report.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - epoch)
+          .count();
+  for (size_t ci = 0; ci < clients.size(); ++ci) {
+    report.clients[ci].wire = nets[ci]->stats();
+    NetClientStats& total = report.wire_totals;
+    const NetClientStats& w = report.clients[ci].wire;
+    total.bytes_sent += w.bytes_sent;
+    total.bytes_received += w.bytes_received;
+    total.frames_sent += w.frames_sent;
+    total.frames_received += w.frames_received;
+    total.completions_executed += w.completions_executed;
+    total.completions_shed += w.completions_shed;
+    total.completions_dropped += w.completions_dropped;
+    total.lcv_violations += w.lcv_violations;
+    total.queries_executed += w.queries_executed;
+    total.queries_failed += w.queries_failed;
+    total.cache_hits += w.cache_hits;
+    total.latency_ms.insert(total.latency_ms.end(), w.latency_ms.begin(),
+                            w.latency_ms.end());
+  }
+  // Destroying the clients closes the sockets; the server reaps the
+  // connections on its next poll round.
+  return report;
+}
+
+}  // namespace ideval

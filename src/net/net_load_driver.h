@@ -1,0 +1,57 @@
+#ifndef IDEVAL_NET_NET_LOAD_DRIVER_H_
+#define IDEVAL_NET_NET_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/net_client.h"
+#include "sim/query_scheduler.h"
+
+namespace ideval {
+
+struct NetLoadDriverOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< Required: a running `NetServer`'s port.
+  /// Wall time = trace time / time_compression (same contract as
+  /// `LoadDriverOptions`).
+  double time_compression = 1.0;
+  /// Drain every session (wait for all completions) before returning —
+  /// required for the client/server byte counters to reconcile.
+  bool drain = true;
+};
+
+/// One networked client's tallies: the door dispositions it was acked
+/// plus its socket-level wire stats.
+struct NetClientLoadResult {
+  uint64_t session_id = 0;
+  int64_t submitted = 0;
+  int64_t enqueued = 0;
+  int64_t coalesced = 0;
+  int64_t throttled = 0;
+  int64_t rejected = 0;
+  int64_t submit_errors = 0;  ///< Submits answered with an error frame.
+  NetClientStats wire;
+};
+
+struct NetLoadReport {
+  std::vector<NetClientLoadResult> clients;
+  /// Sum over all clients (latency samples concatenated).
+  NetClientStats wire_totals;
+  double wall_seconds = 0.0;
+};
+
+/// The over-the-wire twin of `RunLoadDriver`: one `NetClient` (one TCP
+/// connection, one session) per trace client, one OS thread per client
+/// via the shared `ReplayClients` loop, submissions flowing through the
+/// full wire path — encode, socket, server decode, admission, execute,
+/// completion frame back. After the replay every session is drained and
+/// closed, so on return all byte counters reconcile with the server's.
+Result<NetLoadReport> RunNetLoadDriver(
+    const std::vector<std::vector<QueryGroup>>& clients,
+    NetLoadDriverOptions options);
+
+}  // namespace ideval
+
+#endif  // IDEVAL_NET_NET_LOAD_DRIVER_H_

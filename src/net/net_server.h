@@ -1,0 +1,85 @@
+#ifndef IDEVAL_NET_NET_SERVER_H_
+#define IDEVAL_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "net/wire.h"
+#include "serve/server.h"
+
+namespace ideval {
+
+struct NetServerOptions {
+  /// Address to bind; the front-end is meant for loopback benching, so
+  /// the default stays on 127.0.0.1.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via `port()`).
+  int port = 0;
+  /// Per-connection bound on buffered-but-unsent response bytes. When a
+  /// `kGroupComplete` frame would push a connection past this, the bulky
+  /// completion is shed and replaced with a small
+  /// `kError(kWriteQueueShed)` frame — a slow reader loses result
+  /// payloads, never admission-control feedback (control frames are
+  /// always enqueued).
+  int64_t max_write_queue_bytes = 4 << 20;
+};
+
+/// Socket front-end over a running `QueryServer`: a single poll()-based
+/// event-loop thread accepts persistent loopback connections, decodes
+/// `net/wire.h` frames, submits query groups into the server (admission,
+/// caching, shards, and tracing all unchanged), and streams door acks and
+/// deferred group completions back asynchronously. One connection may
+/// multiplex any number of sessions; each session is bound to the
+/// connection that opened it.
+///
+/// Completion flow: `QueryServer::Submit` gets a completion callback that
+/// enqueues the terminal report onto an internal queue and tickles the
+/// loop's self-pipe; the loop thread drains the queue and writes
+/// `kGroupComplete` frames. The callback itself never touches a socket,
+/// so worker threads are insulated from slow clients — backpressure is
+/// absorbed by the bounded per-connection write queue instead.
+///
+/// Lifecycle: `Start` spawns the loop; `Stop` (idempotent, also run by
+/// the destructor) joins it and closes every socket. The `QueryServer`
+/// must outlive the `NetServer`. In-flight completion callbacks may
+/// outlive `Stop` — they land on a shared queue that outlives this
+/// object and are discarded.
+class NetServer {
+ public:
+  static Result<std::unique_ptr<NetServer>> Start(QueryServer* server,
+                                                  NetServerOptions options);
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound TCP port (the actual one when `options.port` was 0).
+  int port() const { return port_; }
+
+  /// Point-in-time wire counters; also folded into the owning server's
+  /// `ServerStatsSnapshot` by `FillSnapshot`.
+  NetStatsSnapshot Stats() const;
+
+  /// Copies the wire counters into `snap` and flips `net_enabled`.
+  void FillSnapshot(ServerStatsSnapshot* snap) const;
+
+  /// Stops accepting, joins the event loop, closes every connection.
+  void Stop();
+
+ private:
+  struct Impl;
+
+  NetServer();
+
+  std::unique_ptr<Impl> impl_;
+  int port_ = 0;
+};
+
+}  // namespace ideval
+
+#endif  // IDEVAL_NET_NET_SERVER_H_

@@ -27,6 +27,10 @@ const char* SpanKindToString(SpanKind kind) {
       return "shard_exec";
     case SpanKind::kMerge:
       return "merge";
+    case SpanKind::kNetRecv:
+      return "net_recv";
+    case SpanKind::kNetSend:
+      return "net_send";
   }
   return "unknown";
 }
@@ -304,6 +308,13 @@ void AppendKindArgs(std::string* out, const SpanRecord& s) {
       *out += StrFormat(",\"merged\":%lld,\"failed\":%lld",
                         static_cast<long long>(s.attr0),
                         static_cast<long long>(s.attr1));
+      break;
+    case SpanKind::kNetRecv:
+    case SpanKind::kNetSend:
+      *out += StrFormat(
+          ",\"opcode\":%lld,\"bytes\":%lld,\"request_id\":%lld",
+          static_cast<long long>(s.detail), static_cast<long long>(s.attr0),
+          static_cast<long long>(s.attr1));
       break;
   }
 }

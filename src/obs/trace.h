@@ -26,6 +26,8 @@ enum class SpanKind : uint8_t {
   kScatter,       ///< Sharded: plan + fan-out to the shard pool.
   kShardExec,     ///< Sharded: one partial on one shard engine.
   kMerge,         ///< Sharded: partial-combine wall time.
+  kNetRecv,       ///< Socket front-end: one request frame decoded.
+  kNetSend,       ///< Socket front-end: one response frame written.
 };
 
 const char* SpanKindToString(SpanKind kind);
@@ -63,6 +65,8 @@ const char* GroupTerminalToString(GroupTerminal terminal);
 ///   kScatter     | —                       | subtasks, planned, failed
 ///   kShardExec   | lane                    | shard, blocks scanned/pruned
 ///   kMerge       | —                       | merged, failed
+///   kNetRecv     | opcode                  | bytes, request id
+///   kNetSend     | opcode                  | bytes, request id
 struct SpanRecord {
   uint64_t trace_id = 0;        ///< Shared by every span of one group.
   uint64_t span_id = 0;

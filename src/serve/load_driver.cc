@@ -5,14 +5,15 @@
 
 namespace ideval {
 
-Result<LoadReport> RunLoadDriver(
-    QueryServer* server, const std::vector<std::vector<QueryGroup>>& clients,
-    LoadDriverOptions options) {
-  if (server == nullptr) {
-    return Status::InvalidArgument("RunLoadDriver: null server");
-  }
-  if (options.time_compression <= 0.0) {
+Status ReplayClients(
+    const std::vector<std::vector<QueryGroup>>& clients,
+    double time_compression,
+    const std::function<void(size_t, const QueryGroup&)>& submit) {
+  if (time_compression <= 0.0) {
     return Status::InvalidArgument("time_compression must be > 0");
+  }
+  if (!submit) {
+    return Status::InvalidArgument("ReplayClients: null submit callback");
   }
   for (const auto& groups : clients) {
     for (size_t i = 1; i < groups.size(); ++i) {
@@ -22,26 +23,44 @@ Result<LoadReport> RunLoadDriver(
       }
     }
   }
+  const auto epoch = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (size_t ci = 0; ci < clients.size(); ++ci) {
+    threads.emplace_back([&, ci] {
+      for (const QueryGroup& group : clients[ci]) {
+        const auto target =
+            epoch + std::chrono::microseconds(static_cast<int64_t>(
+                        static_cast<double>(group.issue_time.micros()) /
+                        time_compression));
+        std::this_thread::sleep_until(target);
+        submit(ci, group);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return Status::OK();
+}
+
+Result<LoadReport> RunLoadDriver(
+    QueryServer* server, const std::vector<std::vector<QueryGroup>>& clients,
+    LoadDriverOptions options) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("RunLoadDriver: null server");
+  }
 
   LoadReport report;
   report.clients.resize(clients.size());
   for (auto& c : report.clients) c.session_id = server->OpenSession();
 
   const auto epoch = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(clients.size());
-  for (size_t ci = 0; ci < clients.size(); ++ci) {
-    threads.emplace_back([&, ci] {
-      ClientLoadResult& tally = report.clients[ci];
-      for (const QueryGroup& group : clients[ci]) {
-        const auto target =
-            epoch + std::chrono::microseconds(static_cast<int64_t>(
-                        static_cast<double>(group.issue_time.micros()) /
-                        options.time_compression));
-        std::this_thread::sleep_until(target);
+  IDEVAL_RETURN_NOT_OK(ReplayClients(
+      clients, options.time_compression,
+      [&](size_t ci, const QueryGroup& group) {
+        ClientLoadResult& tally = report.clients[ci];
         auto outcome = server->Submit(tally.session_id, group.queries);
         ++tally.submitted;
-        if (!outcome.ok()) continue;  // Closed session etc.; keep going.
+        if (!outcome.ok()) return;  // Closed session etc.; keep going.
         switch (outcome->disposition) {
           case SubmitDisposition::kEnqueued:
             ++tally.enqueued;
@@ -56,10 +75,7 @@ Result<LoadReport> RunLoadDriver(
             ++tally.rejected;
             break;
         }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+      }));
   if (options.drain) server->Drain();
   report.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(

@@ -2,6 +2,7 @@
 #define IDEVAL_SERVE_LOAD_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -37,12 +38,25 @@ struct LoadReport {
   double wall_seconds = 0.0;
 };
 
+/// The replay loop shared by the in-process and networked drivers: one OS
+/// thread per client, each sleeping out its trace's inter-arrival times
+/// (scaled by `time_compression`) and invoking `submit(client_index,
+/// group)` at each issue time. `submit` is called concurrently from all
+/// client threads and must be thread-safe. Validates that each client's
+/// groups are sorted by nondecreasing issue time and that
+/// `time_compression > 0`; blocks until every client finishes.
+Status ReplayClients(
+    const std::vector<std::vector<QueryGroup>>& clients,
+    double time_compression,
+    const std::function<void(size_t, const QueryGroup&)>& submit);
+
 /// Replays trace-derived query groups against a live `QueryServer` from
 /// one OS thread per client, sleeping out the trace's inter-arrival times
 /// (scaled by `time_compression`) — the think-time-driven concurrent
 /// clients IDEBench prescribes, as opposed to offline trace replay. Each
 /// client gets its own server session; `clients[i]` must be sorted by
-/// nondecreasing issue time.
+/// nondecreasing issue time. The networked variant of this driver lives
+/// in `src/net/net_load_driver.h` and shares `ReplayClients`.
 Result<LoadReport> RunLoadDriver(
     QueryServer* server, const std::vector<std::vector<QueryGroup>>& clients,
     LoadDriverOptions options);

@@ -318,8 +318,33 @@ void QueryServer::TraceAdmission(const TraceContext& trace,
   }
 }
 
+namespace {
+
+/// Builds the terminal report for a group shed after admission and hands
+/// it to the group's callback, if any. Caller holds the server lock (the
+/// callback contract, see `GroupCompletionFn`).
+void NotifyShed(PendingGroup* group, uint64_t session_id,
+                GroupTerminal terminal, SimTime now) {
+  if (!group->on_complete) return;
+  GroupCompletion done;
+  done.session_id = session_id;
+  done.seq = group->seq;
+  done.terminal = terminal;
+  done.latency = now - group->submit_time;
+  group->on_complete(std::move(done));
+  group->on_complete = nullptr;
+}
+
+}  // namespace
+
 Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
                                           std::vector<Query> queries) {
+  return Submit(session_id, std::move(queries), nullptr);
+}
+
+Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
+                                          std::vector<Query> queries,
+                                          GroupCompletionFn on_complete) {
   if (queries.empty()) {
     return Status::InvalidArgument("Submit: empty query group");
   }
@@ -391,13 +416,14 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
     case AdmissionPolicy::kDebounce:
       // Newest-wins coalescing: anything still pending is superseded.
       if (!s->queue().empty()) {
-        for (const PendingGroup& old : s->queue()) {
+        for (PendingGroup& old : s->queue()) {
           // Terminal state for the superseded groups: their root spans
           // close here, never having reached a worker.
           RecordSpan(old.trace, SpanKind::kGroup, old.trace.root_span_id,
                      /*parent_span_id=*/0, old.submit_time.micros(),
                      now.micros(),
                      static_cast<uint32_t>(GroupTerminal::kShedCoalesced));
+          NotifyShed(&old, session_id, GroupTerminal::kShedCoalesced, now);
         }
         c.groups_shed_coalesced +=
             static_cast<int64_t>(s->queue().size());
@@ -422,11 +448,12 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
     case AdmissionPolicy::kSkipStale:
       if (s->queue().size() >= cap) {
         // Shed the stalest pending group instead of pushing back.
-        const PendingGroup& victim = s->queue().front();
+        PendingGroup& victim = s->queue().front();
         RecordSpan(victim.trace, SpanKind::kGroup,
                    victim.trace.root_span_id, /*parent_span_id=*/0,
                    victim.submit_time.micros(), now.micros(),
                    static_cast<uint32_t>(GroupTerminal::kShedStale));
+        NotifyShed(&victim, session_id, GroupTerminal::kShedStale, now);
         s->queue().pop_front();
         ++c.groups_shed_stale;
         if (hot_.shed_stale != nullptr) hot_.shed_stale->Increment();
@@ -439,6 +466,7 @@ Result<SubmitOutcome> QueryServer::Submit(uint64_t session_id,
   g.submit_time = now;
   g.trace = trace;
   g.queries = std::move(queries);
+  g.on_complete = std::move(on_complete);
   s->queue().push_back(std::move(g));
   ++c.groups_admitted;
   if (hot_.admitted != nullptr) hot_.admitted->Increment();
@@ -478,13 +506,14 @@ PendingGroup QueryServer::PopGroup(ServeSession* session) {
   std::deque<PendingGroup>& q = session->queue();
   if (effective_policy_ == AdmissionPolicy::kSkipStale) {
     // Jump to the newest pending group; everything older is stale.
-    if (trace_ != nullptr && q.size() > 1) {
+    if (q.size() > 1) {
       const SimTime now = Now();
       for (size_t i = 0; i + 1 < q.size(); ++i) {
         RecordSpan(q[i].trace, SpanKind::kGroup, q[i].trace.root_span_id,
                    /*parent_span_id=*/0, q[i].submit_time.micros(),
                    now.micros(),
                    static_cast<uint32_t>(GroupTerminal::kShedStale));
+        NotifyShed(&q[i], session->id(), GroupTerminal::kShedStale, now);
       }
     }
     session->counters().groups_shed_stale +=
@@ -538,8 +567,10 @@ void QueryServer::ShardWorkerLoop() {
 }
 
 QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
-    const std::vector<Query>& queries, const TraceContext& trace) {
+    const std::vector<Query>& queries, const TraceContext& trace,
+    std::vector<std::optional<QueryResultData>>* capture) {
   GroupOutcome out;
+  if (capture != nullptr) capture->resize(queries.size());
   const SimTime t0 = Now();
   // Allocated up front so shard workers can parent their spans under the
   // execute window before it is recorded.
@@ -550,13 +581,15 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
   // query immediately; its partials never reach the shard pool.
   struct PlannedQuery {
     const Query* query = nullptr;
+    size_t query_index = 0;  ///< Submission-order slot in `capture`.
     ShardedEngine::ShardPlan plan;
     size_t first_slot = 0;  ///< Index of its first partial in the slots.
   };
   std::vector<PlannedQuery> planned;
   planned.reserve(queries.size());
   size_t total_subtasks = 0;
-  for (const Query& query : queries) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& query = queries[qi];
     auto plan = sharded_->Plan(query);
     if (!plan.ok()) {
       ++out.failed;
@@ -564,6 +597,7 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
     }
     PlannedQuery pq;
     pq.query = &query;
+    pq.query_index = qi;
     pq.plan = std::move(*plan);
     pq.first_slot = total_subtasks;
     total_subtasks += pq.plan.subtasks.size();
@@ -649,6 +683,9 @@ QueryServer::GroupOutcome QueryServer::ExecuteGroupSharded(
     auto merged = sharded_->Merge(*pq.query, pq.plan, std::move(partials));
     if (merged.ok()) {
       ++out.executed;
+      if (capture != nullptr) {
+        (*capture)[pq.query_index] = std::move(merged->data);
+      }
     } else {
       ++out.failed;
     }
@@ -754,6 +791,11 @@ void QueryServer::WorkerLoop() {
     int64_t executed = 0;
     int64_t failed = 0;
     int64_t hits = 0;
+    // Result capture is keyed off the completion callback: the classic
+    // fire-and-forget path never copies or holds result payloads.
+    const bool capture = static_cast<bool>(group.on_complete);
+    std::vector<std::optional<QueryResultData>> results;
+    if (capture) results.reserve(group.queries.size());
     GroupOutcome sharded_out;
     if (result_cache_ != nullptr) {
       // Shared cache above either backend: one lookup per query; misses
@@ -764,12 +806,16 @@ void QueryServer::WorkerLoop() {
         if (r.ok()) {
           ++executed;
           if (r->outcome != CacheOutcome::kMiss) ++hits;
+          // Copy, not move: the cache retains its entry for later hits.
+          if (capture) results.emplace_back(r->response.data);
         } else {
           ++failed;
+          if (capture) results.emplace_back(std::nullopt);
         }
       }
     } else if (sharded_ != nullptr) {
-      sharded_out = ExecuteGroupSharded(group.queries, group.trace);
+      sharded_out = ExecuteGroupSharded(group.queries, group.trace,
+                                        capture ? &results : nullptr);
       executed = sharded_out.executed;
       failed = sharded_out.failed;
     } else {
@@ -784,8 +830,10 @@ void QueryServer::WorkerLoop() {
             exec.SetAttrs(r->response.stats.tuples_scanned,
                           r->response.stats.blocks_scanned,
                           r->response.stats.blocks_pruned);
+            if (capture) results.emplace_back(r->response.data);
           } else {
             ++failed;
+            if (capture) results.emplace_back(std::nullopt);
           }
         } else {
           auto r = engine_->Execute(query);
@@ -793,8 +841,10 @@ void QueryServer::WorkerLoop() {
             ++executed;
             exec.SetAttrs(r->stats.tuples_scanned, r->stats.blocks_scanned,
                           r->stats.blocks_pruned);
+            if (capture) results.emplace_back(std::move(r->data));
           } else {
             ++failed;
+            if (capture) results.emplace_back(std::nullopt);
           }
         }
       }
@@ -865,6 +915,21 @@ void QueryServer::WorkerLoop() {
       // workloads the service EWMA shrinks and the capacity estimate
       // rises — admission control sees the cache as extra throughput.
       controller_.OnComplete(finish, finish - start);
+    }
+    if (group.on_complete) {
+      GroupCompletion done;
+      done.session_id = s->id();
+      done.seq = group.seq;
+      done.terminal = GroupTerminal::kExecuted;
+      done.lcv = lcv;
+      done.queries_executed = executed;
+      done.queries_failed = failed;
+      done.cache_hits = hits;
+      done.queue_wait = start - group.submit_time;
+      done.service = finish - start;
+      done.latency = finish - group.submit_time;
+      done.results = std::move(results);
+      group.on_complete(std::move(done));
     }
     s->set_busy(false);
     --in_flight_;

@@ -191,6 +191,20 @@ class QueryServer {
   Result<SubmitOutcome> Submit(uint64_t session_id,
                                std::vector<Query> queries);
 
+  /// As above, with a terminal-state callback: invoked exactly once for
+  /// every *admitted* group (disposition `kEnqueued` / `kCoalesced`) when
+  /// it reaches its terminal state — executed (with per-query results
+  /// captured) or shed after admission (stale / coalesced). Door verdicts
+  /// (`kThrottled` / `kRejected`) are fully described by the returned
+  /// outcome and never invoke the callback, so a networked caller can
+  /// answer those synchronously and wait for exactly one completion per
+  /// admitted group. The callback runs under the server lock — on a
+  /// worker thread or inside a later `Submit` of the same session — and
+  /// must not call back into this server (see `GroupCompletionFn`).
+  Result<SubmitOutcome> Submit(uint64_t session_id,
+                               std::vector<Query> queries,
+                               GroupCompletionFn on_complete);
+
   /// Blocks until every admitted group has finished executing.
   void Drain();
 
@@ -281,9 +295,13 @@ class QueryServer {
 
   /// Runs one admitted group through the sharded pipeline, emitting
   /// scatter/shard/merge spans under `trace`'s root when enabled. Called
-  /// by a group worker outside the server lock.
-  GroupOutcome ExecuteGroupSharded(const std::vector<Query>& queries,
-                                   const TraceContext& trace);
+  /// by a group worker outside the server lock. When `capture` is
+  /// non-null it is resized to the group size and each query's merged
+  /// result lands in its submission-order slot (failures stay empty) —
+  /// the completion-callback result path.
+  GroupOutcome ExecuteGroupSharded(
+      const std::vector<Query>& queries, const TraceContext& trace,
+      std::vector<std::optional<QueryResultData>>* capture);
 
   /// Scatters, executes, and merges a single query on the sharded
   /// backend, returning the merged response: the shared cache's miss path

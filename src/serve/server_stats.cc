@@ -145,6 +145,16 @@ std::string ServerStatsSnapshot::ToText() const {
   if (slow_log_enabled) {
     global.AddCountRow("slow queries logged", {slow_queries_logged});
   }
+  if (net_enabled) {
+    global.AddCountRow("net bytes sent / received",
+                       {net.bytes_sent, net.bytes_received});
+    global.AddCountRow("net frames sent / received",
+                       {net.frames_sent, net.frames_received});
+    global.AddCountRow("net connections (accepted / active)",
+                       {net.connections_accepted, net.active_connections});
+    global.AddCountRow("net write-queue shed / protocol errors",
+                       {net.write_queue_shed, net.protocol_errors});
+  }
   global.AddRow({"latency mean / p50 / p90 / max (ms)",
                  StrFormat("%.2f / %.2f / %.2f / %.2f", latency_mean_ms,
                            latency_p50_ms, latency_p90_ms, latency_max_ms)});

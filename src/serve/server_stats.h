@@ -57,6 +57,26 @@ struct SessionStatsRow {
   int64_t queue_hwm = 0;  ///< Deepest the queue has ever been.
 };
 
+/// Socket front-end counters (`src/net/net_server.h`), folded into the
+/// server snapshot when a `NetServer` is attached. Bytes/frames count
+/// wire traffic as seen by the server; after every client has drained
+/// and disconnected, `net_bytes_sent` equals the sum of client-side
+/// bytes received (and vice versa) — a reconciliation the serve tests
+/// assert exactly.
+struct NetStatsSnapshot {
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t frames_sent = 0;
+  int64_t frames_received = 0;
+  int64_t connections_accepted = 0;
+  int64_t active_connections = 0;  ///< Gauge: currently open sockets.
+  /// Completion frames dropped because a connection's bounded write
+  /// queue was full (the client got a small error frame instead).
+  int64_t write_queue_shed = 0;
+  /// Malformed/unknown frames answered with an error frame.
+  int64_t protocol_errors = 0;
+};
+
 /// Consistent point-in-time view of a running `QueryServer`.
 struct ServerStatsSnapshot {
   int num_workers = 0;
@@ -110,6 +130,10 @@ struct ServerStatsSnapshot {
   /// Slow-query log size (`slow_query_ms >= 0` servers only).
   bool slow_log_enabled = false;
   int64_t slow_queries_logged = 0;
+
+  /// Socket front-end counters (servers fronted by a `NetServer` only).
+  bool net_enabled = false;
+  NetStatsSnapshot net;
 
   LoadAssessment load;
 

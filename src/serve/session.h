@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -18,6 +19,40 @@
 
 namespace ideval {
 
+/// Terminal report for one *admitted* group, delivered through the
+/// optional completion callback of `QueryServer::Submit`. `Submit`'s
+/// return value only says what happened at the door; this is the other
+/// half — what eventually became of a group that made it past the door.
+/// The socket front-end (`src/net/net_server.h`) turns these into
+/// response frames; in-process callers (tests, the load driver) never pay
+/// for them because the callback and the result capture are both opt-in.
+struct GroupCompletion {
+  uint64_t session_id = 0;
+  uint64_t seq = 0;  ///< Per-session submission sequence number.
+  /// `kExecuted`, `kShedStale`, or `kShedCoalesced`. Door verdicts
+  /// (throttled/rejected) never produce a completion — they are returned
+  /// synchronously from `Submit`.
+  GroupTerminal terminal = GroupTerminal::kExecuted;
+  bool lcv = false;  ///< Executed groups: finished after a newer submit.
+  int64_t queries_executed = 0;
+  int64_t queries_failed = 0;
+  int64_t cache_hits = 0;
+  Duration queue_wait;  ///< Admit -> dispatch (zero for sheds).
+  Duration service;     ///< Dispatch -> done (zero for sheds).
+  Duration latency;     ///< Submit -> terminal state.
+  /// Per-query result payloads in submission order, filled only for
+  /// executed groups with a callback installed (capture is keyed off the
+  /// callback's presence, so callback-free submissions never copy
+  /// results). A failed query leaves its slot empty.
+  std::vector<std::optional<QueryResultData>> results;
+};
+
+/// Invoked exactly once per admitted group at its terminal state. Runs
+/// under the server lock — on a worker thread (executed and dispatch-time
+/// sheds) or inside a later `Submit` call (admission-time sheds) — so it
+/// must be fast and must not call back into the `QueryServer`.
+using GroupCompletionFn = std::function<void(GroupCompletion&&)>;
+
 /// A query group admitted into a session queue, waiting for a worker.
 struct PendingGroup {
   uint64_t seq = 0;  ///< Per-session submission sequence number.
@@ -27,6 +62,9 @@ struct PendingGroup {
   /// group its terminal state (worker, shed, coalesce) closes it.
   TraceContext trace;
   std::vector<Query> queries;
+  /// Terminal-state callback (null for the classic fire-and-forget
+  /// submission path). See `GroupCompletionFn`.
+  GroupCompletionFn on_complete;
 };
 
 /// One client's server-side state: a bounded request queue, live QIF

@@ -72,7 +72,7 @@ def check_metrics_block(doc, what):
 serve = load(serve_path)
 assert serve["schema"] == "ideval.bench.serve.v1", serve.get("schema")
 assert serve["bench"] == "bench_serve_saturation"
-for key in ("config", "overhead", "headline", "series", "metrics"):
+for key in ("config", "overhead", "net", "headline", "series", "metrics"):
     assert key in serve, f"serve export missing {key}"
 for key in ("workers", "clients", "shards", "policy", "shared_cache",
             "zone_maps", "smoke", "rows", "moves", "time_compression",
@@ -80,6 +80,27 @@ for key in ("workers", "clients", "shards", "policy", "shared_cache",
     assert key in serve["config"], f"serve config missing {key}"
 for key in ("qps_metrics_off", "qps_metrics_on", "delta_pct"):
     finite(serve["overhead"][key], f"overhead.{key}")
+
+# The loopback run: every field finite, work actually done, and the byte
+# counters from the two ends of the socket agreeing exactly (the drain
+# protocol guarantees it; a mismatch means lost or double-counted bytes).
+net = serve["net"]
+for key in ("qps_in_process", "qps_net", "delta_pct", "qif_net_qps",
+            "latency_p90_net_ms", "lcv_fraction_net", "groups_executed_net",
+            "server_bytes_sent", "server_bytes_received",
+            "client_bytes_sent", "client_bytes_received", "frames_sent",
+            "frames_received", "connections_accepted", "write_queue_shed",
+            "protocol_errors", "interactions", "bytes_per_interaction"):
+    finite(net[key], f"net.{key}")
+assert net["qps_net"] > 0, "net run produced zero throughput"
+assert net["groups_executed_net"] > 0, "net run executed no groups"
+assert net["client_bytes_sent"] == net["server_bytes_received"], \
+    "client->server bytes do not reconcile"
+assert net["client_bytes_received"] == net["server_bytes_sent"], \
+    "server->client bytes do not reconcile"
+assert net["server_bytes_sent"] > 0 and net["server_bytes_received"] > 0
+assert net["protocol_errors"] == 0, "protocol errors on a clean loopback run"
+assert net["interactions"] > 0 and net["bytes_per_interaction"] > 0
 headline = serve["headline"]
 for key, value in headline.items():
     finite(value, f"headline.{key}")

@@ -128,6 +128,25 @@ TEST(WorkloadSpecTest, ParsesMetricsKnobs) {
   EXPECT_FALSE(ParseWorkloadSpec("serve_stats_poll_ms = fast").ok());
 }
 
+TEST(WorkloadSpecTest, ParsesNetKnobs) {
+  auto spec = ParseWorkloadSpec("serve_net = true\nserve_net_port = 9099");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->serve_net);
+  EXPECT_EQ(spec->serve_net_port, 9099);
+  // Defaults: in-process submission, ephemeral port if net is turned on.
+  WorkloadSpec defaults;
+  EXPECT_FALSE(defaults.serve_net);
+  EXPECT_EQ(defaults.serve_net_port, 0);
+  // A configured port must be a real one: 0 means "let the OS pick" and
+  // is expressed by omitting the key, not by writing it.
+  EXPECT_FALSE(ParseWorkloadSpec("serve_net_port = 0").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_net_port = -5").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_net_port = 65536").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("serve_net = maybe").ok());
+  EXPECT_TRUE(ParseWorkloadSpec("serve_net_port = 65535").ok());
+  EXPECT_TRUE(ParseWorkloadSpec("serve_net_port = 1").ok());
+}
+
 TEST(WorkloadSpecTest, RoundTripsThroughText) {
   WorkloadSpec spec;
   spec.name = "round-trip";
@@ -151,6 +170,8 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   spec.serve_slow_query_ms = 75.0;
   spec.serve_metrics = true;
   spec.serve_stats_poll_ms = 100.0;
+  spec.serve_net = true;
+  spec.serve_net_port = 4242;
   auto parsed = ParseWorkloadSpec(WorkloadSpecToText(spec));
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->name, spec.name);
@@ -173,6 +194,8 @@ TEST(WorkloadSpecTest, RoundTripsThroughText) {
   EXPECT_DOUBLE_EQ(parsed->serve_slow_query_ms, spec.serve_slow_query_ms);
   EXPECT_EQ(parsed->serve_metrics, spec.serve_metrics);
   EXPECT_DOUBLE_EQ(parsed->serve_stats_poll_ms, spec.serve_stats_poll_ms);
+  EXPECT_EQ(parsed->serve_net, spec.serve_net);
+  EXPECT_EQ(parsed->serve_net_port, spec.serve_net_port);
 }
 
 // ----------------------------- Runner smoke -----------------------------

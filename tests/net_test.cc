@@ -1,0 +1,858 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/net_client.h"
+#include "net/net_load_driver.h"
+#include "net/net_server.h"
+#include "net/wire.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+
+namespace ideval {
+namespace {
+
+// ----------------------------- wire layer -----------------------------
+
+TEST(WireTest, PrimitiveRoundTrip) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.U8(0xAB);
+  w.U16(0xD11D);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(-1234.5);
+  w.Str("hello");
+  w.Str("");  // Empty strings are legal.
+
+  WireReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xD11D);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_EQ(r.F64(), -1234.5);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  const size_t f = w.BeginFrame(Opcode::kSubmitGroup, 7, 99);
+  w.U64(12345);
+  w.EndFrame(f);
+  ASSERT_EQ(buf.size(), kWireHeaderBytes + 8);
+
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(buf.data(), buf.size(), &h));
+  EXPECT_EQ(h.version, kWireVersion);
+  EXPECT_EQ(h.opcode, Opcode::kSubmitGroup);
+  EXPECT_EQ(h.session_id, 7u);
+  EXPECT_EQ(h.request_id, 99u);
+  EXPECT_EQ(h.payload_len, 8u);
+
+  // Frames batch: a second frame appends after the first.
+  const size_t f2 = w.BeginFrame(Opcode::kPing, 0, 100);
+  w.EndFrame(f2);
+  EXPECT_EQ(buf.size(), 2 * kWireHeaderBytes + 8);
+  ASSERT_TRUE(DecodeFrameHeader(buf.data() + kWireHeaderBytes + 8,
+                                kWireHeaderBytes, &h));
+  EXPECT_EQ(h.opcode, Opcode::kPing);
+  EXPECT_EQ(h.payload_len, 0u);
+}
+
+TEST(WireTest, HeaderRejectsCorruption) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.EndFrame(w.BeginFrame(Opcode::kPing, 0, 1));
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(buf.data(), buf.size(), &h));
+
+  auto corrupted = buf;
+  corrupted[0] ^= 0xFF;  // Magic.
+  EXPECT_FALSE(DecodeFrameHeader(corrupted.data(), corrupted.size(), &h));
+
+  corrupted = buf;
+  corrupted[2] = 99;  // Version.
+  EXPECT_FALSE(DecodeFrameHeader(corrupted.data(), corrupted.size(), &h));
+
+  corrupted = buf;
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(&corrupted[20], &huge, 4);  // Host LE in CI; value checked.
+  EXPECT_FALSE(DecodeFrameHeader(corrupted.data(), corrupted.size(), &h));
+}
+
+TEST(WireTest, ReaderNeverOverReads) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.U32(7);
+  WireReader r(buf.data(), buf.size());
+  EXPECT_EQ(r.U64(), 0u);  // 8 > 4: flips ok, returns zero.
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.Done());
+
+  // A string length prefix larger than the remaining payload.
+  buf.clear();
+  WireWriter w2(&buf);
+  w2.U32(1000);  // Claims 1000 bytes follow; none do.
+  WireReader r2(buf.data(), buf.size());
+  EXPECT_EQ(r2.Str(), "");
+  EXPECT_FALSE(r2.ok());
+
+  // CanContain guards hostile count prefixes before any allocation.
+  WireReader r3(buf.data(), buf.size());
+  EXPECT_TRUE(r3.CanContain(1, 4));
+  EXPECT_FALSE(r3.CanContain(2, 4));
+  EXPECT_FALSE(r3.ok());
+}
+
+// ----------------------------- codecs ---------------------------------
+
+std::vector<Query> AllShapesGroup() {
+  SelectQuery sel;
+  sel.table = "movies";
+  sel.columns = {"title", "rating"};
+  sel.predicates.push_back(RangePredicate{"rating", 7.5, 10.0});
+  sel.predicates.push_back(StringEqPredicate{"genre", "drama"});
+  sel.predicates.push_back(StringInPredicate{"country", {"de", "fr", ""}});
+  sel.limit = 58;
+  sel.offset = 116;
+
+  HistogramQuery hist;
+  hist.table = "dataroad";
+  hist.bin_column = "speed";
+  hist.bin_lo = -3.5;
+  hist.bin_hi = 120.25;
+  hist.bins = 20;
+  hist.predicates.push_back(RangePredicate{"accel", -1.0, 1.0});
+
+  JoinPageQuery join;
+  join.left_table = "imdbrating";
+  join.right_table = "movie";
+  join.join_column = "id";
+  join.limit = 100;
+  join.offset = 400;
+
+  return {sel, hist, join};
+}
+
+TEST(CodecTest, QueryGroupRoundTrip) {
+  const std::vector<Query> group = AllShapesGroup();
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeQueryGroup(&w, group);
+
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeQueryGroup(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.Done());
+  EXPECT_EQ(*decoded, group);
+}
+
+TEST(CodecTest, EmptyQueryGroupRoundTrip) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeQueryGroup(&w, {});
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeQueryGroup(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.Done());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(CodecTest, TruncatedQueryGroupFailsCleanly) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeQueryGroup(&w, AllShapesGroup());
+  // Every strict prefix must fail to decode as a complete payload: either
+  // the decoder errors, or it succeeds without consuming exactly the
+  // frame (which the server rejects via `Done()`). Never a crash or an
+  // over-read (ASan enforces the latter).
+  for (size_t len = 0; len < buf.size(); ++len) {
+    WireReader r(buf.data(), len);
+    auto decoded = DecodeQueryGroup(&r);
+    EXPECT_FALSE(decoded.ok() && r.Done()) << "prefix " << len;
+  }
+}
+
+TEST(CodecTest, CorruptedQueryGroupNeverCrashes) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeQueryGroup(&w, AllShapesGroup());
+  // Single-byte corruption at every position: decoding must stay memory-
+  // safe. (Corrupting a float or a string byte can still decode — that is
+  // the frame's own lookout; the property under test is no crash and no
+  // over-read.)
+  for (size_t pos = 0; pos < buf.size(); ++pos) {
+    auto corrupted = buf;
+    corrupted[pos] ^= 0xFF;
+    WireReader r(corrupted.data(), corrupted.size());
+    auto decoded = DecodeQueryGroup(&r);
+    (void)decoded;
+  }
+}
+
+TEST(CodecTest, HostileCountPrefixRejectedWithoutAllocation) {
+  // A payload claiming 2^32-16 queries in 4 bytes: `CanContain` must
+  // reject it before any resize/reserve, so this returns an error fast
+  // instead of attempting a giant allocation.
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.U32(0xFFFFFFF0u);
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeQueryGroup(&r);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CodecTest, SubmitAckRoundTripAndValidation) {
+  SubmitAckPayload ack;
+  ack.seq = 41;
+  ack.disposition = SubmitDisposition::kThrottled;
+  ack.load_state = LoadState::kOverloaded;
+  ack.load_factor = 2.25;
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeSubmitAck(&w, ack);
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeSubmitAck(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(*decoded, ack);
+
+  // An out-of-range disposition enum is a malformed payload, not UB.
+  auto corrupted = buf;
+  corrupted[8] = 0x77;  // Disposition byte follows the u64 seq.
+  WireReader r2(corrupted.data(), corrupted.size());
+  EXPECT_FALSE(DecodeSubmitAck(&r2).ok());
+}
+
+TEST(CodecTest, CompletionRoundTripWithResults) {
+  CompletionPayload done;
+  done.seq = 9;
+  done.terminal = GroupTerminal::kExecuted;
+  done.lcv = true;
+  done.queries_executed = 2;
+  done.queries_failed = 1;
+  done.cache_hits = 1;
+  done.queue_wait_us = 1500;
+  done.service_us = 800;
+  done.latency_us = 2300;
+  RowSet rows;
+  rows.column_names = {"title", "year", "rating"};
+  rows.rows.push_back({Value("Heat"), Value(int64_t{1995}), Value(8.3)});
+  rows.rows.push_back({Value(""), Value(int64_t{-1}), Value(0.0)});
+  done.results.emplace_back(rows);
+  done.results.emplace_back(std::nullopt);  // A failed query's slot.
+  auto hist = FixedHistogram::FromCounts(0.0, 10.0, {1.0, 0.0, 5.5});
+  ASSERT_TRUE(hist.ok());
+  done.results.emplace_back(*hist);
+
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeCompletion(&w, done);
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeCompletion(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(decoded->seq, done.seq);
+  EXPECT_EQ(decoded->terminal, done.terminal);
+  EXPECT_EQ(decoded->lcv, done.lcv);
+  EXPECT_EQ(decoded->queries_executed, done.queries_executed);
+  EXPECT_EQ(decoded->queries_failed, done.queries_failed);
+  EXPECT_EQ(decoded->cache_hits, done.cache_hits);
+  EXPECT_EQ(decoded->queue_wait_us, done.queue_wait_us);
+  EXPECT_EQ(decoded->service_us, done.service_us);
+  EXPECT_EQ(decoded->latency_us, done.latency_us);
+  ASSERT_EQ(decoded->results.size(), 3u);
+  ASSERT_TRUE(decoded->results[0].has_value());
+  EXPECT_EQ(std::get<RowSet>(*decoded->results[0]), rows);
+  EXPECT_FALSE(decoded->results[1].has_value());
+  ASSERT_TRUE(decoded->results[2].has_value());
+  EXPECT_EQ(std::get<FixedHistogram>(*decoded->results[2]), *hist);
+
+  // Truncation sweep over the result-bearing payload.
+  for (size_t len = 0; len < buf.size(); ++len) {
+    WireReader rt(buf.data(), len);
+    auto d = DecodeCompletion(&rt);
+    EXPECT_FALSE(d.ok() && rt.Done()) << "prefix " << len;
+  }
+}
+
+TEST(CodecTest, ShedCompletionHasNoResults) {
+  CompletionPayload done;
+  done.seq = 3;
+  done.terminal = GroupTerminal::kShedStale;
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeCompletion(&w, done);
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeCompletion(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(decoded->terminal, GroupTerminal::kShedStale);
+  EXPECT_TRUE(decoded->results.empty());
+}
+
+TEST(CodecTest, ErrorRoundTrip) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeError(&w, WireErrorCode::kWriteQueueShed, "slow reader");
+  WireReader r(buf.data(), buf.size());
+  auto decoded = DecodeError(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(decoded->code, WireErrorCode::kWriteQueueShed);
+  EXPECT_EQ(decoded->message, "slow reader");
+}
+
+// --------------------------- end to end -------------------------------
+
+TablePtr MakeNetTable(int64_t rows) {
+  Schema schema({{"v", DataType::kDouble}});
+  TableBuilder b("t", schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    b.MustAppendRow({Value(static_cast<double>(i))});
+  }
+  return std::move(b).Finish().ValueOrDie();
+}
+
+Query HistQuery(int64_t rows, int64_t bins = 20) {
+  HistogramQuery q;
+  q.table = "t";
+  q.bin_column = "v";
+  q.bin_lo = 0.0;
+  q.bin_hi = static_cast<double>(rows);
+  q.bins = bins;
+  return q;
+}
+
+/// A live engine + `QueryServer` + `NetServer` on an ephemeral loopback
+/// port, torn down front-to-back.
+class NetE2ETest : public ::testing::Test {
+ protected:
+  void Start(ServerOptions sopts = {}, NetServerOptions nopts = {},
+             int64_t rows = 1000) {
+    rows_ = rows;
+    engine_ = std::make_unique<Engine>(EngineOptions{});
+    ASSERT_TRUE(engine_->RegisterTable(MakeNetTable(rows)).ok());
+    auto server = QueryServer::Create(engine_.get(), sopts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).ValueOrDie();
+    auto net = NetServer::Start(server_.get(), nopts);
+    ASSERT_TRUE(net.ok()) << net.status().ToString();
+    net_ = std::move(net).ValueOrDie();
+  }
+
+  void TearDown() override {
+    if (net_ != nullptr) net_->Stop();
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<NetClient> MustConnect() {
+    auto client = NetClient::Connect("127.0.0.1", net_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).ValueOrDie();
+  }
+
+  int64_t rows_ = 0;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<QueryServer> server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+TEST_F(NetE2ETest, StartValidatesOptions) {
+  EXPECT_EQ(NetServer::Start(nullptr, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  Start();
+  NetServerOptions bad;
+  bad.port = -1;
+  EXPECT_EQ(NetServer::Start(server_.get(), bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.port = 0;
+  bad.max_write_queue_bytes = 4;  // Below one frame header.
+  EXPECT_EQ(NetServer::Start(server_.get(), bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_GT(net_->port(), 0);  // Ephemeral port resolved.
+
+  EXPECT_FALSE(NetClient::Connect("127.0.0.1", 0).ok());
+  // Connecting to a port nobody listens on fails with a status, not a
+  // hang: grab a port by binding without listening... simplest portable
+  // stand-in: the net server's port + nothing is a race, so instead use
+  // an address that cannot parse.
+  EXPECT_FALSE(NetClient::Connect("not-an-ip", net_->port()).ok());
+}
+
+TEST_F(NetE2ETest, SessionLifecycleAndResultsOverTheWire) {
+  Start();
+  auto client = MustConnect();
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto sid = client->OpenSession();
+  ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+
+  std::vector<CompletionPayload> completions;
+  client->set_on_complete([&](const CompletionPayload& done) {
+    completions.push_back(done);  // Client is single-threaded: no lock.
+  });
+
+  auto ack = client->Submit(*sid, {HistQuery(rows_)});
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->disposition, SubmitDisposition::kEnqueued);
+  ASSERT_TRUE(client->Drain(*sid).ok());
+
+  // The deferred completion arrived during the drain and carries the
+  // same histogram an in-process execution produces.
+  ASSERT_EQ(completions.size(), 1u);
+  const CompletionPayload& done = completions[0];
+  EXPECT_EQ(done.terminal, GroupTerminal::kExecuted);
+  EXPECT_EQ(done.queries_executed, 1);
+  ASSERT_EQ(done.results.size(), 1u);
+  ASSERT_TRUE(done.results[0].has_value());
+  const auto& hist = std::get<FixedHistogram>(*done.results[0]);
+  EXPECT_EQ(hist.total(), static_cast<double>(rows_));
+  EXPECT_EQ(hist.num_bins(), 20);
+
+  EXPECT_EQ(client->stats().completions_executed, 1);
+  EXPECT_EQ(client->stats().completions_shed, 0);
+  EXPECT_EQ(client->stats().completions_dropped, 0);
+  ASSERT_EQ(client->stats().latency_ms.size(), 1u);
+  EXPECT_GE(client->stats().latency_ms[0], 0.0);
+
+  ASSERT_TRUE(client->CloseSession(*sid).ok());
+  // The session is gone: submitting to it is a server-side error that
+  // does not kill the connection.
+  EXPECT_FALSE(client->Submit(*sid, {HistQuery(rows_)}).ok());
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(NetE2ETest, MultiplexesSessionsOnOneConnection) {
+  Start();
+  auto client = MustConnect();
+  constexpr int kSessions = 3;
+  constexpr int kGroupsEach = 4;
+  std::vector<uint64_t> sids;
+  for (int i = 0; i < kSessions; ++i) {
+    auto sid = client->OpenSession();
+    ASSERT_TRUE(sid.ok());
+    sids.push_back(*sid);
+  }
+  for (int g = 0; g < kGroupsEach; ++g) {
+    for (uint64_t sid : sids) {
+      auto ack = client->Submit(sid, {HistQuery(rows_)});
+      ASSERT_TRUE(ack.ok());
+    }
+  }
+  for (uint64_t sid : sids) ASSERT_TRUE(client->Drain(sid).ok());
+  EXPECT_EQ(client->stats().completions_executed +
+                client->stats().completions_shed,
+            kSessions * kGroupsEach);
+  for (uint64_t sid : sids) ASSERT_TRUE(client->CloseSession(sid).ok());
+
+  const ServerStatsSnapshot snap = server_->Snapshot();
+  EXPECT_EQ(snap.totals.groups_submitted, kSessions * kGroupsEach);
+}
+
+TEST_F(NetE2ETest, RejectsForeignAndUnknownSessions) {
+  Start();
+  auto client_a = MustConnect();
+  auto client_b = MustConnect();
+  auto sid = client_a->OpenSession();
+  ASSERT_TRUE(sid.ok());
+  // A session is bound to the connection that opened it: another
+  // connection can neither submit to it, drain it, nor close it.
+  EXPECT_FALSE(client_b->Submit(*sid, {HistQuery(rows_)}).ok());
+  EXPECT_FALSE(client_b->Drain(*sid).ok());
+  EXPECT_FALSE(client_b->CloseSession(*sid).ok());
+  // And an id that was never opened is unknown to everyone.
+  EXPECT_FALSE(client_a->Submit(*sid + 1000, {HistQuery(rows_)}).ok());
+  // Both connections survive their errors.
+  EXPECT_TRUE(client_a->Ping().ok());
+  EXPECT_TRUE(client_b->Ping().ok());
+  EXPECT_TRUE(client_a->CloseSession(*sid).ok());
+}
+
+TEST_F(NetE2ETest, ByteCountersReconcileWithClientAndRegistry) {
+  MetricsRegistry registry;
+  ServerOptions sopts;
+  sopts.enable_metrics = true;
+  sopts.metrics_registry = &registry;
+  Start(sopts);
+
+  auto client = MustConnect();
+  auto sid = client->OpenSession();
+  ASSERT_TRUE(sid.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client->Submit(*sid, {HistQuery(rows_)}).ok());
+  }
+  ASSERT_TRUE(client->Drain(*sid).ok());
+  ASSERT_TRUE(client->CloseSession(*sid).ok());
+  const NetClientStats cstats = client->stats();
+  client.reset();  // Close the socket; nothing more will flow.
+
+  // Join the event loop before reading the server's counters, so the
+  // final flush/reap is ordered before the loads.
+  net_->Stop();
+  const NetStatsSnapshot sstats = net_->Stats();
+
+  // The two ends of a finished conversation must agree exactly.
+  EXPECT_EQ(cstats.bytes_sent, sstats.bytes_received);
+  EXPECT_EQ(cstats.bytes_received, sstats.bytes_sent);
+  EXPECT_EQ(cstats.frames_sent, sstats.frames_received);
+  EXPECT_EQ(cstats.frames_received, sstats.frames_sent);
+  EXPECT_GT(cstats.bytes_sent, 0);
+  EXPECT_GT(cstats.bytes_received, 0);
+  EXPECT_EQ(sstats.connections_accepted, 1);
+  EXPECT_EQ(sstats.active_connections, 0);
+  EXPECT_EQ(sstats.protocol_errors, 0);
+  EXPECT_EQ(sstats.write_queue_shed, 0);
+
+  // The registry mirrors the snapshot counter-for-counter.
+  auto counter = [&](const std::string& name) {
+    Counter* c = registry.FindCounter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c != nullptr ? c->value() : -1;
+  };
+  EXPECT_EQ(counter("ideval_net_bytes_sent_total"), sstats.bytes_sent);
+  EXPECT_EQ(counter("ideval_net_bytes_received_total"),
+            sstats.bytes_received);
+  EXPECT_EQ(counter("ideval_net_frames_sent_total"), sstats.frames_sent);
+  EXPECT_EQ(counter("ideval_net_frames_received_total"),
+            sstats.frames_received);
+  EXPECT_EQ(counter("ideval_net_connections_accepted_total"),
+            sstats.connections_accepted);
+  Gauge* active = registry.FindGauge("ideval_net_active_connections");
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->value(), 0.0);
+
+  // And the serve snapshot carries the same numbers once filled.
+  ServerStatsSnapshot snap = server_->Snapshot();
+  EXPECT_FALSE(snap.net_enabled);
+  net_->FillSnapshot(&snap);
+  EXPECT_TRUE(snap.net_enabled);
+  EXPECT_EQ(snap.net.bytes_sent, sstats.bytes_sent);
+  EXPECT_EQ(snap.net.bytes_received, sstats.bytes_received);
+  EXPECT_NE(snap.ToText().find("net bytes"), std::string::npos);
+}
+
+TEST_F(NetE2ETest, WriteQueueBackpressureShedsCompletions) {
+  NetServerOptions nopts;
+  // Just enough for control frames, never for a result-bearing
+  // completion: every admitted group's completion must shed.
+  nopts.max_write_queue_bytes = static_cast<int64_t>(kWireHeaderBytes);
+  Start({}, nopts);
+
+  auto client = MustConnect();
+  auto sid = client->OpenSession();
+  ASSERT_TRUE(sid.ok());
+  constexpr int kGroups = 4;
+  int admitted = 0;
+  for (int i = 0; i < kGroups; ++i) {
+    auto ack = client->Submit(*sid, {HistQuery(rows_)});
+    ASSERT_TRUE(ack.ok());
+    if (ack->disposition == SubmitDisposition::kEnqueued ||
+        ack->disposition == SubmitDisposition::kCoalesced) {
+      ++admitted;
+    }
+  }
+  ASSERT_TRUE(client->Drain(*sid).ok());
+  // Every completion was replaced by a small write-queue-shed error
+  // frame; the drain still resolves (shed counts as delivered) and the
+  // connection stays healthy.
+  EXPECT_EQ(client->stats().completions_dropped, admitted);
+  EXPECT_EQ(client->stats().completions_executed, 0);
+  EXPECT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->CloseSession(*sid).ok());
+  client.reset();
+  net_->Stop();
+  EXPECT_EQ(net_->Stats().write_queue_shed, admitted);
+}
+
+// Raw-socket tests: hostile bytes a real client would never send.
+
+int RawConnect(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+bool RawSend(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = send(fd, bytes.data() + off, bytes.size() - off, 0);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes; false on EOF/error.
+bool RawRecv(int fd, std::vector<uint8_t>* out, size_t n) {
+  out->resize(n);
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t got = recv(fd, out->data() + off, n - off, 0);
+    if (got <= 0) return false;
+    off += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+/// Reads one kError(kMalformedFrame) frame followed by EOF — the
+/// farewell a connection with lost byte framing receives.
+void ExpectMalformedErrorThenEof(int fd) {
+  std::vector<uint8_t> head;
+  ASSERT_TRUE(RawRecv(fd, &head, kWireHeaderBytes));
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(head.data(), head.size(), &h));
+  EXPECT_EQ(h.opcode, Opcode::kError);
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(RawRecv(fd, &payload, h.payload_len));
+  WireReader r(payload.data(), payload.size());
+  auto err = DecodeError(&r);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, WireErrorCode::kMalformedFrame);
+  std::vector<uint8_t> buf;
+  EXPECT_FALSE(RawRecv(fd, &buf, 1));  // EOF.
+}
+
+TEST_F(NetE2ETest, GarbageHeaderKillsTheConnection) {
+  Start();
+  const int fd = RawConnect(net_->port());
+  std::vector<uint8_t> garbage(kWireHeaderBytes, 0x5A);  // Bad magic.
+  ASSERT_TRUE(RawSend(fd, garbage));
+  // The server cannot resynchronize a corrupt stream: it answers with
+  // one farewell error frame and closes.
+  ExpectMalformedErrorThenEof(fd);
+  close(fd);
+}
+
+TEST_F(NetE2ETest, OversizedLengthKillsTheConnection) {
+  Start();
+  const int fd = RawConnect(net_->port());
+  std::vector<uint8_t> frame;
+  WireWriter w(&frame);
+  const size_t f = w.BeginFrame(Opcode::kSubmitGroup, 1, 1);
+  w.EndFrame(f);
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(&frame[20], &huge, 4);
+  ASSERT_TRUE(RawSend(fd, frame));
+  // An advertised 8 MiB+ payload is an error frame and a hangup, never
+  // an allocation.
+  ExpectMalformedErrorThenEof(fd);
+  close(fd);
+}
+
+TEST_F(NetE2ETest, CorruptPayloadKeepsTheConnection) {
+  Start();
+  const int fd = RawConnect(net_->port());
+  // Open a real session first (the binding check runs before the payload
+  // decode), then submit a well-framed group whose payload is garbage:
+  // the frame is self-delimiting, so the server answers kError and keeps
+  // reading.
+  std::vector<uint8_t> frame;
+  WireWriter w(&frame);
+  size_t f = w.BeginFrame(Opcode::kOpenSession, 0, 6);
+  w.EndFrame(f);
+  ASSERT_TRUE(RawSend(fd, frame));
+  std::vector<uint8_t> head;
+  ASSERT_TRUE(RawRecv(fd, &head, kWireHeaderBytes));
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(head.data(), head.size(), &h));
+  ASSERT_EQ(h.opcode, Opcode::kSessionOpened);
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(RawRecv(fd, &payload, h.payload_len));
+  WireReader sid_reader(payload.data(), payload.size());
+  const uint64_t sid = sid_reader.U64();
+  ASSERT_TRUE(sid_reader.Done());
+
+  frame.clear();
+  WireWriter w2(&frame);
+  f = w2.BeginFrame(Opcode::kSubmitGroup, sid, 7);
+  w2.U8(0xFF);
+  w2.U8(0xFF);
+  w2.U8(0xFF);
+  w2.EndFrame(f);
+  f = w2.BeginFrame(Opcode::kPing, 0, 8);  // Pipelined behind the garbage.
+  w2.EndFrame(f);
+  ASSERT_TRUE(RawSend(fd, frame));
+
+  ASSERT_TRUE(RawRecv(fd, &head, kWireHeaderBytes));
+  ASSERT_TRUE(DecodeFrameHeader(head.data(), head.size(), &h));
+  EXPECT_EQ(h.opcode, Opcode::kError);
+  EXPECT_EQ(h.request_id, 7u);
+  ASSERT_TRUE(RawRecv(fd, &payload, h.payload_len));
+  WireReader r(payload.data(), payload.size());
+  auto err = DecodeError(&r);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, WireErrorCode::kMalformedFrame);
+
+  ASSERT_TRUE(RawRecv(fd, &head, kWireHeaderBytes));
+  ASSERT_TRUE(DecodeFrameHeader(head.data(), head.size(), &h));
+  EXPECT_EQ(h.opcode, Opcode::kPong);  // The connection survived.
+  EXPECT_EQ(h.request_id, 8u);
+  close(fd);
+
+  net_->Stop();
+  EXPECT_GE(net_->Stats().protocol_errors, 1);
+}
+
+TEST_F(NetE2ETest, UnknownOpcodeGetsAnErrorFrame) {
+  Start();
+  const int fd = RawConnect(net_->port());
+  std::vector<uint8_t> frame;
+  WireWriter w(&frame);
+  const size_t f = w.BeginFrame(static_cast<Opcode>(9), 0, 11);
+  w.EndFrame(f);
+  ASSERT_TRUE(RawSend(fd, frame));
+  std::vector<uint8_t> head;
+  ASSERT_TRUE(RawRecv(fd, &head, kWireHeaderBytes));
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(head.data(), head.size(), &h));
+  EXPECT_EQ(h.opcode, Opcode::kError);
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(RawRecv(fd, &payload, h.payload_len));
+  WireReader r(payload.data(), payload.size());
+  auto err = DecodeError(&r);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, WireErrorCode::kUnknownOpcode);
+  close(fd);
+}
+
+TEST_F(NetE2ETest, AbruptDisconnectReapsTheSessions) {
+  Start();
+  {
+    auto client = MustConnect();
+    auto sid = client->OpenSession();
+    ASSERT_TRUE(sid.ok());
+    ASSERT_TRUE(client->Submit(*sid, {HistQuery(rows_)}).ok());
+    // Drop the connection with the group still in flight: the client
+    // destructor closes the socket without drain/close handshakes.
+  }
+  // The server reaps the connection and closes its orphaned session;
+  // completions for it are discarded, not delivered to anyone. Stop()
+  // joins the loop, after which the books must be square.
+  server_->Drain();
+  net_->Stop();
+  EXPECT_EQ(net_->Stats().active_connections, 0);
+  const ServerStatsSnapshot snap = server_->Snapshot();
+  EXPECT_EQ(snap.sessions_open, 0);
+  EXPECT_EQ(snap.totals.groups_submitted, 1);
+}
+
+TEST_F(NetE2ETest, NetLoadDriverRunsConcurrentClients) {
+  ServerOptions sopts;
+  sopts.num_workers = 2;
+  sopts.max_queue_per_session = 64;
+  Start(sopts);
+
+  std::vector<std::vector<QueryGroup>> clients(3);
+  for (auto& groups : clients) {
+    for (int i = 0; i < 5; ++i) {
+      QueryGroup g;
+      g.issue_time = SimTime::FromMillis(5.0 * i);
+      g.queries.push_back(HistQuery(rows_));
+      groups.push_back(std::move(g));
+    }
+  }
+  NetLoadDriverOptions opts;
+  opts.port = net_->port();
+  opts.time_compression = 10.0;
+  auto report = RunNetLoadDriver(clients, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->clients.size(), 3u);
+  int64_t executed = 0;
+  for (const auto& c : report->clients) {
+    EXPECT_EQ(c.submitted, 5);
+    EXPECT_EQ(c.enqueued + c.coalesced + c.throttled + c.rejected +
+                  c.submit_errors,
+              5);
+    executed += c.wire.completions_executed;
+  }
+  EXPECT_EQ(report->wire_totals.frames_sent,
+            report->clients[0].wire.frames_sent * 3);
+  EXPECT_GT(executed, 0);
+  EXPECT_GT(report->wall_seconds, 0.0);
+
+  net_->Stop();
+  const NetStatsSnapshot sstats = net_->Stats();
+  EXPECT_EQ(report->wire_totals.bytes_sent, sstats.bytes_received);
+  EXPECT_EQ(report->wire_totals.bytes_received, sstats.bytes_sent);
+  EXPECT_EQ(sstats.connections_accepted, 3);
+
+  NetLoadDriverOptions bad;
+  bad.port = 0;
+  EXPECT_FALSE(RunNetLoadDriver(clients, bad).ok());
+}
+
+// ------------------------- net_smoke (ctest) ---------------------------
+
+/// The `net_smoke` ctest: server up on an ephemeral port, one traced
+/// query driven end to end through a real socket, wire spans on the
+/// timeline next to the serve pipeline's.
+TEST(NetSmoke, TracedEndToEnd) {
+  auto engine = std::make_unique<Engine>(EngineOptions{});
+  ASSERT_TRUE(engine->RegisterTable(MakeNetTable(500)).ok());
+  ServerOptions sopts;
+  sopts.enable_tracing = true;
+  auto server = QueryServer::Create(engine.get(), sopts);
+  ASSERT_TRUE(server.ok());
+  auto net = NetServer::Start(server->get(), {});
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+
+  auto client = NetClient::Connect("127.0.0.1", (*net)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Ping().ok());
+  auto sid = (*client)->OpenSession();
+  ASSERT_TRUE(sid.ok());
+  auto ack = (*client)->Submit(*sid, {HistQuery(500)});
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->disposition, SubmitDisposition::kEnqueued);
+  ASSERT_TRUE((*client)->Drain(*sid).ok());
+  EXPECT_EQ((*client)->stats().completions_executed, 1);
+  ASSERT_TRUE((*client)->CloseSession(*sid).ok());
+  client->reset();
+  (*net)->Stop();
+
+  // The trace shows the group crossing the wire: at least one kNetRecv
+  // (the submit frame decoded) and one kNetSend (its completion written),
+  // alongside the usual serve pipeline spans.
+  TraceBuffer* buffer = (*server)->trace_buffer();
+  ASSERT_NE(buffer, nullptr);
+  int net_recv = 0;
+  int net_send = 0;
+  int groups = 0;
+  for (const SpanRecord& span : buffer->Snapshot()) {
+    if (span.kind == SpanKind::kNetRecv) ++net_recv;
+    if (span.kind == SpanKind::kNetSend) ++net_send;
+    if (span.kind == SpanKind::kGroup) ++groups;
+  }
+  EXPECT_GE(net_recv, 1);
+  EXPECT_GE(net_send, 1);
+  EXPECT_GE(groups, 1);
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace ideval

@@ -19,10 +19,13 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIDEVAL_SANITIZE=address >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target serve_test obs_test sim_test engine_test property_test
+  --target serve_test obs_test sim_test engine_test property_test net_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 "${build_dir}/tests/serve_test" --gtest_filter="${filter}"
+# The wire codecs decode hostile bytes (truncation/corruption sweeps) and
+# the socket front-end shuttles buffers between threads: prime ASan prey.
+"${build_dir}/tests/net_test" --gtest_brief=1
 # Span move semantics and the exporter's buffered file writes are the
 # lifetime-sensitive parts of the tracer.
 "${build_dir}/tests/obs_test" --gtest_brief=1

@@ -16,10 +16,14 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIDEVAL_SANITIZE=thread >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target serve_test obs_test sim_test engine_test
+  --target serve_test obs_test sim_test engine_test net_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/serve_test" --gtest_filter="${filter}"
+# The net front-end crosses three thread populations (event loop, server
+# workers posting completions, client threads) including connection
+# setup/teardown; every handoff claim lives or dies here.
+"${build_dir}/tests/net_test" --gtest_brief=1
 # The trace buffer is written from every worker and shard lane; its
 # sharded-ring claims live or die under TSan.
 "${build_dir}/tests/obs_test" --gtest_brief=1

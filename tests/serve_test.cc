@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -897,6 +898,128 @@ TEST(LoadDriverTest, ValidatesInput) {
           .status()
           .code(),
       StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, CompletionCallbackDeliversResultsExactlyOnce) {
+  MakeEngine(1000);
+  ServerOptions opts;
+  opts.num_workers = 1;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  std::mutex mu;
+  std::vector<GroupCompletion> done;
+  for (int i = 0; i < 3; ++i) {
+    auto out = server->Submit(sid, Group(), [&](GroupCompletion&& c) {
+      std::lock_guard<std::mutex> lock(mu);
+      done.push_back(std::move(c));
+    });
+    ASSERT_TRUE(out.ok());
+  }
+  server->Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(done.size(), 3u);
+    std::set<uint64_t> seqs;
+    for (const auto& c : done) {
+      EXPECT_EQ(c.session_id, sid);
+      EXPECT_EQ(c.terminal, GroupTerminal::kExecuted);
+      EXPECT_EQ(c.queries_executed, 1);
+      EXPECT_EQ(c.queries_failed, 0);
+      // Capture is keyed off the callback: the executed group carries
+      // its real result payload.
+      ASSERT_EQ(c.results.size(), 1u);
+      ASSERT_TRUE(c.results[0].has_value());
+      EXPECT_EQ(std::get<FixedHistogram>(*c.results[0]).total(), 1000.0);
+      EXPECT_GE(c.latency.micros(), c.service.micros());
+      seqs.insert(c.seq);
+    }
+    EXPECT_EQ(seqs.size(), 3u);  // Exactly once per admitted group.
+  }
+  server->Stop();
+}
+
+TEST_F(ServeTest, CompletionCallbackFiresOnShedGroups) {
+  // A slow table, one worker, a shallow queue, and a burst under
+  // skip-stale: every *admitted* group must produce exactly one terminal
+  // callback — executed or shed — and shed completions carry no results.
+  MakeEngine(400000);
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_queue_per_session = 4;
+  opts.policy = AdmissionPolicy::kSkipStale;
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  std::mutex mu;
+  std::vector<GroupCompletion> done;
+  int64_t admitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto out = server->Submit(sid, Group(), [&](GroupCompletion&& c) {
+      std::lock_guard<std::mutex> lock(mu);
+      done.push_back(std::move(c));
+    });
+    ASSERT_TRUE(out.ok());
+    if (out->disposition == SubmitDisposition::kEnqueued ||
+        out->disposition == SubmitDisposition::kCoalesced) {
+      ++admitted;
+    }
+  }
+  server->Drain();
+  std::set<uint64_t> seqs;
+  int64_t executed = 0;
+  int64_t shed = 0;
+  {
+    // Shed callbacks fire inline under the server lock, so never hold
+    // the capture mutex across a server call (Snapshot below) — that
+    // inverts the lock order.
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(static_cast<int64_t>(done.size()), admitted);
+    for (const auto& c : done) {
+      seqs.insert(c.seq);
+      if (c.terminal == GroupTerminal::kExecuted) {
+        ++executed;
+        EXPECT_EQ(c.results.size(), 1u);
+      } else {
+        EXPECT_EQ(c.terminal, GroupTerminal::kShedStale);
+        ++shed;
+        EXPECT_TRUE(c.results.empty());
+        EXPECT_EQ(c.service.micros(), 0);
+      }
+    }
+    EXPECT_EQ(seqs.size(), done.size());
+  }
+  EXPECT_GT(executed, 0);  // The newest of each burst survives.
+  const ServerStatsSnapshot snap = server->Snapshot();
+  EXPECT_EQ(snap.totals.groups_executed, executed);
+  EXPECT_EQ(snap.totals.groups_shed_stale, shed);
+  server->Stop();
+}
+
+TEST_F(ServeTest, DoorVerdictsProduceNoCompletion) {
+  MakeEngine(100);
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.policy = AdmissionPolicy::kThrottle;
+  opts.throttle_min_interval = Duration::Seconds(3600.0);
+  auto server = MakeServer(opts);
+  const uint64_t sid = server->OpenSession();
+  std::mutex mu;
+  int callbacks = 0;
+  auto on_complete = [&](GroupCompletion&&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++callbacks;
+  };
+  auto first = server->Submit(sid, Group(), on_complete);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->disposition, SubmitDisposition::kEnqueued);
+  auto second = server->Submit(sid, Group(), on_complete);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->disposition, SubmitDisposition::kThrottled);
+  server->Drain();
+  server->Stop();
+  // The throttled group was refused at the door (the verdict came back
+  // synchronously); only the admitted group reaches a terminal state.
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(callbacks, 1);
 }
 
 TEST_F(ServeTest, MetricsOptionsValidate) {
